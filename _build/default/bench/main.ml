@@ -1,0 +1,246 @@
+(* Bechamel micro-benchmarks on the REAL runtime (OCaml 5 domains, real x86
+   fences), one group per reproduced table/figure, plus quick simulator
+   renditions of the paper's tables at the end.
+
+   - "primitives":   the cost model the paper's argument rests on — a plain
+                     store (Cadence's HP publication) vs an SC store vs a
+                     full fence (classic HP's publication) vs CAS.
+   - "fig3-*":       per-operation cost of the Figure 3 configuration
+                     (linked list, 10% updates) under each scheme.
+   - "fig5top-*":    per-operation cost of the Figure 5 top-row
+                     configurations (50% updates) for list / skiplist / bst
+                     / hashtable under each scheme.
+   - "overheads":    derived §7.3-style table (overhead vs leaky, speedup
+                     vs HP) computed from the measured ns/op.
+
+   Single-domain measurements: Bechamel times closures on one core; the
+   multi-core scalability curves come from the simulator (bin/repro.exe).
+   On x86 the fence in [assign_hp] costs the same whether or not other
+   cores run, so the per-op overhead ratios are the paper's. *)
+
+open Bechamel
+open Toolkit
+module R = Qs_real.Real_runtime
+
+(* --- primitives ---------------------------------------------------------- *)
+
+let plain_cell = R.plain 0
+let atomic_cell = R.atomic 0
+
+let primitives =
+  [ Test.make ~name:"plain-write (cadence HP publish)"
+      (Staged.stage (fun () -> R.write plain_cell 42));
+    Test.make ~name:"plain-read" (Staged.stage (fun () -> ignore (R.read plain_cell)));
+    Test.make ~name:"atomic-get" (Staged.stage (fun () -> ignore (R.get atomic_cell)));
+    Test.make ~name:"atomic-set" (Staged.stage (fun () -> R.set atomic_cell 42));
+    Test.make ~name:"fence (classic HP publish)" (Staged.stage (fun () -> R.fence ()));
+    Test.make ~name:"cas"
+      (Staged.stage (fun () ->
+           let v = R.get atomic_cell in
+           ignore (R.cas atomic_cell v v)))
+  ]
+
+(* --- per-operation data-structure benchmarks ----------------------------- *)
+
+let schemes =
+  [ Qs_smr.Scheme.None_; Qs_smr.Scheme.Qsbr; Qs_smr.Scheme.Qsense;
+    Qs_smr.Scheme.Cadence; Qs_smr.Scheme.Hp ]
+
+let set_cfg scheme =
+  let base = Qs_ds.Set_intf.default_config ~n_processes:1 ~scheme in
+  { base with
+    smr =
+      { base.smr with
+        quiescence_threshold = 32;
+        scan_threshold = 32;
+        (* ns on the real clock: age out quickly so scans actually free *)
+        rooster_interval = 50_000;
+        epsilon = 10_000 } }
+
+module Bench_set (C : Qs_harness.Cset.S) (Info : sig
+  val name : string
+  val range : int
+end) =
+struct
+  let make ~update_pct scheme =
+    let set = C.create (set_cfg scheme) in
+    let ctx = C.register set ~pid:0 in
+    let keys = Array.init (Info.range / 2) (fun i -> 2 * i) in
+    Qs_util.Prng.shuffle (Qs_util.Prng.create ~seed:7) keys;
+    Array.iter (fun k -> ignore (C.insert ctx k)) keys;
+    let prng = Qs_util.Prng.create ~seed:42 in
+    Test.make
+      ~name:(Printf.sprintf "%s/%s" Info.name (Qs_smr.Scheme.to_string scheme))
+      (Staged.stage (fun () ->
+           let key = Qs_util.Prng.int prng Info.range in
+           let pct = Qs_util.Prng.percent prng in
+           if pct < update_pct / 2 then ignore (C.insert ctx key)
+           else if pct < update_pct then ignore (C.delete ctx key)
+           else ignore (C.search ctx key)))
+
+  let group ~group_name ~update_pct =
+    Test.make_grouped ~name:group_name (List.map (make ~update_pct) schemes)
+end
+
+module List_b =
+  Bench_set (Qs_ds.Linked_list.Make (R)) (struct
+    let name = "list"
+    let range = 512
+  end)
+
+module Skip_b =
+  Bench_set (Qs_ds.Skiplist.Make (R)) (struct
+    let name = "skiplist"
+    let range = 4_096
+  end)
+
+module Bst_b =
+  Bench_set (Qs_ds.Bst.Make (R)) (struct
+    let name = "bst"
+    let range = 16_384
+  end)
+
+module Hash_b =
+  Bench_set (Qs_ds.Hashtable.Make (R)) (struct
+    let name = "hashtable"
+    let range = 4_096
+  end)
+
+(* Stack and queue: the methodology examples, one push/pop (enqueue/dequeue)
+   pair per iteration. *)
+
+module Stack_b = struct
+  module S = Qs_ds.Treiber_stack.Make (R)
+
+  let make scheme =
+    let st = S.create (set_cfg scheme) in
+    let ctx = S.register st ~pid:0 in
+    for i = 1 to 128 do
+      S.push ctx i
+    done;
+    Test.make
+      ~name:(Printf.sprintf "stack/%s" (Qs_smr.Scheme.to_string scheme))
+      (Staged.stage (fun () ->
+           S.push ctx 1;
+           ignore (S.pop ctx)))
+
+  let group () = Test.make_grouped ~name:"stack" (List.map make schemes)
+end
+
+module Queue_b = struct
+  module Q = Qs_ds.Msqueue.Make (R)
+
+  let make scheme =
+    let q = Q.create (set_cfg scheme) in
+    let ctx = Q.register q ~pid:0 in
+    for i = 1 to 128 do
+      Q.enqueue ctx i
+    done;
+    Test.make
+      ~name:(Printf.sprintf "queue/%s" (Qs_smr.Scheme.to_string scheme))
+      (Staged.stage (fun () ->
+           Q.enqueue ctx 1;
+           ignore (Q.dequeue ctx)))
+
+  let group () = Test.make_grouped ~name:"queue" (List.map make schemes)
+end
+
+(* --- measurement machinery ----------------------------------------------- *)
+
+let benchmark tests =
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~kde:None () in
+  Benchmark.all cfg Instance.[ monotonic_clock ] tests
+
+let analyze raw =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let ns_per_run results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols -> (
+    match Analyze.OLS.estimates ols with
+    | Some [ e ] -> e
+    | _ -> nan)
+
+let run_group title tests =
+  Printf.printf "== %s ==\n%!" title;
+  let results = analyze (benchmark tests) in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  let tbl = Qs_util.Table.create [ "benchmark"; "ns/op" ] in
+  List.iter
+    (fun name ->
+      Qs_util.Table.add_row tbl [ name; Printf.sprintf "%.1f" (ns_per_run results name) ])
+    (List.sort compare names);
+  Qs_util.Table.print tbl;
+  print_newline ();
+  results
+
+let overhead_table per_ds_results =
+  let tbl =
+    Qs_util.Table.create
+      [ "scheme"; "list ns/op"; "skiplist ns/op"; "bst ns/op"; "hashtable ns/op";
+        "avg overhead vs none (%)"; "speedup vs hp" ]
+  in
+  let dss = [ "list"; "skiplist"; "bst"; "hashtable" ] in
+  let suffix_of ds scheme =
+    Printf.sprintf "/%s/%s" ds (Qs_smr.Scheme.to_string scheme)
+  in
+  let ends_with ~suffix s =
+    let ls = String.length s and lx = String.length suffix in
+    ls >= lx && String.sub s (ls - lx) lx = suffix
+  in
+  let cost ds scheme =
+    let results = List.assoc ds per_ds_results in
+    let suffix = suffix_of ds scheme in
+    Hashtbl.fold
+      (fun name _ acc -> if ends_with ~suffix name then ns_per_run results name else acc)
+      results nan
+  in
+  List.iter
+    (fun scheme ->
+      let costs = List.map (fun ds -> cost ds scheme) dss in
+      let over =
+        List.map2
+          (fun ds c ->
+            (* throughput overhead = 1 - none/cost *)
+            100. *. (1. -. (cost ds Qs_smr.Scheme.None_ /. c)))
+          dss costs
+      in
+      let speedups =
+        List.map2 (fun ds c -> cost ds Qs_smr.Scheme.Hp /. c) dss costs
+      in
+      Qs_util.Table.add_row tbl
+        (Qs_smr.Scheme.to_string scheme
+        :: (List.map (Printf.sprintf "%.0f") costs
+           @ [ Printf.sprintf "%.1f"
+                 (Qs_util.Stats.mean (Array.of_list over));
+               Printf.sprintf "%.2fx"
+                 (Qs_util.Stats.mean (Array.of_list speedups))
+             ])))
+    schemes;
+  Qs_util.Table.print tbl;
+  print_newline ()
+
+let () =
+  R.register_self 0;
+  (* roosters give Cadence/QSense their coarse clock and wake-up guarantee *)
+  let roosters = Qs_real.Roosters.start ~interval_ns:2_000_000 ~n:1 in
+  ignore (run_group "primitives (real x86 costs)" (Test.make_grouped ~name:"prim" primitives));
+  let fig3 = run_group "fig3: list, 10% updates" (List_b.group ~group_name:"fig3" ~update_pct:10) in
+  ignore fig3;
+  let list_r = run_group "fig5-top: list, 50% updates" (List_b.group ~group_name:"list50" ~update_pct:50) in
+  let skip_r = run_group "fig5-top: skiplist, 50% updates" (Skip_b.group ~group_name:"skip50" ~update_pct:50) in
+  let bst_r = run_group "fig5-top: bst, 50% updates" (Bst_b.group ~group_name:"bst50" ~update_pct:50) in
+  let hash_r = run_group "extra: hashtable, 50% updates" (Hash_b.group ~group_name:"hash50" ~update_pct:50) in
+  ignore (run_group "extra: treiber stack, push+pop" (Stack_b.group ()));
+  ignore (run_group "extra: michael-scott queue, enq+deq" (Queue_b.group ()));
+  Printf.printf "== §7.3-style overhead table (derived from ns/op above) ==\n%!";
+  overhead_table
+    [ ("list", list_r); ("skiplist", skip_r); ("bst", bst_r); ("hashtable", hash_r) ];
+  Qs_real.Roosters.stop roosters;
+  (* The multi-core figures come from the simulator: *)
+  print_endline "Scalability and robustness figures (multi-core) are produced by the";
+  print_endline "deterministic simulator: `dune exec bin/repro.exe -- all [--scale full]`."

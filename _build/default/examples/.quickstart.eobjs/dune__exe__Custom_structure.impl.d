@@ -1,0 +1,1 @@
+examples/custom_structure.ml: Array List Printf Qs_ds Qs_sim Qs_smr Qs_util Scheduler Sim_runtime

@@ -1,0 +1,1 @@
+examples/delay_tolerance.ml: Cset List Printf Qs_harness Qs_smr Qs_util Qs_workload Sim_exp

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array List Printf Qs_arena Qs_ds Qs_sim Qs_smr Scheduler Sim_runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Qs_ds Qs_real Qs_smr Qs_util

@@ -1,0 +1,1 @@
+examples/tso_bug_demo.ml: Cset List Printf Qs_harness Qs_sim Qs_smr Qs_workload Sim_exp

@@ -1,0 +1,1 @@
+examples/tso_bug_demo.mli:

@@ -1,0 +1,1 @@
+lib/arena/arena.ml: Array Node_state

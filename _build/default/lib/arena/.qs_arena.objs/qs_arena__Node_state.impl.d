@@ -1,0 +1,1 @@
+lib/arena/node_state.ml: Format

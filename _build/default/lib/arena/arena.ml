@@ -1,0 +1,83 @@
+exception Exhausted
+
+module type NODE = sig
+  type t
+
+  val create : unit -> t
+  val get_state : t -> Node_state.t
+  val set_state : t -> Node_state.t -> unit
+  val bump_birth : t -> unit
+end
+
+module Make (N : NODE) = struct
+  type t = { capacity : int option; mutable handles : handle array }
+
+  and handle = {
+    owner : t;
+    mutable free_list : N.t list;
+    mutable allocations : int;
+    mutable frees : int;
+    mutable fresh : int;
+    mutable violations : int;
+    mutable double_frees : int;
+  }
+
+  let create ?capacity ~n_processes () =
+    let t = { capacity; handles = [||] } in
+    let mk _ =
+      { owner = t;
+        free_list = [];
+        allocations = 0;
+        frees = 0;
+        fresh = 0;
+        violations = 0;
+        double_frees = 0 }
+    in
+    t.handles <- Array.init (max 1 n_processes) mk;
+    t
+
+  let register t ~pid = t.handles.(pid)
+
+  let sum t f = Array.fold_left (fun acc h -> acc + f h) 0 t.handles
+
+  let outstanding t = sum t (fun h -> h.allocations - h.frees)
+
+  let alloc h =
+    match h.free_list with
+    | n :: rest ->
+      h.free_list <- rest;
+      h.allocations <- h.allocations + 1;
+      N.set_state n Node_state.Allocated;
+      N.bump_birth n;
+      n
+    | [] ->
+      (match h.owner.capacity with
+      | Some cap when outstanding h.owner >= cap -> raise Exhausted
+      | _ -> ());
+      let n = N.create () in
+      h.allocations <- h.allocations + 1;
+      h.fresh <- h.fresh + 1;
+      N.set_state n Node_state.Allocated;
+      N.bump_birth n;
+      n
+
+  let free h n =
+    if Node_state.equal (N.get_state n) Node_state.Free then
+      h.double_frees <- h.double_frees + 1
+    else begin
+      N.set_state n Node_state.Free;
+      h.frees <- h.frees + 1;
+      h.free_list <- n :: h.free_list
+    end
+
+  let touch h n =
+    if Node_state.equal (N.get_state n) Node_state.Free then
+      h.violations <- h.violations + 1
+
+  let allocations t = sum t (fun h -> h.allocations)
+  let frees t = sum t (fun h -> h.frees)
+  let fresh_nodes t = sum t (fun h -> h.fresh)
+  let violations t = sum t (fun h -> h.violations)
+  let double_frees t = sum t (fun h -> h.double_frees)
+  let capacity t = t.capacity
+end

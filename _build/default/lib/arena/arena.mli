@@ -1,0 +1,71 @@
+(** Explicit allocator for data-structure nodes.
+
+    OCaml has a garbage collector, so to reproduce a manual-reclamation
+    paper the act of "freeing" must be made explicit and observable. The
+    arena provides that: [alloc] hands out nodes (recycling previously freed
+    ones through per-process free lists, like the ssmem allocator used by
+    ASCYLIB), [free] returns them, and the arena tracks the node-state
+    oracle — detecting use-after-free ([touch] on a Free node), double-free,
+    and memory exhaustion (the [outstanding] node count exceeding an
+    optional capacity, which models the paper's "the system runs out of
+    memory and eventually fails" behaviour of blocked QSBR).
+
+    Per-process handles make the hot path free of shared-memory traffic:
+    counters are plain fields owned by one process, aggregated only when
+    statistics are read. *)
+
+exception Exhausted
+(** Raised by [alloc] when [capacity] outstanding nodes already exist and
+    the caller's free list is empty. *)
+
+module type NODE = sig
+  type t
+
+  val create : unit -> t
+  (** A brand-new node; field initialisation is the caller's business. *)
+
+  val get_state : t -> Node_state.t
+  val set_state : t -> Node_state.t -> unit
+  val bump_birth : t -> unit
+  (** Increment the node's birth stamp; called at every [alloc] so that
+      stale references can detect recycling. *)
+end
+
+module Make (N : NODE) : sig
+  type t
+  type handle
+
+  val create : ?capacity:int -> n_processes:int -> unit -> t
+  (** [capacity] bounds the number of outstanding (allocated-but-not-freed)
+      nodes; omitted means unbounded. *)
+
+  val register : t -> pid:int -> handle
+
+  val alloc : handle -> N.t
+  (** Pop the caller's free list, or create a fresh node if the capacity
+      allows. The node comes back in state [Allocated] with a new birth
+      stamp. Raises {!Exhausted} at capacity. *)
+
+  val free : handle -> N.t -> unit
+  (** Return a node to the caller's free list and mark it [Free]. A node
+      already [Free] increments the double-free counter instead. *)
+
+  val touch : handle -> N.t -> unit
+  (** Record a traversal access to the node: if its state is [Free], the
+      access is a use-after-free and increments the violation counter. *)
+
+  val outstanding : t -> int
+  (** Allocated-but-not-freed nodes, across all processes. *)
+
+  val allocations : t -> int
+  val frees : t -> int
+  val fresh_nodes : t -> int
+  (** Nodes created anew (not recycled). *)
+
+  val violations : t -> int
+  (** Use-after-free accesses detected by [touch]. *)
+
+  val double_frees : t -> int
+
+  val capacity : t -> int option
+end

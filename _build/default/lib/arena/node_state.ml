@@ -1,0 +1,35 @@
+(* The five node states of the paper's §2.1. Transitions:
+
+   Free --alloc--> Allocated --link--> Reachable --unlink--> Removed
+   Removed --(no process can use it)--> Retired --free--> Free
+
+   The [Retired] state is conceptual — it is the moment an SMR scheme
+   decides a Removed node is reclaimable; in the implementation the scheme
+   calls [free] directly, so nodes usually step Removed -> Free. The state
+   field is a debugging oracle, not part of the algorithms: the arena uses
+   it to detect use-after-free and double-free. *)
+
+type t = Allocated | Reachable | Removed | Retired | Free
+
+let to_string = function
+  | Allocated -> "allocated"
+  | Reachable -> "reachable"
+  | Removed -> "removed"
+  | Retired -> "retired"
+  | Free -> "free"
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+(* Legal direct transitions, used by the arena's optional strict checking. *)
+let can_transition from into =
+  match (from, into) with
+  | Free, Allocated
+  | Allocated, Reachable
+  | Allocated, Free (* insert lost the CAS race: free directly *)
+  | Reachable, Removed
+  | Removed, Retired
+  | Removed, Free
+  | Retired, Free -> true
+  | _ -> false

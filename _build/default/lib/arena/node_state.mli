@@ -1,0 +1,11 @@
+(** The five-state node lifecycle of the paper's §2.1:
+    Allocated, Reachable, Removed, Retired, Free. *)
+
+type t = Allocated | Reachable | Removed | Retired | Free
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val can_transition : t -> t -> bool
+(** Whether a direct transition between the two states is legal. *)

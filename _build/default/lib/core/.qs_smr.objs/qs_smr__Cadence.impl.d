@@ -1,0 +1,1 @@
+lib/core/cadence.ml: Array Hp_array List Qs_intf Smr_intf

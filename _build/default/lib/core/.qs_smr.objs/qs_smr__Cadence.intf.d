@@ -1,0 +1,1 @@
+lib/core/cadence.mli: Smr_intf

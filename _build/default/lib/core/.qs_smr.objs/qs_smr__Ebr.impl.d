@@ -1,0 +1,1 @@
+lib/core/ebr.ml: Array List Qs_intf Smr_intf

@@ -1,0 +1,1 @@
+lib/core/hazard_pointers.mli: Smr_intf

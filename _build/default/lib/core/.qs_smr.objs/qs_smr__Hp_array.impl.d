@@ -1,0 +1,1 @@
+lib/core/hp_array.ml: Array List Qs_intf Smr_intf

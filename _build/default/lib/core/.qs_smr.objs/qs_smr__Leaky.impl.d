@@ -1,0 +1,1 @@
+lib/core/leaky.ml: Array Qs_intf Smr_intf

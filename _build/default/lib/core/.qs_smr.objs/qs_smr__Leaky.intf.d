@@ -1,0 +1,1 @@
+lib/core/leaky.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/core/naive_hybrid.ml: Qsense

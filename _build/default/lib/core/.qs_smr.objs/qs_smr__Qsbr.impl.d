@@ -1,0 +1,1 @@
+lib/core/qsbr.ml: Array List Qs_intf Smr_intf

@@ -1,0 +1,1 @@
+lib/core/qsbr.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/core/qsense.mli: Smr_intf

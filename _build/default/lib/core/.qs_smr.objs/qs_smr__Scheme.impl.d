@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Cadence Ebr Hazard_pointers Leaky Naive_hybrid Qs_intf Qsbr Qsense Smr_intf Unsafe_hp

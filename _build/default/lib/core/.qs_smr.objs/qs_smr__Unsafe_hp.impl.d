@@ -1,0 +1,1 @@
+lib/core/unsafe_hp.ml: Hazard_pointers

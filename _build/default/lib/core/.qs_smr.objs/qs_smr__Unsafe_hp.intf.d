@@ -1,0 +1,1 @@
+lib/core/unsafe_hp.mli: Smr_intf

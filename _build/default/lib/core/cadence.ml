@@ -1,0 +1,125 @@
+(* Cadence (§5.1): hazard pointers without the per-node publication fence,
+   made safe by rooster processes plus deferred reclamation.
+
+   - [assign_hp] is a plain store, no barrier. Its visibility to reclaimers
+     is bounded by the rooster interval T: every core's store buffer is
+     drained at least every T (+ oversleep) time units by a rooster-induced
+     context switch.
+   - [retire] wraps the node with a timestamp ([timestamped_node] of
+     Algorithm 3). A scan frees a node only when it is old enough —
+     [age >= T + epsilon] — because by then any hazard pointer that could
+     protect it (necessarily written before the node was removed, by
+     Condition 1) has become visible, so the ordinary HP check suffices.
+
+   Cadence is usable stand-alone (this module) and as QSense's fallback
+   path ({!Qsense} re-implements the merged version over the limbo lists).
+   The runtime must run roosters with interval <= [cfg.rooster_interval]:
+   simulator config [rooster_interval], or {!Qs_real.Roosters.start}. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
+  type node = N.t
+
+  module Hp = Hp_array.Make (R) (N)
+
+  type wrapper = { node : node; ts : int }
+
+  type t = {
+    cfg : Smr_intf.config;
+    hp : Hp.t;
+    free : node -> unit;
+    handles : handle option array;
+  }
+
+  and handle = {
+    owner : t;
+    pid : int;
+    mutable rlist : wrapper list;
+    mutable rcount : int;
+    mutable retires : int;
+    mutable frees : int;
+    mutable scans : int;
+    mutable retired_peak : int;
+  }
+
+  let name = "cadence"
+
+  let create (cfg : Smr_intf.config) ~dummy ~free =
+    { cfg;
+      hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
+      free;
+      handles = Array.make cfg.n_processes None }
+
+  let register t ~pid =
+    let h =
+      { owner = t;
+        pid;
+        rlist = [];
+        rcount = 0;
+        retires = 0;
+        frees = 0;
+        scans = 0;
+        retired_peak = 0 }
+    in
+    t.handles.(pid) <- Some h;
+    h
+
+  let manage_state _ = ()
+
+  (* No memory barrier here — the point of the scheme. *)
+  let assign_hp h ~slot n = Hp.assign h.owner.hp ~pid:h.pid ~slot n
+
+  let clear_hps h = Hp.clear h.owner.hp ~pid:h.pid
+
+  let is_old_enough t ~now w =
+    now - w.ts >= t.cfg.rooster_interval + t.cfg.epsilon
+
+  let scan h =
+    let t = h.owner in
+    h.scans <- h.scans + 1;
+    let now = R.now () in
+    let snapshot = Hp.snapshot t.hp in
+    let kept =
+      List.filter
+        (fun w ->
+          if is_old_enough t ~now w && not (Hp.protects snapshot w.node) then begin
+            t.free w.node;
+            h.frees <- h.frees + 1;
+            false
+          end
+          else true)
+        h.rlist
+    in
+    h.rlist <- kept;
+    h.rcount <- List.length kept
+
+  let retire h n =
+    h.rlist <- { node = n; ts = R.now () } :: h.rlist;
+    h.rcount <- h.rcount + 1;
+    h.retires <- h.retires + 1;
+    if h.rcount > h.retired_peak then h.retired_peak <- h.rcount;
+    if h.retires mod h.owner.cfg.scan_threshold = 0 then scan h
+
+  let flush h =
+    List.iter
+      (fun w ->
+        h.owner.free w.node;
+        h.frees <- h.frees + 1)
+      h.rlist;
+    h.rlist <- [];
+    h.rcount <- 0
+
+  let fold t f =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some h -> acc + f h)
+      0 t.handles
+
+  let retired_count t = fold t (fun h -> h.rcount)
+
+  let stats t =
+    { Smr_intf.zero_stats with
+      retires = fold t (fun h -> h.retires);
+      frees = fold t (fun h -> h.frees);
+      scans = fold t (fun h -> h.scans);
+      retired_now = retired_count t;
+      retired_peak = fold t (fun h -> h.retired_peak) }
+end

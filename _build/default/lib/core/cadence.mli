@@ -1,0 +1,26 @@
+(** Cadence (§5.1): hazard pointers without the per-node publication fence,
+    usable stand-alone or as QSense's fallback path.
+
+    Two mechanisms replace the fence:
+
+    - {b rooster processes} — the runtime guarantees every process's store
+      buffer is drained at least every [config.rooster_interval] time units
+      (a context switch implies a fence), so a hazard-pointer store is
+      globally visible at most T after it was issued;
+    - {b deferred reclamation} — a retired node is wrapped with its removal
+      timestamp (Algorithm 3's [timestamped_node]) and freed only once
+      older than [T + epsilon]; by then any hazard pointer that could
+      protect it (written before the removal, per Condition 1) is visible,
+      so the ordinary scan is sound.
+
+    Guarantees (§6.1): a node identified as reusable is not hazardously
+    referenced by any other process (Property 1); at most [N(K + T' + R)]
+    retired nodes exist, where T' is the number of removals that fit in the
+    deferral window (Property 2) — bounded, unlike QSBR's backlog.
+
+    [epsilon] must cover the runtime's rooster wake-up inaccuracy
+    (oversleep) plus any cross-process clock disagreement that affects age
+    measurements; the [ablation --which epsilon] experiment demonstrates
+    what happens when it does not. *)
+
+module Make : Smr_intf.MAKER

@@ -1,0 +1,143 @@
+(* Epoch-based reclamation (Fraser-style EBR — the paper's §8 "epoch-based
+   techniques" [13, 14, 23]), included as an additional baseline.
+
+   Where QSBR declares quiescence BETWEEN batches of operations, EBR
+   brackets each operation: a process is "active" (pinned to its observed
+   epoch) for the duration of one operation and inactive in between. The
+   global epoch can advance as soon as every ACTIVE process has observed
+   it, so — unlike QSBR — a process that stalls between operations does not
+   block reclamation. A process that stalls inside an operation still
+   does: EBR narrows, but does not close, the robustness gap that QSense's
+   fallback path closes.
+
+   Integration piggybacks on the standard three-call interface:
+   [manage_state] (top of every operation) = enter the critical region;
+   [clear_hps] (end of every operation, where hazard-pointer schemes drop
+   protection) = leave it. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
+  type node = N.t
+
+  type t = {
+    cfg : Smr_intf.config;
+    free : node -> unit;
+    global : int R.atomic;
+    (* local.(pid): -1 when inactive, else the epoch pinned by the
+       in-flight operation *)
+    locals : int R.atomic array;
+    handles : handle option array;
+  }
+
+  and handle = {
+    owner : t;
+    pid : int;
+    limbo : node list array;
+    sizes : int array;
+    mutable last_epoch : int; (* last epoch this process was pinned to *)
+    mutable ops : int;
+    mutable retires : int;
+    mutable frees : int;
+    mutable epoch_advances : int;
+    mutable retired_peak : int;
+  }
+
+  let name = "ebr"
+
+  let create (cfg : Smr_intf.config) ~dummy:_ ~free =
+    { cfg;
+      free;
+      global = R.atomic 0;
+      locals = Array.init cfg.n_processes (fun _ -> R.atomic (-1));
+      handles = Array.make cfg.n_processes None }
+
+  let register t ~pid =
+    let h =
+      { owner = t;
+        pid;
+        limbo = Array.make 3 [];
+        sizes = Array.make 3 0;
+        last_epoch = -1;
+        ops = 0;
+        retires = 0;
+        frees = 0;
+        epoch_advances = 0;
+        retired_peak = 0 }
+    in
+    t.handles.(pid) <- Some h;
+    h
+
+  let free_epoch h e =
+    List.iter
+      (fun n ->
+        h.owner.free n;
+        h.frees <- h.frees + 1)
+      h.limbo.(e);
+    h.limbo.(e) <- [];
+    h.sizes.(e) <- 0
+
+  (* Every process is either inactive or pinned to [eg]. *)
+  let all_on t eg =
+    let n = Array.length t.locals in
+    let rec go i =
+      i >= n
+      ||
+      let l = R.get t.locals.(i) in
+      (l = -1 || l = eg) && go (i + 1)
+    in
+    go 0
+
+  (* Enter the critical region: pin the current global epoch; opportunistic
+     epoch maintenance amortised over Q operations. *)
+  let manage_state h =
+    let t = h.owner in
+    let eg = R.get t.global in
+    R.set t.locals.(h.pid) eg;
+    if h.last_epoch <> eg then begin
+      (* first pin of epoch eg since the last cycle: our limbo list for eg
+         holds nodes retired a full cycle ago, separated from the present by
+         a grace period (every process has unpinned or repinned since) *)
+      h.last_epoch <- eg;
+      free_epoch h eg
+    end;
+    h.ops <- h.ops + 1;
+    if h.ops mod t.cfg.quiescence_threshold = 0 && all_on t eg then
+      if R.cas t.global eg ((eg + 1) mod 3) then
+        h.epoch_advances <- h.epoch_advances + 1
+
+  (* Leave the critical region (called where HP schemes drop protection). *)
+  let clear_hps h = R.set h.owner.locals.(h.pid) (-1)
+
+  let assign_hp _ ~slot:_ _ = ()
+
+  let retire h n =
+    let e =
+      match R.get h.owner.locals.(h.pid) with
+      | -1 -> R.get h.owner.global (* retire outside an operation *)
+      | e -> e
+    in
+    h.limbo.(e) <- n :: h.limbo.(e);
+    h.sizes.(e) <- h.sizes.(e) + 1;
+    h.retires <- h.retires + 1;
+    let total = h.sizes.(0) + h.sizes.(1) + h.sizes.(2) in
+    if total > h.retired_peak then h.retired_peak <- total
+
+  let flush h =
+    for e = 0 to 2 do
+      free_epoch h e
+    done
+
+  let fold t f =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some h -> acc + f h)
+      0 t.handles
+
+  let retired_count t = fold t (fun h -> h.sizes.(0) + h.sizes.(1) + h.sizes.(2))
+
+  let stats t =
+    { Smr_intf.zero_stats with
+      retires = fold t (fun h -> h.retires);
+      frees = fold t (fun h -> h.frees);
+      epoch_advances = fold t (fun h -> h.epoch_advances);
+      retired_now = retired_count t;
+      retired_peak = fold t (fun h -> h.retired_peak) }
+end

@@ -1,0 +1,13 @@
+(** Epoch-based reclamation (Fraser-style EBR; the paper's §8 "epoch-based
+    techniques" bucket), included as an additional baseline between QSBR
+    and the robust schemes.
+
+    Each operation pins the current global epoch on entry ([manage_state])
+    and unpins on exit (the [clear_hps] end-of-operation hook); the global
+    epoch advances once every {e active} process has observed it. Hence a
+    process idle {e between} operations does not block reclamation (unlike
+    QSBR), but a process stalled {e inside} an operation still does — the
+    residual weakness QSense's fallback path removes. [assign_hp] is a
+    no-op. *)
+
+module Make : Smr_intf.MAKER

@@ -1,0 +1,131 @@
+(* Michael's classic hazard pointers (§3.2 of the paper).
+
+   [assign_hp] publishes the pointer and then issues a full memory barrier,
+   so that the subsequent re-validation load cannot be reordered before the
+   publication store (the TSO hazard of Algorithm 2). This per-traversed-node
+   fence is exactly the overhead the paper measures at ~80% and that Cadence
+   eliminates.
+
+   [Make_gen] also admits an unfenced variant ({!Unsafe_hp}) used by the
+   tests to demonstrate that the fence is load-bearing: under the simulator's
+   TSO model the unfenced variant reclaims nodes that are still hazardously
+   referenced. *)
+
+module type PARAMS = sig
+  val scheme_name : string
+  val fenced : bool
+end
+
+module Make_gen
+    (P : PARAMS)
+    (R : Qs_intf.Runtime_intf.RUNTIME)
+    (N : Smr_intf.NODE) =
+struct
+  type node = N.t
+
+  module Hp = Hp_array.Make (R) (N)
+
+  type t = {
+    cfg : Smr_intf.config;
+    hp : Hp.t;
+    free : node -> unit;
+    handles : handle option array;
+  }
+
+  and handle = {
+    owner : t;
+    pid : int;
+    mutable rlist : node list;
+    mutable rcount : int;
+    mutable retires : int;
+    mutable frees : int;
+    mutable scans : int;
+    mutable retired_peak : int;
+  }
+
+  let name = P.scheme_name
+
+  let create (cfg : Smr_intf.config) ~dummy ~free =
+    { cfg;
+      hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
+      free;
+      handles = Array.make cfg.n_processes None }
+
+  let register t ~pid =
+    let h =
+      { owner = t;
+        pid;
+        rlist = [];
+        rcount = 0;
+        retires = 0;
+        frees = 0;
+        scans = 0;
+        retired_peak = 0 }
+    in
+    t.handles.(pid) <- Some h;
+    h
+
+  let manage_state _ = ()
+
+  let assign_hp h ~slot n =
+    Hp.assign h.owner.hp ~pid:h.pid ~slot n;
+    if P.fenced then R.fence ()
+
+  let clear_hps h = Hp.clear h.owner.hp ~pid:h.pid
+
+  (* Free every retired node not currently protected by any process's hazard
+     pointers; keep the rest for a later scan. *)
+  let scan h =
+    let t = h.owner in
+    h.scans <- h.scans + 1;
+    let snapshot = Hp.snapshot t.hp in
+    let kept =
+      List.filter
+        (fun n ->
+          if Hp.protects snapshot n then true
+          else begin
+            t.free n;
+            h.frees <- h.frees + 1;
+            false
+          end)
+        h.rlist
+    in
+    h.rlist <- kept;
+    h.rcount <- List.length kept
+
+  let retire h n =
+    h.rlist <- n :: h.rlist;
+    h.rcount <- h.rcount + 1;
+    h.retires <- h.retires + 1;
+    if h.rcount > h.retired_peak then h.retired_peak <- h.rcount;
+    if h.rcount >= h.owner.cfg.scan_threshold then scan h
+
+  let flush h =
+    List.iter
+      (fun n ->
+        h.owner.free n;
+        h.frees <- h.frees + 1)
+      h.rlist;
+    h.rlist <- [];
+    h.rcount <- 0
+
+  let fold t f =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some h -> acc + f h)
+      0 t.handles
+
+  let retired_count t = fold t (fun h -> h.rcount)
+
+  let stats t =
+    { Smr_intf.zero_stats with
+      retires = fold t (fun h -> h.retires);
+      frees = fold t (fun h -> h.frees);
+      scans = fold t (fun h -> h.scans);
+      retired_now = retired_count t;
+      retired_peak = fold t (fun h -> h.retired_peak) }
+end
+
+module Make = Make_gen (struct
+  let scheme_name = "hp"
+  let fenced = true
+end)

@@ -1,0 +1,24 @@
+(** Michael's classic hazard pointers (§3.2) — the robust-but-slow baseline.
+
+    [assign_hp] publishes the pointer and issues a full memory fence so the
+    subsequent validation load cannot be reordered before the publication
+    store under TSO. One fence per traversed node is exactly the overhead
+    the paper measures at ~80% and that Cadence eliminates.
+
+    [retire] adds the node to a per-process removed list; every
+    [config.scan_threshold] retires, a scan snapshots all N×K hazard
+    pointers and frees the unprotected nodes. Wait-free and robust: a
+    stalled process can pin at most its own K nodes. *)
+
+module type PARAMS = sig
+  val scheme_name : string
+
+  val fenced : bool
+  (** whether [assign_hp] issues the fence; [false] is {!Unsafe_hp} *)
+end
+
+module Make_gen (_ : PARAMS) : Smr_intf.MAKER
+(** Generalised over the fence, for the deliberately broken variant. *)
+
+module Make : Smr_intf.MAKER
+(** The classic, fenced scheme. *)

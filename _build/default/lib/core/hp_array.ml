@@ -1,0 +1,41 @@
+(* The shared hazard-pointer array: N processes × K single-writer
+   multi-reader slots, used by classic HP, Cadence and QSense. Slots are TSO
+   *plain* cells — publishing is a cheap store whose visibility is bounded
+   only by fences (classic HP) or rooster context switches (Cadence/QSense).
+   Unused slots hold the data structure's dummy node rather than an option,
+   keeping the traversal path allocation-free. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
+  type t = { slots : N.t R.plain array array; dummy : N.t; k : int }
+
+  let create ~n ~k ~dummy =
+    { slots = Array.init n (fun _ -> Array.init k (fun _ -> R.plain dummy));
+      dummy;
+      k }
+
+  let assign t ~pid ~slot n = R.write t.slots.(pid).(slot) n
+
+  let clear t ~pid =
+    let row = t.slots.(pid) in
+    for i = 0 to t.k - 1 do
+      R.write row.(i) t.dummy
+    done
+
+  (* Read every slot of every process; the result is the set of nodes that
+     must not be reclaimed. Reads are racy by design: a hazard pointer whose
+     store is still sitting in its writer's store buffer is missed — that is
+     the hole deferred reclamation closes. *)
+  let snapshot t =
+    let acc = ref [] in
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun slot ->
+            let n = R.read slot in
+            if n != t.dummy then acc := n :: !acc)
+          row)
+      t.slots;
+    !acc
+
+  let protects snapshot n = List.memq n snapshot
+end

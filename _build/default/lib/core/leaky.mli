@@ -1,0 +1,6 @@
+(** The "None" baseline: no reclamation. [retire] drops the node (counted,
+    never freed), every other hook is a no-op. This is the throughput
+    upper bound all schemes' overheads are measured against — and, under a
+    bounded arena, the scheme that demonstrably runs out of memory. *)
+
+module Make : Smr_intf.MAKER

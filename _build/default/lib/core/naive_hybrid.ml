@@ -1,0 +1,17 @@
+(* The NAIVE QSBR+HP hybrid the paper rejects in §4.1 — deliberately
+   broken; never use it for real work.
+
+   It runs QSBR in the common case and hazard-pointer scans in fallback
+   mode, but publishes hazard pointers (even with a full fence!) only while
+   the fallback flag is up. When the system switches paths, references
+   acquired on the fast path are unprotected: the very next scan can free a
+   node a reader is still traversing. This is the argument for QSense\'s
+   design choice of maintaining hazard pointers AT ALL TIMES (fence-free,
+   which is why Cadence is needed). The test suite demonstrates the
+   use-after-free under delay-induced switches, and its absence with real
+   QSense on the identical workload. *)
+
+module Make = Qsense.Make_gen (struct
+  let scheme_name = "naive-hybrid"
+  let always_publish = false
+end)

@@ -1,0 +1,7 @@
+(** The naive QSBR+HP hybrid rejected by the paper\'s §4.1 — hazard
+    pointers published only while the fallback path is active, so
+    references acquired before a switch are unprotected. Deliberately
+    broken, kept to demonstrate why QSense maintains hazard pointers at all
+    times. Never use for real work. *)
+
+module Make : Smr_intf.MAKER

@@ -1,0 +1,121 @@
+(* Quiescent-state based reclamation (§3.1), the paper's fast path.
+
+   Three logical epochs; one limbo list per epoch per process; a shared
+   global epoch. A process declaring a quiescent state adopts the global
+   epoch if it lags — at which point its limbo list for the adopted epoch
+   holds nodes retired a full epoch cycle ago, separated from the present by
+   a grace period (Lemma 3), so they are freed. If instead the process is
+   current and observes everybody else current too, it advances the global
+   epoch.
+
+   Fast (no per-node work at all) but blocking: one delayed process freezes
+   the global epoch and with it all reclamation — the failure mode QSense's
+   fallback path exists to survive. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
+  type node = N.t
+
+  type t = {
+    cfg : Smr_intf.config;
+    free : node -> unit;
+    global : int R.atomic;
+    locals : int R.atomic array;
+    handles : handle option array;
+  }
+
+  and handle = {
+    owner : t;
+    pid : int;
+    limbo : node list array; (* one list per epoch *)
+    sizes : int array;
+    mutable ops : int;
+    mutable retires : int;
+    mutable frees : int;
+    mutable epoch_advances : int;
+    mutable retired_peak : int;
+  }
+
+  let name = "qsbr"
+
+  let create (cfg : Smr_intf.config) ~dummy:_ ~free =
+    { cfg;
+      free;
+      global = R.atomic 0;
+      locals = Array.init cfg.n_processes (fun _ -> R.atomic 0);
+      handles = Array.make cfg.n_processes None }
+
+  let register t ~pid =
+    let h =
+      { owner = t;
+        pid;
+        limbo = Array.make 3 [];
+        sizes = Array.make 3 0;
+        ops = 0;
+        retires = 0;
+        frees = 0;
+        epoch_advances = 0;
+        retired_peak = 0 }
+    in
+    t.handles.(pid) <- Some h;
+    h
+
+  let free_epoch h e =
+    List.iter
+      (fun n ->
+        h.owner.free n;
+        h.frees <- h.frees + 1)
+      h.limbo.(e);
+    h.limbo.(e) <- [];
+    h.sizes.(e) <- 0
+
+  let all_current t eg =
+    let n = Array.length t.locals in
+    let rec go i = i >= n || (R.get t.locals.(i) = eg && go (i + 1)) in
+    go 0
+
+  let quiescent_state h =
+    let t = h.owner in
+    let eg = R.get t.global in
+    if R.get t.locals.(h.pid) <> eg then begin
+      R.set t.locals.(h.pid) eg;
+      free_epoch h eg
+    end
+    else if all_current t eg then
+      if R.cas t.global eg ((eg + 1) mod 3) then
+        h.epoch_advances <- h.epoch_advances + 1
+
+  let manage_state h =
+    h.ops <- h.ops + 1;
+    if h.ops mod h.owner.cfg.quiescence_threshold = 0 then quiescent_state h
+
+  let assign_hp _ ~slot:_ _ = ()
+  let clear_hps _ = ()
+
+  let retire h n =
+    let e = R.get h.owner.locals.(h.pid) in
+    h.limbo.(e) <- n :: h.limbo.(e);
+    h.sizes.(e) <- h.sizes.(e) + 1;
+    h.retires <- h.retires + 1;
+    let total = h.sizes.(0) + h.sizes.(1) + h.sizes.(2) in
+    if total > h.retired_peak then h.retired_peak <- total
+
+  let flush h =
+    for e = 0 to 2 do
+      free_epoch h e
+    done
+
+  let fold t f =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some h -> acc + f h)
+      0 t.handles
+
+  let retired_count t = fold t (fun h -> h.sizes.(0) + h.sizes.(1) + h.sizes.(2))
+
+  let stats t =
+    { Smr_intf.zero_stats with
+      retires = fold t (fun h -> h.retires);
+      frees = fold t (fun h -> h.frees);
+      epoch_advances = fold t (fun h -> h.epoch_advances);
+      retired_now = retired_count t;
+      retired_peak = fold t (fun h -> h.retired_peak) }
+end

@@ -1,0 +1,17 @@
+(** Quiescent-state based reclamation (§3.1) — the paper's fast path and
+    the fast-but-blocking baseline of the evaluation.
+
+    A process declares a quiescent state (no shared references held) every
+    [config.quiescence_threshold] operations via [manage_state]. Three
+    logical epochs cycle through per-process limbo lists: adopting a new
+    global epoch frees the adopted list (a grace period separates it from
+    the present — Lemma 3); a process observing everyone current advances
+    the global epoch.
+
+    Blocking: one process that stops declaring quiescent states freezes the
+    global epoch and with it all reclamation, in every process — the
+    failure mode the robustness experiment (Figure 5, bottom) exhibits and
+    QSense exists to survive. [assign_hp] is a no-op: QSBR needs no
+    per-node work at all. *)
+
+module Make : Smr_intf.MAKER

@@ -1,0 +1,338 @@
+(* QSense (§4, §5.2): the hybrid scheme.
+
+   Fast path = QSBR over three per-process limbo lists; fallback path =
+   Cadence-style hazard-pointer scans over those same limbo lists (the
+   paper: "QSBR's limbo_list becomes the removed_nodes_list scanned by
+   Cadence"). Two pieces of state are maintained at ALL times, regardless
+   of mode, because a switch can happen at any moment:
+
+   - hazard pointers: published on every traversal with a plain store and
+     NO fence (visibility bounded by the rooster interval T);
+   - retire timestamps: every retired node is wrapped with its removal time
+     (Algorithm 5's free_node_later).
+
+   Mode is a shared fallback flag. A process whose limbo lists exceed the
+   threshold C flips it to fallback (quiescence has evidently stalled); a
+   process that observes every worker's presence flag set flips it back.
+
+   Extension beyond the paper (its §5.2 "future work"): optional eviction.
+   Without it, a crashed process leaves QSense in fallback mode forever.
+   With [eviction_timeout = Some dt], a process silent for dt while the
+   system is in fallback mode is evicted: it no longer counts for presence
+   or epoch agreement, so the survivors return to the fast path. Safety is
+   preserved because (a) the evicted process's hazard pointers are visible
+   (it has been off-CPU far longer than T) and (b) while any process is
+   evicted — and for the first epoch cycle after it rejoins — quiescent
+   freeing filters through the hazard-pointer + age check instead of freeing
+   unconditionally. *)
+
+module type PUBLICATION = sig
+  val scheme_name : string
+
+  val always_publish : bool
+  (** true = the sound QSense design: hazard pointers maintained in BOTH
+      modes, fence-free. false = the naive hybrid of §4.1: hazard pointers
+      only published (with a fence, even) while the fallback flag is up —
+      references taken before a switch are unprotected, which is exactly
+      why the paper rejects this design. *)
+end
+
+module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
+  type node = N.t
+
+  module Hp = Hp_array.Make (R) (N)
+
+  type wrapper = { node : node; ts : int }
+
+  type t = {
+    cfg : Smr_intf.config;
+    c_threshold : int;
+    hp : Hp.t;
+    free : node -> unit;
+    global : int R.atomic;
+    locals : int R.atomic array;
+    fallback_flag : int R.atomic; (* 0 = fast path, 1 = fallback path *)
+    presence : int R.atomic array;
+    evicted : int R.atomic array;
+    evicted_count : int R.atomic;
+    fallback_since : int R.atomic;
+    mutable mode_shadow : Smr_intf.mode; (* effect-free mirror for stats *)
+    handles : handle option array;
+  }
+
+  and handle = {
+    owner : t;
+    pid : int;
+    limbo : wrapper list array; (* one list per epoch, as in QSBR *)
+    sizes : int array;
+    mutable call_count : int;
+    mutable fnl_count : int;
+    mutable prev_fallback : bool; (* prev_seen_fallback_flag of Algorithm 5 *)
+    mutable rejoin_guard : int;
+    mutable retires : int;
+    mutable frees : int;
+    mutable scans : int;
+    mutable epoch_advances : int;
+    mutable fallback_switches : int;
+    mutable fastpath_switches : int;
+    mutable evictions : int;
+    mutable retired_peak : int;
+  }
+
+  let name = P.scheme_name
+
+  let create (cfg : Smr_intf.config) ~dummy ~free =
+    let c =
+      if cfg.switch_threshold > 0 then cfg.switch_threshold
+      else Smr_intf.legal_switch_threshold cfg
+    in
+    { cfg;
+      c_threshold = c;
+      hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
+      free;
+      global = R.atomic 0;
+      locals = Array.init cfg.n_processes (fun _ -> R.atomic 0);
+      fallback_flag = R.atomic 0;
+      presence = Array.init cfg.n_processes (fun _ -> R.atomic 0);
+      evicted = Array.init cfg.n_processes (fun _ -> R.atomic 0);
+      evicted_count = R.atomic 0;
+      fallback_since = R.atomic 0;
+      mode_shadow = Smr_intf.Fast;
+      handles = Array.make cfg.n_processes None }
+
+  let register t ~pid =
+    let h =
+      { owner = t;
+        pid;
+        limbo = Array.make 3 [];
+        sizes = Array.make 3 0;
+        call_count = 0;
+        fnl_count = 0;
+        prev_fallback = false;
+        rejoin_guard = 0;
+        retires = 0;
+        frees = 0;
+        scans = 0;
+        epoch_advances = 0;
+        fallback_switches = 0;
+        fastpath_switches = 0;
+        evictions = 0;
+        retired_peak = 0 }
+    in
+    t.handles.(pid) <- Some h;
+    h
+
+  let total_limbo h = h.sizes.(0) + h.sizes.(1) + h.sizes.(2)
+
+  (* Hazard pointers are maintained in BOTH modes, without fences — this is
+     what makes the fast path fast and the switch sound (see §4.1). The
+     [false] branch is the rejected naive design, kept for demonstration. *)
+  let assign_hp h ~slot n =
+    if P.always_publish then Hp.assign h.owner.hp ~pid:h.pid ~slot n
+    else if R.get h.owner.fallback_flag = 1 then begin
+      Hp.assign h.owner.hp ~pid:h.pid ~slot n;
+      R.fence ()
+    end
+  let clear_hps h = Hp.clear h.owner.hp ~pid:h.pid
+
+  let is_old_enough t ~now (w : wrapper) =
+    now - w.ts >= t.cfg.rooster_interval + t.cfg.epsilon
+
+  (* Cadence-style filtered reclamation of one limbo list: free entries that
+     are old enough and unprotected, keep the rest. *)
+  let scan_epoch h ~now ~snapshot e =
+    let t = h.owner in
+    let kept =
+      List.filter
+        (fun w ->
+          if is_old_enough t ~now w && not (Hp.protects snapshot w.node) then begin
+            t.free w.node;
+            h.frees <- h.frees + 1;
+            false
+          end
+          else true)
+        h.limbo.(e)
+    in
+    h.limbo.(e) <- kept;
+    h.sizes.(e) <- List.length kept
+
+  (* Algorithm 5 lines 45-47: in fallback mode all three epochs are scanned. *)
+  let scan_all h =
+    h.scans <- h.scans + 1;
+    let now = R.now () in
+    let snapshot = Hp.snapshot h.owner.hp in
+    for e = 0 to 2 do
+      scan_epoch h ~now ~snapshot e
+    done
+
+  (* Free an adopted epoch's limbo list. Unconditional in the common case
+     (grace period passed, Lemma 3); filtered through the HP + age check
+     while any process is evicted, or for the first epoch cycle after this
+     process rejoined. *)
+  let free_adopted_epoch h e =
+    let t = h.owner in
+    let filtered = R.get t.evicted_count > 0 || h.rejoin_guard > 0 in
+    if h.rejoin_guard > 0 then h.rejoin_guard <- h.rejoin_guard - 1;
+    if filtered then begin
+      let now = R.now () in
+      let snapshot = Hp.snapshot t.hp in
+      scan_epoch h ~now ~snapshot e
+    end
+    else begin
+      List.iter
+        (fun w ->
+          t.free w.node;
+          h.frees <- h.frees + 1)
+        h.limbo.(e);
+      h.limbo.(e) <- [];
+      h.sizes.(e) <- 0
+    end
+
+  let all_current t eg =
+    let n = Array.length t.locals in
+    let rec go i =
+      i >= n
+      || ((R.get t.evicted.(i) = 1 || R.get t.locals.(i) = eg) && go (i + 1))
+    in
+    go 0
+
+  let quiescent_state h =
+    let t = h.owner in
+    let eg = R.get t.global in
+    if R.get t.locals.(h.pid) <> eg then begin
+      R.set t.locals.(h.pid) eg;
+      free_adopted_epoch h eg
+    end
+    else if all_current t eg then
+      if R.cas t.global eg ((eg + 1) mod 3) then
+        h.epoch_advances <- h.epoch_advances + 1
+
+  let all_active t =
+    let n = Array.length t.presence in
+    let rec go i =
+      i >= n
+      || ((R.get t.evicted.(i) = 1 || R.get t.presence.(i) = 1) && go (i + 1))
+    in
+    go 0
+
+  let reset_presence t =
+    Array.iter (fun p -> R.set p 0) t.presence
+
+  let enter_fallback h =
+    let t = h.owner in
+    R.set t.fallback_flag 1;
+    t.mode_shadow <- Smr_intf.Fallback;
+    R.set t.fallback_since (R.now ());
+    reset_presence t;
+    R.set t.presence.(h.pid) 1;
+    h.fallback_switches <- h.fallback_switches + 1;
+    h.prev_fallback <- true;
+    scan_all h
+
+  let enter_fastpath h =
+    let t = h.owner in
+    R.set t.fallback_flag 0;
+    t.mode_shadow <- Smr_intf.Fast;
+    h.fastpath_switches <- h.fastpath_switches + 1;
+    h.prev_fallback <- false;
+    quiescent_state h
+
+  let maybe_evict h =
+    let t = h.owner in
+    match t.cfg.eviction_timeout with
+    | None -> ()
+    | Some dt ->
+      if R.now () - R.get t.fallback_since > dt then
+        Array.iteri
+          (fun pid' p ->
+            if pid' <> h.pid && R.get p = 0 && R.cas t.evicted.(pid') 0 1 then begin
+              ignore (R.fetch_and_add t.evicted_count 1);
+              h.evictions <- h.evictions + 1
+            end)
+          t.presence
+
+  (* An evicted process that comes back must rejoin before relying on epoch
+     reclamation again: its own hazard pointers protected it while away;
+     the rejoin guard keeps its next epoch cycle conservative. *)
+  let rejoin h =
+    let t = h.owner in
+    R.fence ();
+    if R.cas t.evicted.(h.pid) 1 0 then ignore (R.fetch_and_add t.evicted_count (-1));
+    h.rejoin_guard <- 3;
+    R.set t.locals.(h.pid) (R.get t.global)
+
+  (* Algorithm 5, manage_qsense_state. *)
+  let manage_state h =
+    h.call_count <- h.call_count + 1;
+    if h.call_count mod h.owner.cfg.quiescence_threshold = 0 then begin
+      let t = h.owner in
+      if R.get t.evicted.(h.pid) = 1 then rejoin h;
+      R.set t.presence.(h.pid) 1;
+      let fallback = R.get t.fallback_flag = 1 in
+      if not fallback then begin
+        quiescent_state h;
+        h.prev_fallback <- false
+      end
+      else begin
+        maybe_evict h;
+        if all_active t then enter_fastpath h else h.prev_fallback <- true
+      end
+    end
+
+  (* Algorithm 5, free_node_later. *)
+  let retire h n =
+    let t = h.owner in
+    let e = R.get t.locals.(h.pid) in
+    h.limbo.(e) <- { node = n; ts = R.now () } :: h.limbo.(e);
+    h.sizes.(e) <- h.sizes.(e) + 1;
+    h.retires <- h.retires + 1;
+    let total = total_limbo h in
+    if total > h.retired_peak then h.retired_peak <- total;
+    let fallback = R.get t.fallback_flag = 1 in
+    if fallback then begin
+      h.fnl_count <- h.fnl_count + 1;
+      if h.fnl_count mod t.cfg.scan_threshold = 0 then scan_all h;
+      h.prev_fallback <- true
+    end
+    else if h.prev_fallback then begin
+      (* the switch back to the fast path was triggered by another process *)
+      quiescent_state h;
+      h.prev_fallback <- false
+    end
+    else if total >= t.c_threshold then enter_fallback h
+
+  let flush h =
+    for e = 0 to 2 do
+      List.iter
+        (fun w ->
+          h.owner.free w.node;
+          h.frees <- h.frees + 1)
+        h.limbo.(e);
+      h.limbo.(e) <- [];
+      h.sizes.(e) <- 0
+    done
+
+  let fold t f =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some h -> acc + f h)
+      0 t.handles
+
+  let retired_count t = fold t total_limbo
+
+  let stats t =
+    { Smr_intf.retires = fold t (fun h -> h.retires);
+      frees = fold t (fun h -> h.frees);
+      scans = fold t (fun h -> h.scans);
+      epoch_advances = fold t (fun h -> h.epoch_advances);
+      fallback_switches = fold t (fun h -> h.fallback_switches);
+      fastpath_switches = fold t (fun h -> h.fastpath_switches);
+      evictions = fold t (fun h -> h.evictions);
+      retired_now = retired_count t;
+      retired_peak = fold t (fun h -> h.retired_peak);
+      mode = t.mode_shadow }
+end
+
+module Make = Make_gen (struct
+  let scheme_name = "qsense"
+  let always_publish = true
+end)

@@ -1,0 +1,53 @@
+(** QSense — the paper's primary contribution (§4, §5.2): a hybrid memory
+    reclamation scheme that is fast, robust and widely applicable.
+
+    {b Fast path.} Quiescent-state based reclamation (QSBR): three logical
+    epochs, per-process limbo lists, a shared global epoch. Near-zero
+    per-node overhead but blocking: a delayed process freezes the epoch.
+
+    {b Fallback path.} Cadence-style hazard-pointer scans over the same
+    limbo lists — the limbo list {e is} the removed-nodes list. Because
+    retire timestamps and hazard pointers are maintained at all times (the
+    latter with plain, fence-free stores whose visibility is bounded by the
+    rooster interval T), the switch is sound at any moment (§4.1's
+    Algorithm 2 explains why a naive QSBR+HP hybrid is not).
+
+    {b Switching.} A process whose limbo lists exceed the threshold C flips
+    a shared fallback flag (quiescence has evidently stalled); presence
+    flags — set by every process after each operation batch and reset when
+    entering fallback mode — tell the system when every worker is active
+    again, triggering the switch back.
+
+    {b Guarantees} (§6): reuse eligibility implies no hazardous reference
+    (Property 3); with a legal C — see
+    {!Smr_intf.legal_switch_threshold} — at most [2NC] retired nodes exist
+    at any time (Property 4), under any pattern of worker delays.
+
+    {b Eviction extension} (this repository's implementation of the paper's
+    §5.2 future work, enabled by [config.eviction_timeout]): a process
+    silent for the given time while the system is in fallback mode is
+    evicted — excluded from presence and epoch agreement — letting the
+    survivors return to the fast path even if the process crashed for good.
+    While any process is evicted (and for one epoch cycle after a process
+    rejoins), adopted-epoch reclamation filters through the hazard-pointer +
+    age check instead of freeing unconditionally, which preserves safety:
+    the evicted process's references are covered by its (long-visible)
+    hazard pointers.
+
+    Requires rooster support from the runtime (simulator
+    [rooster_interval], or {!Qs_real.Roosters}) with a wake-up interval of
+    at most [config.rooster_interval]. *)
+
+module type PUBLICATION = sig
+  val scheme_name : string
+
+  val always_publish : bool
+  (** [true] — the sound design (hazard pointers maintained in both modes,
+      fence-free). [false] — the naive hybrid of §4.1, see
+      {!Naive_hybrid}. *)
+end
+
+module Make_gen (_ : PUBLICATION) : Smr_intf.MAKER
+
+module Make : Smr_intf.MAKER
+(** QSense proper ([always_publish = true]). *)

@@ -1,0 +1,132 @@
+(** The common interface of all safe-memory-reclamation (SMR) schemes.
+
+    Every scheme — Leaky (the paper's "None"), classic hazard pointers,
+    QSBR, Cadence and QSense — implements {!module-type:S}, functorised over
+    the {!Qs_intf.Runtime_intf.RUNTIME} it executes on and the node type it
+    protects. Data structures interact with reclamation exclusively through
+    the paper's three-function interface plus registration:
+
+    - {!S.manage_state} — the paper's [manage_qsense_state] (rule 1): call
+      in states where no shared references are held, i.e. between
+      operations. Amortised internally over the quiescence threshold [Q].
+    - {!S.assign_hp} — the paper's [assign_HP] (rule 2): publish a hazard
+      pointer before using a reference.
+    - {!S.retire} — the paper's [free_node_later] (rule 3): call where a
+      sequential program would call [free]. *)
+
+module type NODE = sig
+  type t
+end
+
+type config = {
+  n_processes : int;  (** N — worker processes *)
+  hp_per_process : int;  (** K — hazard pointers per process *)
+  quiescence_threshold : int;
+      (** Q — operations batched per declared quiescent state (§3.1) *)
+  scan_threshold : int;  (** R — retires between hazard-pointer scans *)
+  rooster_interval : int;
+      (** T — rooster sleep interval, in [RUNTIME.now] units. The runtime
+          must actually run roosters at this interval (simulator config /
+          {!Qs_real.Roosters}) for Cadence/QSense safety. *)
+  epsilon : int;
+      (** ε — bound on rooster oversleep plus cross-core clock skew (§5.1) *)
+  switch_threshold : int;
+      (** C — limbo-list size that triggers the fallback switch (§5.2).
+          [<= 0] selects the smallest legal value of Property 4. *)
+  removes_per_op_max : int;
+      (** m — most nodes one operation can remove (1 for the linked list,
+          2 for the external BST: leaf + internal router). *)
+  eviction_timeout : int option;
+      (** Extension (the paper's §5.2 future work): while in fallback mode,
+          a process that has not signalled presence for this long is
+          evicted, letting the system return to the fast path even if the
+          process never recovers. [None] disables eviction (the paper's
+          published behaviour: a crashed process pins QSense in fallback
+          mode forever). *)
+}
+
+let default_config ~n_processes ~hp_per_process =
+  { n_processes;
+    hp_per_process;
+    quiescence_threshold = 64;
+    scan_threshold = 64;
+    rooster_interval = 5_000;
+    epsilon = 500;
+    switch_threshold = 0;
+    removes_per_op_max = 1;
+    eviction_timeout = None }
+
+(** The smallest legal fallback-switch threshold per Property 4:
+    [C > max (m*Q) (N*K + T) ((K + T + R) / 2)]. *)
+let legal_switch_threshold cfg =
+  let m = cfg.removes_per_op_max
+  and q = cfg.quiescence_threshold
+  and n = cfg.n_processes
+  and k = cfg.hp_per_process
+  and t = cfg.rooster_interval
+  and r = cfg.scan_threshold in
+  1 + max (m * q) (max ((n * k) + t) ((k + t + r) / 2))
+
+type mode = Fast | Fallback
+
+type stats = {
+  retires : int;
+  frees : int;
+  scans : int;  (** hazard-pointer scans performed *)
+  epoch_advances : int;  (** global-epoch increments (QSBR / QSense) *)
+  fallback_switches : int;
+  fastpath_switches : int;
+  evictions : int;
+  retired_now : int;  (** removed-but-unfreed nodes at this instant *)
+  retired_peak : int;
+  mode : mode;
+}
+
+let zero_stats =
+  { retires = 0;
+    frees = 0;
+    scans = 0;
+    epoch_advances = 0;
+    fallback_switches = 0;
+    fastpath_switches = 0;
+    evictions = 0;
+    retired_now = 0;
+    retired_peak = 0;
+    mode = Fast }
+
+module type S = sig
+  type node
+  type t
+  type handle
+
+  val name : string
+
+  val create : config -> dummy:node -> free:(node -> unit) -> t
+  (** [dummy] fills unused hazard-pointer slots (avoiding [option] boxing on
+      the traversal fast path); [free] is the arena's reclamation function,
+      invoked exactly once per node handed to {!retire} that the scheme
+      decides is safe. *)
+
+  val register : t -> pid:int -> handle
+  (** Per-process handle; [pid] must be in [0, n_processes) and unique. *)
+
+  val manage_state : handle -> unit
+  val assign_hp : handle -> slot:int -> node -> unit
+  val clear_hps : handle -> unit
+  (** Reset all of the caller's hazard pointers to the dummy (rule 2's
+      "release reference" at the end of an operation). *)
+
+  val retire : handle -> node -> unit
+
+  val flush : handle -> unit
+  (** Teardown only: free everything in the caller's local lists without
+      safety checks. Call after all workers have stopped. *)
+
+  val retired_count : t -> int
+  val stats : t -> stats
+end
+
+(** What a scheme functor looks like; {!Qs_ds} applies these to its node
+    types via first-class modules. *)
+module type MAKER = functor (R : Qs_intf.Runtime_intf.RUNTIME) (N : NODE) ->
+  S with type node = N.t

@@ -1,0 +1,13 @@
+(** Hazard pointers WITHOUT the publication fence — deliberately broken
+    under TSO; never use it for real work.
+
+    This is the naive optimisation the paper's §4.1 (Algorithm 2) shows to
+    be incorrect: the hazard-pointer store can be delayed in the store
+    buffer past the re-validation load, so a reclaimer's scan misses the
+    protection and frees a node the reader is about to dereference. The
+    test suite demonstrates the resulting use-after-free deterministically
+    in the simulator ([dead roosters]/[unfenced HP] tests,
+    [examples/tso_bug_demo.exe]); Cadence is the sound way to drop the
+    fence. *)
+
+module Make : Smr_intf.MAKER

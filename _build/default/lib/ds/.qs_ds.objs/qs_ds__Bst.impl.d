@@ -1,0 +1,1 @@
+lib/ds/bst.ml: Array List Printf Qs_arena Qs_intf Set_intf Smr_glue

@@ -1,0 +1,1 @@
+lib/ds/bst.mli: Qs_intf Set_intf

@@ -1,0 +1,1 @@
+lib/ds/hashtable.ml: Array Linked_list List Printf Qs_intf Set_intf

@@ -1,0 +1,1 @@
+lib/ds/hashtable.mli: Qs_intf Set_intf

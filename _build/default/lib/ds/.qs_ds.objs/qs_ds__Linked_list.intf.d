@@ -1,0 +1,1 @@
+lib/ds/linked_list.mli: Qs_intf Set_intf

@@ -1,0 +1,1 @@
+lib/ds/msqueue.ml: Array List Qs_arena Qs_intf Set_intf Smr_glue

@@ -1,0 +1,1 @@
+lib/ds/msqueue.mli: Qs_intf Set_intf

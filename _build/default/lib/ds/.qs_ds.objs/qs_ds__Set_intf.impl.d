@@ -1,0 +1,1 @@
+lib/ds/set_intf.ml: Qs_smr

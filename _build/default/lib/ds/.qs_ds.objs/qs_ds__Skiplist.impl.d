@@ -1,0 +1,1 @@
+lib/ds/skiplist.ml: Array List Printf Qs_arena Qs_intf Qs_util Set_intf Smr_glue

@@ -1,0 +1,1 @@
+lib/ds/skiplist.mli: Qs_intf Set_intf

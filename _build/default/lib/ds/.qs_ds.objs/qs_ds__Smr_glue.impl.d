@@ -1,0 +1,1 @@
+lib/ds/smr_glue.ml: Qs_intf Qs_smr

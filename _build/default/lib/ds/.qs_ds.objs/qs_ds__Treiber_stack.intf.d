@@ -1,0 +1,1 @@
+lib/ds/treiber_stack.mli: Qs_intf Set_intf

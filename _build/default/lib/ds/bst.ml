@@ -1,0 +1,443 @@
+(* Lock-free external binary search tree (Ellen et al.-style flag/mark
+   cooperation; the paper evaluates an external BST with 6 hazard pointers
+   per process — this implementation also uses K = 6).
+
+   Shape: keys live in leaves; internal nodes are binary routers. Two
+   sentinel keys INF1 < INF2 above every real key guarantee that every real
+   leaf has an internal parent and grandparent.
+
+   Coordination: each internal node carries an update word [upd]:
+   - [Clean tok] — quiescent. Every completed operation installs a FRESH
+     token, so update words are monotone: a CAS whose expected value is a
+     stale witness can never succeed (this is Ellen's (state, info) pair).
+   - [IFlag op] — an insert owns the node's child edge;
+   - [DFlag op] — a delete owns the grandparent;
+   - [Mark op] — final: the node is being removed.
+
+   insert(k): find leaf l under parent p; IFlag p; splice a fresh internal
+   (children: l and the new leaf); unflag.
+   delete(k): find leaf l, parent p, grandparent gp; DFlag gp; Mark p;
+   POISON p's child edges (set their marked bit); swing gp's edge to l's
+   sibling; unflag gp. The winner of the DFlag CAS retires p and l (m = 2).
+   Any process meeting a flag/mark helps it to completion first.
+
+   Reclamation discipline (what this paper cares about):
+   - links, update words and descriptors are heap objects CASed by physical
+     identity — stale CASes fail, so there is no ABA anywhere;
+   - traversals protect (gp, p, l) in rotating hazard slots 0-2 and
+     re-validate the parent edge after each protection, restarting if the
+     edge changed or is poisoned; edges are poisoned strictly before the
+     removed nodes are retired, so a validated protection precedes the
+     retire point (Condition 1);
+   - a helper protects a descriptor's parent node in slot 3 and re-validates
+     that the flag is still installed — a node cannot be retired while its
+     removal descriptor is still pending. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
+  let inf1 = max_int - 1
+  let inf2 = max_int
+  let max_real_key = inf1 - 1
+
+  type node = {
+    mutable key : int;
+    mutable is_leaf : bool;
+    left : link R.atomic;
+    right : link R.atomic;
+    upd : ustate R.atomic;
+    mutable state : Qs_arena.Node_state.t;
+    mutable birth : int;
+  }
+
+  and link = Nil | Child of { dest : node; marked : bool }
+
+  and ustate =
+    | Clean of unit ref (* fresh token per completed operation *)
+    | IFlag of iinfo
+    | DFlag of dinfo
+    | Mark of dinfo
+
+  and iinfo = {
+    ip : node;
+    il_link : link; (* physical witness: ip's edge to the replaced leaf *)
+    i_left_side : bool;
+    new_internal : node;
+    iflag : ustate; (* the unique [IFlag op] installed in ip.upd *)
+  }
+
+  and dinfo = {
+    dgp : node;
+    dp : node;
+    dl : node;
+    dpu : ustate; (* p's update witness from the search *)
+    dp_link : link; (* physical witness: gp's edge to p *)
+    d_left_side : bool; (* which gp edge leads to p *)
+    dflag : ustate;
+    dmark : ustate;
+  }
+
+  let clean () = Clean (ref ())
+
+  module Node_impl = struct
+    type t = node
+
+    let create () =
+      { key = 0;
+        is_leaf = true;
+        left = R.atomic Nil;
+        right = R.atomic Nil;
+        upd = R.atomic (clean ());
+        state = Qs_arena.Node_state.Free;
+        birth = 0 }
+
+    let get_state n = n.state
+    let set_state n s = n.state <- s
+    let bump_birth n = n.birth <- n.birth + 1
+  end
+
+  module Arena = Qs_arena.Arena.Make (Node_impl)
+  module Glue = Smr_glue.Make (R) (struct type t = node end)
+
+  type t = {
+    root : node;
+    smr : Glue.ops;
+    arena : Arena.t;
+    debug_checks : bool;
+  }
+
+  type ctx = { set : t; smr_h : Glue.handle; arena_h : Arena.handle }
+
+  let hp_per_process = 6
+
+  let mk_leaf key =
+    { key;
+      is_leaf = true;
+      left = R.atomic Nil;
+      right = R.atomic Nil;
+      upd = R.atomic (clean ());
+      state = Qs_arena.Node_state.Reachable;
+      birth = 0 }
+
+  let create (cfg : Set_intf.config) =
+    let smr_cfg = { cfg.smr with hp_per_process; removes_per_op_max = 2 } in
+    let root =
+      { key = inf2;
+        is_leaf = false;
+        left = R.atomic (Child { dest = mk_leaf inf1; marked = false });
+        right = R.atomic (Child { dest = mk_leaf inf2; marked = false });
+        upd = R.atomic (clean ());
+        state = Qs_arena.Node_state.Reachable;
+        birth = 0 }
+    in
+    let arena =
+      Arena.create ?capacity:cfg.capacity ~n_processes:smr_cfg.n_processes ()
+    in
+    let arena_handles =
+      Array.init smr_cfg.n_processes (fun pid -> Arena.register arena ~pid)
+    in
+    let free n = Arena.free arena_handles.(R.self ()) n in
+    let smr = Glue.make cfg.scheme smr_cfg ~dummy:root ~free in
+    { root; smr; arena; debug_checks = cfg.debug_checks }
+
+  let register t ~pid =
+    { set = t;
+      smr_h = t.smr.register ~pid;
+      arena_h = Arena.register t.arena ~pid }
+
+  let touch ctx n = if ctx.set.debug_checks then Arena.touch ctx.arena_h n
+
+  type found = {
+    gp : node;
+    gpu : ustate;
+    p : node;
+    pu : ustate;
+    p_link : link; (* gp's edge to p *)
+    l_link : link; (* p's edge to l *)
+    l : node;
+    p_left_side : bool; (* which gp edge leads to p *)
+  }
+
+  (* Traverse to the leaf position for [key], protecting (gp, p, l) in
+     rotating hazard slots 0-2, validating each edge after protection. *)
+  let rec locate ctx key : found =
+    let root = ctx.set.root in
+    (* [p_link]/[p_left] describe the gp->p edge; [l_link]/[l_left] the
+       p->l edge. On descent the latter pair becomes the former. *)
+    let rec go gp gpu p pu p_link p_left l_link l_left l sgp sp sl =
+      ignore l_left;
+      if l.is_leaf then { gp; gpu; p; pu; p_link; l_link; l; p_left_side = p_left }
+      else begin
+        let gp' = p and gpu' = pu and p' = l in
+        let pu' = R.get p'.upd in
+        touch ctx p';
+        let left_side = key < p'.key in
+        let edge = if left_side then p'.left else p'.right in
+        let edge_link = R.get edge in
+        match edge_link with
+        | Nil -> locate ctx key (* transient; restart *)
+        | Child { dest = l'; marked } ->
+          let sl' = sgp in
+          ctx.smr_h.assign_hp ~slot:sl' l';
+          if marked then locate ctx key (* p' removed: edges poisoned *)
+          else if R.get edge != edge_link then locate ctx key
+          else begin
+            touch ctx l';
+            go gp' gpu' p' pu' l_link l_left edge_link left_side l' sp sl sl'
+          end
+      end
+    in
+    let pu0 = R.get root.upd in
+    go root pu0 root pu0 Nil true Nil true root 0 1 2
+
+  (* --- helping ---------------------------------------------------------- *)
+
+  let rec poison_edge cell =
+    match R.get cell with
+    | Child { dest; marked = false } as c ->
+      if not (R.cas cell c (Child { dest; marked = true })) then poison_edge cell
+    | Nil | Child { marked = true; _ } -> ()
+
+  let dest_of = function Child c -> c.dest | Nil -> assert false
+
+  (* Complete an insert: splice the new internal in, unflag. Idempotent —
+     stale CASes fail on physical witnesses. *)
+  let help_insert (op : iinfo) =
+    let edge = if op.i_left_side then op.ip.left else op.ip.right in
+    ignore (R.cas edge op.il_link (Child { dest = op.new_internal; marked = false }));
+    ignore (R.cas op.ip.upd op.iflag (clean ()))
+
+  (* Complete a delete whose parent is already marked. Mark is final and
+     the update word monotone, so dp's edges can no longer change except for
+     the poisoning below: the sibling read is stable. Poisoning precedes the
+     grandparent swing (and hence the retire point), so traversals that
+     validated an edge into dp/dl did so before the nodes could be freed. *)
+  let help_marked (op : dinfo) =
+    poison_edge op.dp.left;
+    poison_edge op.dp.right;
+    let left = R.get op.dp.left and right = R.get op.dp.right in
+    let sibling = if dest_of left == op.dl then dest_of right else dest_of left in
+    let gp_edge = if op.d_left_side then op.dgp.left else op.dgp.right in
+    ignore (R.cas gp_edge op.dp_link (Child { dest = sibling; marked = false }));
+    ignore (R.cas op.dgp.upd op.dflag (clean ()))
+
+  (* Returns whether the delete completed (parent marked) or aborted.
+     Caller must have op.dp and op.dgp protected. *)
+  let help_delete (op : dinfo) =
+    let marked_now =
+      R.cas op.dp.upd op.dpu op.dmark
+      || (match R.get op.dp.upd with
+         | Mark o -> o == op
+         | Clean _ | IFlag _ | DFlag _ -> false)
+    in
+    if marked_now then begin
+      help_marked op;
+      true
+    end
+    else begin
+      (* The mark lost; update words are monotone so it can never succeed
+         later — abort by unflagging the grandparent. *)
+      ignore (R.cas op.dgp.upd op.dflag (clean ()));
+      false
+    end
+
+  (* Help the operation found installed on a node of the caller's (protected)
+     search path. *)
+  let help ctx (u : ustate) =
+    match u with
+    | Clean _ -> ()
+    | IFlag op ->
+      (* op.ip is the node the flag was found on — caller-protected. *)
+      (match R.get op.ip.upd with
+      | IFlag o when o == op -> help_insert op
+      | _ -> ())
+    | Mark op ->
+      (* Found on op.dp (caller's p, protected); op.dgp is p's immutable
+         parent — the caller's gp, also protected. *)
+      help_marked op
+    | DFlag op ->
+      (* Found on op.dgp (caller-protected); op.dp is some child of it, not
+         necessarily on the caller's path: protect and re-validate. *)
+      ctx.smr_h.assign_hp ~slot:3 op.dp;
+      (match R.get op.dgp.upd with
+      | DFlag o when o == op -> ignore (help_delete op)
+      | _ -> ())
+
+  (* --- public operations ------------------------------------------------ *)
+
+  let search ctx key =
+    ctx.smr_h.manage_state ();
+    let s = locate ctx key in
+    touch ctx s.l;
+    let res = s.l.key = key in
+    ctx.smr_h.clear_hps ();
+    res
+
+  let alloc_leaf ctx key =
+    let n = Arena.alloc ctx.arena_h in
+    n.key <- key;
+    n.is_leaf <- true;
+    R.set n.left Nil;
+    R.set n.right Nil;
+    R.set n.upd (clean ());
+    n
+
+  let insert ctx key =
+    if key > max_real_key then invalid_arg "Bst.insert: key too large";
+    ctx.smr_h.manage_state ();
+    let rec attempt fresh =
+      let s = locate ctx key in
+      touch ctx s.l;
+      if s.l.key = key then begin
+        (match fresh with
+        | Some (nleaf, nint) ->
+          Arena.free ctx.arena_h nleaf;
+          Arena.free ctx.arena_h nint
+        | None -> ());
+        ctx.smr_h.clear_hps ();
+        false
+      end
+      else begin
+        match s.pu with
+        | Clean _ ->
+          let nleaf, nint =
+            match fresh with
+            | Some pair -> pair
+            | None -> (alloc_leaf ctx key, alloc_leaf ctx 0)
+          in
+          nint.key <- max key s.l.key;
+          nint.is_leaf <- false;
+          if key < s.l.key then begin
+            R.set nint.left (Child { dest = nleaf; marked = false });
+            R.set nint.right (Child { dest = s.l; marked = false })
+          end
+          else begin
+            R.set nint.left (Child { dest = s.l; marked = false });
+            R.set nint.right (Child { dest = nleaf; marked = false })
+          end;
+          R.set nint.upd (clean ());
+          let rec op =
+            { ip = s.p;
+              il_link = s.l_link;
+              i_left_side = key < s.p.key;
+              new_internal = nint;
+              iflag = IFlag op }
+          in
+          if R.cas s.p.upd s.pu op.iflag then begin
+            help_insert op;
+            nleaf.state <- Qs_arena.Node_state.Reachable;
+            nint.state <- Qs_arena.Node_state.Reachable;
+            ctx.smr_h.clear_hps ();
+            true
+          end
+          else attempt (Some (nleaf, nint))
+        | u ->
+          help ctx u;
+          attempt fresh
+      end
+    in
+    attempt None
+
+  let delete ctx key =
+    ctx.smr_h.manage_state ();
+    let rec attempt () =
+      let s = locate ctx key in
+      touch ctx s.l;
+      if s.l.key <> key then begin
+        ctx.smr_h.clear_hps ();
+        false
+      end
+      else begin
+        match s.gpu with
+        | Clean _ -> (
+          match s.pu with
+          | Clean _ ->
+            let rec op =
+              { dgp = s.gp;
+                dp = s.p;
+                dl = s.l;
+                dpu = s.pu;
+                dp_link = s.p_link;
+                d_left_side = s.p_left_side;
+                dflag = DFlag op;
+                dmark = Mark op }
+            in
+            if R.cas s.gp.upd s.gpu op.dflag then begin
+              if help_delete op then begin
+                s.p.state <- Qs_arena.Node_state.Removed;
+                s.l.state <- Qs_arena.Node_state.Removed;
+                ctx.smr_h.retire s.p;
+                ctx.smr_h.retire s.l;
+                ctx.smr_h.clear_hps ();
+                true
+              end
+              else attempt ()
+            end
+            else begin
+              help ctx (R.get s.gp.upd);
+              attempt ()
+            end
+          | pu ->
+            help ctx pu;
+            attempt ())
+        | gpu ->
+          help ctx gpu;
+          attempt ()
+      end
+    in
+    attempt ()
+
+  (* Sequential-context helpers. *)
+
+  let to_list ctx =
+    let rec go n acc =
+      if n.is_leaf then if n.key <= max_real_key then n.key :: acc else acc
+      else
+        match (R.get n.left, R.get n.right) with
+        | Child l, Child r -> go l.dest (go r.dest acc)
+        | _ -> acc
+    in
+    go ctx.set.root []
+
+  let size ctx = List.length (to_list ctx)
+
+  (* Structural invariants (sequential context): the tree is a well-formed
+     external BST — every internal node has two children, left-subtree keys
+     are strictly below the router key, right-subtree keys at or above, and
+     leaf keys are unique. *)
+  let validate ctx =
+    (* inclusive bounds: a router k sends keys < k left and keys >= k right *)
+    let rec go n lo hi =
+      if n.is_leaf then begin
+        if n.key < lo || n.key > hi then
+          failwith
+            (Printf.sprintf "bst: leaf %d outside [%d, %d]" n.key lo hi)
+      end
+      else begin
+        match (R.get n.left, R.get n.right) with
+        | Child l, Child r ->
+          go l.dest lo (n.key - 1);
+          go r.dest n.key hi
+        | _ -> failwith "bst: internal node missing a child"
+      end
+    in
+    go ctx.set.root min_int max_int;
+    let keys = to_list ctx in
+    let sorted = List.sort_uniq compare keys in
+    if List.length sorted <> List.length keys then failwith "bst: duplicate keys";
+    if sorted <> keys then failwith "bst: in-order traversal not sorted"
+
+  let flush ctx = ctx.smr_h.flush ()
+
+  let report t : Set_intf.report =
+    { smr = t.smr.stats ();
+      allocations = Arena.allocations t.arena;
+      frees = Arena.frees t.arena;
+      outstanding = Arena.outstanding t.arena;
+      violations = Arena.violations t.arena;
+      double_frees = Arena.double_frees t.arena }
+
+  let retired_count t = t.smr.retired_count ()
+  let violations t = Arena.violations t.arena
+  let outstanding t = Arena.outstanding t.arena
+  let nodes_per_key = 2
+  let scheme_name t = t.smr.scheme_name
+end

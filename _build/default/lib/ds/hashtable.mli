@@ -1,0 +1,40 @@
+(** Michael's lock-free hash table (SPAA 2002, the paper's reference [24]):
+    a fixed array of buckets, each an independent {!Linked_list} sharing
+    one arena and one reclamation-scheme instance. Keys must be
+    non-negative. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
+  type t
+  type ctx
+  type node
+
+  val default_buckets : int
+  val hp_per_process : int
+  val nodes_per_key : int
+
+  val create : Set_intf.config -> t
+  (** [default_buckets] buckets. *)
+
+  val create_sized : n_buckets:int -> Set_intf.config -> t
+
+  val register : t -> pid:int -> ctx
+
+  val search : ctx -> int -> bool
+  val insert : ctx -> int -> bool
+  val delete : ctx -> int -> bool
+
+  val to_list : ctx -> int list
+  (** Sorted, for comparability with the other set implementations. *)
+
+  val size : ctx -> int
+  val flush : ctx -> unit
+  val report : t -> Set_intf.report
+  val retired_count : t -> int
+  val violations : t -> int
+  val outstanding : t -> int
+  val scheme_name : t -> string
+
+  val validate : ctx -> unit
+  (** Check structural invariants; raises [Failure] on corruption.
+      Sequential context only. *)
+end

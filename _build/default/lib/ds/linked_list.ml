@@ -1,0 +1,284 @@
+(* Harris-Michael lock-free linked-list set (the paper evaluates this list,
+   taken from ASCYLIB; its appendix shows exactly where the QSense calls
+   go — Algorithms 6 and 7). Keys are integers; head/tail sentinels carry
+   [min_int]/[max_int] and are never reclaimed.
+
+   Deletion is two-phase: a CAS marks the victim's [next] link (logical
+   delete), then a CAS on the predecessor unlinks it (physical delete). The
+   process whose CAS physically unlinks the node is the unique caller of
+   [retire] for it. Links are immutable [Ptr] values, so CAS compares
+   physical identity of the link object — a link can never be reused, which
+   rules out ABA on the links themselves; reclaimed nodes are protected by
+   the SMR scheme under test.
+
+   Hazard-pointer discipline (K = 2): slot 0 protects the predecessor, slot
+   1 the current node. Each is published before the validation read
+   ([pred.next] still equals the link we followed), per Condition 1. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
+  type node = {
+    mutable key : int;
+    next : link R.atomic;
+    mutable state : Qs_arena.Node_state.t;
+    mutable birth : int;
+  }
+
+  and link = Null | Ptr of { dest : node; marked : bool }
+
+  module Node_impl = struct
+    type t = node
+
+    let create () =
+      { key = 0; next = R.atomic Null; state = Qs_arena.Node_state.Free; birth = 0 }
+
+    let get_state n = n.state
+    let set_state n s = n.state <- s
+    let bump_birth n = n.birth <- n.birth + 1
+  end
+
+  module Arena = Qs_arena.Arena.Make (Node_impl)
+  module Glue = Smr_glue.Make (R) (struct type t = node end)
+
+  type t = {
+    head : node;
+    tail : node;
+    smr : Glue.ops;
+    arena : Arena.t;
+    debug_checks : bool;
+  }
+
+  type ctx = { set : t; smr_h : Glue.handle; arena_h : Arena.handle }
+
+  let hp_per_process = 2
+
+  let create (cfg : Set_intf.config) =
+    let smr_cfg =
+      { cfg.smr with
+        hp_per_process;
+        removes_per_op_max = 1 }
+    in
+    let tail =
+      { key = max_int;
+        next = R.atomic Null;
+        state = Qs_arena.Node_state.Reachable;
+        birth = 0 }
+    in
+    let head =
+      { key = min_int;
+        next = R.atomic (Ptr { dest = tail; marked = false });
+        state = Qs_arena.Node_state.Reachable;
+        birth = 0 }
+    in
+    let arena =
+      Arena.create ?capacity:cfg.capacity ~n_processes:smr_cfg.n_processes ()
+    in
+    let arena_handles =
+      Array.init smr_cfg.n_processes (fun pid -> Arena.register arena ~pid)
+    in
+    (* The freeing process is whichever process runs the scan, so route the
+       node to that process's free list. *)
+    let free n = Arena.free arena_handles.(R.self ()) n in
+    let smr = Glue.make cfg.scheme smr_cfg ~dummy:tail ~free in
+    { head; tail; smr; arena; debug_checks = cfg.debug_checks }
+
+  let register t ~pid =
+    { set = t;
+      smr_h = t.smr.register ~pid;
+      arena_h = Arena.register t.arena ~pid }
+
+  let touch ctx n = if ctx.set.debug_checks then Arena.touch ctx.arena_h n
+
+  (* Find the first node with key >= [key] starting from [head] (the list's
+     own head, or a hash-table bucket's), cleaning up marked nodes on the
+     way. Returns [(pred, pred_link, curr)] where [pred_link] is the
+     physical link value [Ptr {dest = curr; marked = false}] read from
+     [pred.next] — the CAS witness for both insertion and physical
+     deletion. *)
+  let rec find ctx head key =
+    let rec walk pred =
+      let pred_link = R.get pred.next in
+      touch ctx pred;
+      match pred_link with
+      | Null | Ptr { marked = true; _ } ->
+        (* pred itself was removed or is being removed: restart from head *)
+        find ctx head key
+      | Ptr { dest = curr; marked = false } ->
+        ctx.smr_h.assign_hp ~slot:1 curr;
+        (* Validation read: if pred.next changed since we read it, curr may
+           already be unlinked (and, without protection, freed) — restart.
+           The hazard pointer published above makes the success case safe. *)
+        if R.get pred.next != pred_link then find ctx head key
+        else begin
+          touch ctx curr;
+          let curr_link = R.get curr.next in
+          (* the read above is the access hazard: re-check the oracle *)
+          touch ctx curr;
+          match curr_link with
+          | Ptr { dest = succ; marked = true } ->
+            (* curr is logically deleted: attempt the physical unlink; the
+               winner of this CAS retires the node (free_node_later). *)
+            if R.cas pred.next pred_link (Ptr { dest = succ; marked = false })
+            then begin
+              curr.state <- Qs_arena.Node_state.Removed;
+              ctx.smr_h.retire curr;
+              walk pred
+            end
+            else find ctx head key
+          | Null | Ptr { marked = false; _ } ->
+            if curr.key >= key then (pred, pred_link, curr)
+            else begin
+              ctx.smr_h.assign_hp ~slot:0 curr;
+              (* Re-validate: curr must still be pred's successor, otherwise
+                 the slot-0 protection could cover an already-freed node. *)
+              if R.get pred.next != pred_link then find ctx head key else walk curr
+            end
+        end
+    in
+    walk head
+
+  let search_in ctx ~bucket key =
+    ctx.smr_h.manage_state ();
+    let _, _, curr = find ctx bucket key in
+    touch ctx curr;
+    let res = curr.key = key in
+    ctx.smr_h.clear_hps ();
+    res
+
+  let insert_in ctx ~bucket key =
+    ctx.smr_h.manage_state ();
+    let rec attempt fresh =
+      let pred, pred_link, curr = find ctx bucket key in
+      if curr.key = key then begin
+        (* Already present; a node allocated by an earlier attempt was never
+           linked, so it is freed directly (paper: "free the node directly"). *)
+        (match fresh with
+        | Some n -> Arena.free ctx.arena_h n
+        | None -> ());
+        ctx.smr_h.clear_hps ();
+        false
+      end
+      else begin
+        let n =
+          match fresh with
+          | Some n -> n
+          | None ->
+            let n = Arena.alloc ctx.arena_h in
+            n.key <- key;
+            n
+        in
+        R.set n.next (Ptr { dest = curr; marked = false });
+        if R.cas pred.next pred_link (Ptr { dest = n; marked = false }) then begin
+          n.state <- Qs_arena.Node_state.Reachable;
+          ctx.smr_h.clear_hps ();
+          true
+        end
+        else attempt (Some n)
+      end
+    in
+    attempt None
+
+  let delete_in ctx ~bucket key =
+    ctx.smr_h.manage_state ();
+    let rec attempt () =
+      let pred, pred_link, curr = find ctx bucket key in
+      if curr.key <> key then begin
+        ctx.smr_h.clear_hps ();
+        false
+      end
+      else begin
+        let curr_link0 = R.get curr.next in
+        touch ctx curr;
+        match curr_link0 with
+        | Null ->
+          (* curr is the tail sentinel; impossible since tail.key = max_int *)
+          ctx.smr_h.clear_hps ();
+          false
+        | Ptr { dest = succ; marked = false } as curr_link ->
+          if R.cas curr.next curr_link (Ptr { dest = succ; marked = true })
+          then begin
+            (* Logical delete succeeded — we own the removal. *)
+            curr.state <- Qs_arena.Node_state.Removed;
+            (if R.cas pred.next pred_link (Ptr { dest = succ; marked = false })
+             then ctx.smr_h.retire curr
+             else
+               (* physical unlink lost a race; a find pass cleans up and
+                  retires on our behalf *)
+               ignore (find ctx bucket key));
+            ctx.smr_h.clear_hps ();
+            true
+          end
+          else attempt ()
+        | Ptr { marked = true; _ } ->
+          (* someone else is deleting it; retry to settle the outcome *)
+          attempt ()
+      end
+    in
+    attempt ()
+
+  (* Public single-list operations. *)
+
+  let search ctx key = search_in ctx ~bucket:ctx.set.head key
+  let insert ctx key = insert_in ctx ~bucket:ctx.set.head key
+  let delete ctx key = delete_in ctx ~bucket:ctx.set.head key
+
+  (* A fresh head sentinel chained to the shared tail — hash-table buckets.
+     Never reclaimed. *)
+  let new_bucket t =
+    { key = min_int;
+      next = R.atomic (Ptr { dest = t.tail; marked = false });
+      state = Qs_arena.Node_state.Reachable;
+      birth = 0 }
+
+  (* Sequential-context helpers (no concurrent mutators). *)
+
+  let to_list_in ctx ~bucket =
+    let rec go acc n =
+      match R.get n.next with
+      | Null -> List.rev acc
+      | Ptr { dest; marked } ->
+        if dest == ctx.set.tail then List.rev acc
+        else go (if marked then acc else dest.key :: acc) dest
+    in
+    go [] bucket
+
+  let to_list ctx = to_list_in ctx ~bucket:ctx.set.head
+
+  (* Structural invariant check (sequential context): the chain from the
+     bucket head reaches the shared tail and node keys strictly increase
+     (marked nodes keep their position in Harris's algorithm, so the check
+     covers them too). *)
+  let validate_in ctx ~bucket =
+    let rec go last n hops =
+      if hops > 1_000_000 then failwith "list: cycle suspected";
+      match R.get n.next with
+      | Null ->
+        if n != ctx.set.tail then failwith "list: chain does not end at tail"
+      | Ptr { dest; _ } ->
+        if dest != ctx.set.tail then begin
+          if dest.key <= last then failwith "list: keys not strictly increasing";
+          go dest.key dest (hops + 1)
+        end
+        else go last dest (hops + 1)
+    in
+    go min_int bucket 0
+
+  let validate ctx = validate_in ctx ~bucket:ctx.set.head
+
+  let size ctx = List.length (to_list ctx)
+
+  let flush ctx = ctx.smr_h.flush ()
+
+  let report t : Set_intf.report =
+    { smr = t.smr.stats ();
+      allocations = Arena.allocations t.arena;
+      frees = Arena.frees t.arena;
+      outstanding = Arena.outstanding t.arena;
+      violations = Arena.violations t.arena;
+      double_frees = Arena.double_frees t.arena }
+
+  let retired_count t = t.smr.retired_count ()
+  let violations t = Arena.violations t.arena
+  let outstanding t = Arena.outstanding t.arena
+  let nodes_per_key = 1
+  let scheme_name t = t.smr.scheme_name
+end

@@ -1,0 +1,69 @@
+(** Harris-Michael lock-free linked-list set over integer keys — the first
+    of the paper's three evaluation structures (its appendix shows the
+    QSense integration on exactly this list, Algorithms 6-7).
+
+    Two hazard pointers per process (slot 0 = predecessor, slot 1 =
+    current), published before the validation read per Condition 1.
+    Deletion marks the victim's link (logical) then unlinks it (physical);
+    the winner of the physical unlink CAS retires the node. Links are
+    immutable values CASed by physical identity, which rules out ABA.
+
+    Also the building block of {!Hashtable}: the [_in] operations run on an
+    explicit bucket head sharing this list's arena, reclamation scheme and
+    tail sentinel. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
+  type t
+  (** The shared set. *)
+
+  type ctx
+  (** Per-process operation context; one per registered process. *)
+
+  type node
+
+  val hp_per_process : int
+  (** K = 2. *)
+
+  val nodes_per_key : int
+
+  val create : Set_intf.config -> t
+
+  val register : t -> pid:int -> ctx
+  (** Each worker registers once with a distinct pid in
+      [0, n_processes). *)
+
+  (** {1 Set operations (linearizable)} *)
+
+  val search : ctx -> int -> bool
+  val insert : ctx -> int -> bool
+  val delete : ctx -> int -> bool
+
+  (** {1 Hash-table bucket interface} *)
+
+  val new_bucket : t -> node
+  (** A fresh head sentinel chained to the shared tail; never reclaimed. *)
+
+  val search_in : ctx -> bucket:node -> int -> bool
+  val insert_in : ctx -> bucket:node -> int -> bool
+  val delete_in : ctx -> bucket:node -> int -> bool
+  val to_list_in : ctx -> bucket:node -> int list
+  val validate_in : ctx -> bucket:node -> unit
+
+  (** {1 Inspection — process context, no concurrent mutators} *)
+
+  val to_list : ctx -> int list
+  val size : ctx -> int
+
+  val flush : ctx -> unit
+  (** Teardown: force-free the caller's retired backlog. *)
+
+  val report : t -> Set_intf.report
+  val retired_count : t -> int
+  val violations : t -> int
+  val outstanding : t -> int
+  val scheme_name : t -> string
+
+  val validate : ctx -> unit
+  (** Check structural invariants; raises [Failure] on corruption.
+      Sequential context only. *)
+end

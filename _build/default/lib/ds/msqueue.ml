@@ -1,0 +1,195 @@
+(* Michael & Scott's lock-free FIFO queue with pluggable reclamation — the
+   flagship example of Michael's original hazard-pointer paper, included to
+   show the methodology on a second non-set shape (K = 2 hazard pointers:
+   slot 0 = head node, slot 1 = next/tail node).
+
+   [head] points to a dummy node; the dummy's successor holds the front
+   value. A dequeue swings [head] to the successor and retires the old
+   dummy (the dequeued node becomes the new dummy). The queue anchors
+   ([head]/[tail]) hold freshly allocated [Ptr] objects, so anchor CASes
+   compare physical identity of the link value and cannot ABA even when
+   nodes are recycled; the CAS on a node's [next] (Null -> Ptr) is protected
+   by the hazard pointer on its owner. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
+  type node = {
+    mutable value : int;
+    next : link R.atomic;
+    mutable state : Qs_arena.Node_state.t;
+    mutable birth : int;
+  }
+
+  and link = Null | Ptr of node
+
+  module Node_impl = struct
+    type t = node
+
+    let create () =
+      { value = 0;
+        next = R.atomic Null;
+        state = Qs_arena.Node_state.Free;
+        birth = 0 }
+
+    let get_state n = n.state
+    let set_state n s = n.state <- s
+    let bump_birth n = n.birth <- n.birth + 1
+  end
+
+  module Arena = Qs_arena.Arena.Make (Node_impl)
+  module Glue = Smr_glue.Make (R) (struct type t = node end)
+
+  type t = {
+    head : link R.atomic; (* always Ptr dummy *)
+    tail : link R.atomic;
+    smr : Glue.ops;
+    arena : Arena.t;
+    debug_checks : bool;
+  }
+
+  type ctx = { queue : t; smr_h : Glue.handle; arena_h : Arena.handle }
+
+  let hp_per_process = 2
+
+  let dest = function Ptr n -> n | Null -> assert false
+
+  let create (cfg : Set_intf.config) =
+    let smr_cfg = { cfg.smr with hp_per_process; removes_per_op_max = 1 } in
+    let sentinel =
+      (* never retired; fills unused hazard-pointer slots *)
+      { value = 0;
+        next = R.atomic Null;
+        state = Qs_arena.Node_state.Reachable;
+        birth = 0 }
+    in
+    let arena =
+      Arena.create ?capacity:cfg.capacity ~n_processes:smr_cfg.n_processes ()
+    in
+    let arena_handles =
+      Array.init smr_cfg.n_processes (fun pid -> Arena.register arena ~pid)
+    in
+    let free n = Arena.free arena_handles.(R.self ()) n in
+    let smr = Glue.make cfg.scheme smr_cfg ~dummy:sentinel ~free in
+    (* The initial dummy is arena-allocated: the first dequeue retires it,
+       and the books must balance. *)
+    let dummy = Arena.alloc arena_handles.(0) in
+    dummy.state <- Qs_arena.Node_state.Reachable;
+    { head = R.atomic (Ptr dummy);
+      tail = R.atomic (Ptr dummy);
+      smr;
+      arena;
+      debug_checks = cfg.debug_checks }
+
+  let register t ~pid =
+    { queue = t;
+      smr_h = t.smr.register ~pid;
+      arena_h = Arena.register t.arena ~pid }
+
+  let touch ctx n = if ctx.queue.debug_checks then Arena.touch ctx.arena_h n
+
+  let enqueue ctx value =
+    ctx.smr_h.manage_state ();
+    let t = ctx.queue in
+    let n = Arena.alloc ctx.arena_h in
+    n.value <- value;
+    R.set n.next Null;
+    let rec attempt () =
+      let tail_link = R.get t.tail in
+      let tl = dest tail_link in
+      ctx.smr_h.assign_hp ~slot:1 tl;
+      if R.get t.tail != tail_link then attempt ()
+      else begin
+        touch ctx tl;
+        match R.get tl.next with
+        | Null ->
+          if R.cas tl.next Null (Ptr n) then begin
+            n.state <- Qs_arena.Node_state.Reachable;
+            (* swing the tail; helpers may already have done it *)
+            ignore (R.cas t.tail tail_link (Ptr n))
+          end
+          else attempt ()
+        | Ptr successor ->
+          (* tail is lagging: help it forward and retry *)
+          ignore (R.cas t.tail tail_link (Ptr successor));
+          attempt ()
+      end
+    in
+    attempt ();
+    ctx.smr_h.clear_hps ()
+
+  let dequeue ctx =
+    ctx.smr_h.manage_state ();
+    let t = ctx.queue in
+    let rec attempt () =
+      let head_link = R.get t.head in
+      let h = dest head_link in
+      ctx.smr_h.assign_hp ~slot:0 h;
+      if R.get t.head != head_link then attempt ()
+      else begin
+        touch ctx h;
+        let tail_link = R.get t.tail in
+        let next_link = R.get h.next in
+        touch ctx h;
+        match next_link with
+        | Null ->
+          ctx.smr_h.clear_hps ();
+          None
+        | Ptr next ->
+          ctx.smr_h.assign_hp ~slot:1 next;
+          if R.get t.head != head_link then attempt ()
+          else if dest tail_link == h then begin
+            (* non-empty but tail still points at the dummy: help *)
+            ignore (R.cas t.tail tail_link (Ptr next));
+            attempt ()
+          end
+          else begin
+            touch ctx next;
+            (* read the value before the swing publishes next as the new
+               (retire-able) dummy *)
+            let v = next.value in
+            if R.cas t.head head_link (Ptr next) then begin
+              h.state <- Qs_arena.Node_state.Removed;
+              ctx.smr_h.retire h;
+              ctx.smr_h.clear_hps ();
+              Some v
+            end
+            else attempt ()
+          end
+      end
+    in
+    attempt ()
+
+  (* Sequential-context helpers. *)
+
+  let to_list ctx =
+    let rec go acc n =
+      match R.get n.next with Null -> List.rev acc | Ptr x -> go (x.value :: acc) x
+    in
+    go [] (dest (R.get ctx.queue.head))
+
+  let length ctx = List.length (to_list ctx)
+  let flush ctx = ctx.smr_h.flush ()
+
+  let validate ctx =
+    (* the tail anchor must point at the last node (or its predecessor,
+       transiently — but not in a quiescent state) and the chain must be
+       Null-terminated and acyclic *)
+    let t = ctx.queue in
+    let rec last n hops =
+      if hops > 1_000_000 then failwith "msqueue: cycle suspected";
+      match R.get n.next with Null -> n | Ptr x -> last x (hops + 1)
+    in
+    let final = last (dest (R.get t.head)) 0 in
+    if dest (R.get t.tail) != final then
+      failwith "msqueue: tail anchor is not the last node"
+
+  let report t : Set_intf.report =
+    { smr = t.smr.stats ();
+      allocations = Arena.allocations t.arena;
+      frees = Arena.frees t.arena;
+      outstanding = Arena.outstanding t.arena;
+      violations = Arena.violations t.arena;
+      double_frees = Arena.double_frees t.arena }
+
+  let violations t = Arena.violations t.arena
+  let outstanding t = Arena.outstanding t.arena
+end

@@ -1,0 +1,30 @@
+(** Michael & Scott's lock-free FIFO queue with pluggable reclamation — the
+    flagship structure of Michael's original hazard-pointer paper. K = 2
+    hazard pointers per process. Values are integers. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
+  type t
+  type ctx
+
+  val hp_per_process : int
+
+  val create : Set_intf.config -> t
+  val register : t -> pid:int -> ctx
+
+  val enqueue : ctx -> int -> unit
+  val dequeue : ctx -> int option
+
+  val to_list : ctx -> int list
+  (** Front first; sequential context only. *)
+
+  val length : ctx -> int
+  val flush : ctx -> unit
+
+  val validate : ctx -> unit
+  (** Structural invariants (acyclic, tail anchored at the last node);
+      raises [Failure]. Sequential context only. *)
+
+  val report : t -> Set_intf.report
+  val violations : t -> int
+  val outstanding : t -> int
+end

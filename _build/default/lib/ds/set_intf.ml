@@ -1,0 +1,44 @@
+(** Shared configuration and conventions for the lock-free data structures.
+
+    Every structure in {!Qs_ds} is a functor over a
+    {!Qs_intf.Runtime_intf.RUNTIME} and exposes the same shape:
+
+    - [create cfg] builds the shared structure, instantiating the requested
+      reclamation scheme (the structure itself chooses K, its number of
+      hazard pointers per process, and m, its removals per operation);
+    - [register t ~pid] yields a per-process context; every worker must
+      register exactly once with a distinct pid;
+    - [search]/[insert]/[delete] are linearizable set operations on integer
+      keys; each calls the scheme's [manage_state] on entry (rule 1 of the
+      paper's methodology), protects traversed nodes with [assign_hp]
+      (rule 2), and retires unlinked nodes with [retire] (rule 3);
+    - inspection functions ([size], [to_list], statistics) must run in
+      process context (inside a simulator fiber, or any domain for the real
+      runtime) but not concurrently with mutations. *)
+
+type config = {
+  scheme : Qs_smr.Scheme.kind;
+  smr : Qs_smr.Smr_intf.config;
+      (** [hp_per_process] and [removes_per_op_max] are overridden by each
+          data structure with its own requirements. *)
+  capacity : int option;  (** arena capacity; exceeded => [Arena.Exhausted] *)
+  debug_checks : bool;
+      (** record node-state oracle violations (use-after-free) on traversal;
+          costs nothing in shared-memory terms, a few local instructions *)
+}
+
+let default_config ~n_processes ~scheme =
+  { scheme;
+    smr = Qs_smr.Smr_intf.default_config ~n_processes ~hp_per_process:2;
+    capacity = None;
+    debug_checks = true }
+
+(** Combined statistics snapshot reported by every structure. *)
+type report = {
+  smr : Qs_smr.Smr_intf.stats;
+  allocations : int;
+  frees : int;
+  outstanding : int;
+  violations : int;
+  double_frees : int;
+}

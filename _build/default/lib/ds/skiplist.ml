@@ -1,0 +1,360 @@
+(* Lock-free skip-list set (Fraser-style, as in ASCYLIB, which the paper
+   uses; the paper notes it needs up to 35 hazard pointers per process —
+   two per level, which is what this implementation uses).
+
+   Structure: full-height head/tail sentinels; each node owns an array of
+   per-level links; level-0 membership is authoritative. Links are immutable
+   [Ptr] values compared by physical identity in CAS, so a link object can
+   never be reused — stale CASes fail rather than resurrect unlinked nodes.
+
+   Deletion marks the victim's links from the top level down to level 0;
+   the process that wins the level-0 mark owns the removal. Physical
+   unlinking is done cooperatively by [find] passes (any traversal snips
+   marked links it meets). The owner then repeats [find] until a full pass
+   no longer encounters the victim at any level — only then is the node
+   unreachable and retired (rule 3). This "sweep until unseen" is what makes
+   the retire point sound in the presence of in-flight inserts that may
+   still hold pre-marking references to the victim.
+
+   Hazard-pointer discipline: slot [2*level] protects the predecessor and
+   slot [2*level + 1] the current node at that level; descending a level
+   re-protects the carried-over predecessor before it is dereferenced, so
+   protection is continuous (Condition 1). *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
+  let max_level = 15 (* enough for the paper's 20k-element skip list *)
+
+  type node = {
+    mutable key : int;
+    mutable top : int; (* index of this node's highest level *)
+    next : link R.atomic array; (* length top+1; sentinels are full height *)
+    mutable state : Qs_arena.Node_state.t;
+    mutable birth : int;
+  }
+
+  and link = Null | Ptr of { dest : node; marked : bool }
+
+  module Node_impl = struct
+    type t = node
+
+    (* Nodes are allocated at full height and reused at any level: a
+       recycled node just uses a prefix of its link array. *)
+    let create () =
+      { key = 0;
+        top = 0;
+        next = Array.init (max_level + 1) (fun _ -> R.atomic Null);
+        state = Qs_arena.Node_state.Free;
+        birth = 0 }
+
+    let get_state n = n.state
+    let set_state n s = n.state <- s
+    let bump_birth n = n.birth <- n.birth + 1
+  end
+
+  module Arena = Qs_arena.Arena.Make (Node_impl)
+  module Glue = Smr_glue.Make (R) (struct type t = node end)
+
+  type t = {
+    head : node;
+    tail : node;
+    smr : Glue.ops;
+    arena : Arena.t;
+    debug_checks : bool;
+  }
+
+  type ctx = {
+    set : t;
+    smr_h : Glue.handle;
+    arena_h : Arena.handle;
+    prng : Qs_util.Prng.t; (* for level selection *)
+    preds : node array;
+    succs : node array;
+    pred_links : link array; (* physical link values, the CAS witnesses *)
+  }
+
+  let hp_per_process = 2 * (max_level + 1)
+
+  let create (cfg : Set_intf.config) =
+    let smr_cfg =
+      { cfg.smr with hp_per_process; removes_per_op_max = 1 }
+    in
+    let tail =
+      { key = max_int;
+        top = max_level;
+        next = Array.init (max_level + 1) (fun _ -> R.atomic Null);
+        state = Qs_arena.Node_state.Reachable;
+        birth = 0 }
+    in
+    let head =
+      { key = min_int;
+        top = max_level;
+        next =
+          Array.init (max_level + 1) (fun _ ->
+              R.atomic (Ptr { dest = tail; marked = false }));
+        state = Qs_arena.Node_state.Reachable;
+        birth = 0 }
+    in
+    let arena =
+      Arena.create ?capacity:cfg.capacity ~n_processes:smr_cfg.n_processes ()
+    in
+    let arena_handles =
+      Array.init smr_cfg.n_processes (fun pid -> Arena.register arena ~pid)
+    in
+    let free n = Arena.free arena_handles.(R.self ()) n in
+    let smr = Glue.make cfg.scheme smr_cfg ~dummy:tail ~free in
+    { head; tail; smr; arena; debug_checks = cfg.debug_checks }
+
+  let register t ~pid =
+    { set = t;
+      smr_h = t.smr.register ~pid;
+      arena_h = Arena.register t.arena ~pid;
+      prng = Qs_util.Prng.create ~seed:(31 + (977 * pid));
+      preds = Array.make (max_level + 1) t.head;
+      succs = Array.make (max_level + 1) t.tail;
+      pred_links = Array.make (max_level + 1) Null }
+
+  let touch ctx n = if ctx.set.debug_checks then Arena.touch ctx.arena_h n
+
+  let random_level ctx =
+    let rec go lvl =
+      if lvl < max_level && Qs_util.Prng.bool ctx.prng then go (lvl + 1) else lvl
+    in
+    go 0
+
+  (* One full traversal pass. Fills ctx.preds/succs/pred_links for levels
+     [0, max_level]; snips marked links it encounters; returns whether
+     [watch] (if any) was encountered at any level — still (partially)
+     reachable. Restarts internally on CAS interference. *)
+  let rec find ctx ?watch key =
+    let saw = ref false in
+    let watched n = match watch with Some w -> w == n | None -> false in
+    let t = ctx.set in
+    let rec level_walk pred level =
+      ctx.smr_h.assign_hp ~slot:(2 * level) pred;
+      let pred_link = R.get pred.next.(level) in
+      touch ctx pred;
+      match pred_link with
+      | Null | Ptr { marked = true; _ } ->
+        (* pred is being removed at this level: restart from the head *)
+        None
+      | Ptr { dest = curr; marked = false } ->
+        ctx.smr_h.assign_hp ~slot:((2 * level) + 1) curr;
+        if R.get pred.next.(level) != pred_link then None
+        else begin
+          touch ctx curr;
+          if watched curr then saw := true;
+          let curr_link = R.get curr.next.(level) in
+          touch ctx curr;
+          match curr_link with
+          | Ptr { dest = succ; marked = true } ->
+            (* snip the marked node out of this level *)
+            if
+              R.cas pred.next.(level) pred_link
+                (Ptr { dest = succ; marked = false })
+            then level_walk pred level
+            else None
+          | Null | Ptr { marked = false; _ } ->
+            if curr.key < key then level_walk curr level
+            else begin
+              ctx.preds.(level) <- pred;
+              ctx.succs.(level) <- curr;
+              ctx.pred_links.(level) <- pred_link;
+              if level = 0 then Some ()
+              else
+                (* descend: pred stays protected by slot 2*level until
+                   level_walk for level-1 re-protects it at slot 2*(level-1) *)
+                level_walk pred (level - 1)
+            end
+        end
+    in
+    match level_walk t.head max_level with
+    | Some () -> !saw
+    | None -> find ctx ?watch key
+
+  let found ctx key = ctx.succs.(0).key = key
+
+  let search ctx key =
+    ctx.smr_h.manage_state ();
+    ignore (find ctx key);
+    let res = found ctx key in
+    ctx.smr_h.clear_hps ();
+    res
+
+  (* Link the new node at levels 1..top; abandoned as soon as the node is
+     observed marked (a concurrent delete owns it from then on). Only the
+     inserter writes a node's upper links and only deleters mark them, so a
+     failed CAS on [n.next] means "being deleted" — stop. *)
+  let rec link_upper ctx n level =
+    if level <= n.top then begin
+      let succ = ctx.succs.(level) in
+      let cur = R.get n.next.(level) in
+      match cur with
+      | Ptr { marked = true; _ } -> () (* being deleted: stop linking *)
+      | Null | Ptr { marked = false; _ } ->
+        if not (R.cas n.next.(level) cur (Ptr { dest = succ; marked = false }))
+        then ()
+        else if
+          R.cas ctx.preds.(level).next.(level) ctx.pred_links.(level)
+            (Ptr { dest = n; marked = false })
+        then link_upper ctx n (level + 1)
+        else begin
+          (* interference: recompute witnesses and retry this level, unless
+             n was deleted in the meantime *)
+          ignore (find ctx n.key);
+          match R.get n.next.(0) with
+          | Ptr { marked = true; _ } -> ()
+          | Null | Ptr { marked = false; _ } -> link_upper ctx n level
+        end
+    end
+
+  let insert ctx key =
+    ctx.smr_h.manage_state ();
+    let rec attempt fresh =
+      ignore (find ctx key);
+      if found ctx key then begin
+        (match fresh with Some n -> Arena.free ctx.arena_h n | None -> ());
+        ctx.smr_h.clear_hps ();
+        false
+      end
+      else begin
+        let n =
+          match fresh with
+          | Some n -> n
+          | None ->
+            let n = Arena.alloc ctx.arena_h in
+            n.key <- key;
+            n.top <- random_level ctx;
+            n
+        in
+        (* prepare all levels before the bottom CAS publishes the node *)
+        for i = 0 to n.top do
+          R.set n.next.(i) (Ptr { dest = ctx.succs.(i); marked = false })
+        done;
+        if
+          R.cas ctx.preds.(0).next.(0) ctx.pred_links.(0)
+            (Ptr { dest = n; marked = false })
+        then begin
+          n.state <- Qs_arena.Node_state.Reachable;
+          link_upper ctx n 1;
+          ctx.smr_h.clear_hps ();
+          true
+        end
+        else attempt (Some n)
+      end
+    in
+    attempt None
+
+  let delete ctx key =
+    ctx.smr_h.manage_state ();
+    let rec attempt () =
+      ignore (find ctx key);
+      if not (found ctx key) then begin
+        ctx.smr_h.clear_hps ();
+        false
+      end
+      else begin
+        let n = ctx.succs.(0) in
+        (* mark from the top level down to 1 *)
+        for level = n.top downto 1 do
+          let rec mark () =
+            match R.get n.next.(level) with
+            | Ptr { dest; marked = false } as l ->
+              if not (R.cas n.next.(level) l (Ptr { dest; marked = true }))
+              then mark ()
+            | Null | Ptr { marked = true; _ } -> ()
+          in
+          mark ()
+        done;
+        (* level 0 decides ownership *)
+        let rec mark_bottom () =
+          match R.get n.next.(0) with
+          | Ptr { dest; marked = false } as l ->
+            if R.cas n.next.(0) l (Ptr { dest; marked = true }) then `Won
+            else mark_bottom ()
+          | Null | Ptr { marked = true; _ } -> `Lost
+        in
+        match mark_bottom () with
+        | `Lost -> attempt () (* another deleter owns it; settle the outcome *)
+        | `Won ->
+          n.state <- Qs_arena.Node_state.Removed;
+          (* sweep until a full pass no longer meets the node anywhere *)
+          while find ctx ~watch:n key do
+            ()
+          done;
+          ctx.smr_h.retire n;
+          ctx.smr_h.clear_hps ();
+          true
+      end
+    in
+    attempt ()
+
+  (* Sequential-context helpers. *)
+
+  let to_list ctx =
+    let t = ctx.set in
+    let rec go acc n =
+      match R.get n.next.(0) with
+      | Null -> List.rev acc
+      | Ptr { dest; marked } ->
+        if dest == t.tail then List.rev acc
+        else go (if marked then acc else dest.key :: acc) dest
+    in
+    go [] t.head
+
+  let size ctx = List.length (to_list ctx)
+
+  (* Structural invariants (sequential context): every chain is strictly
+     sorted; every unmarked node linked at an upper level is present
+     (unmarked) in the level-0 chain. *)
+  let validate ctx =
+    let t = ctx.set in
+    let level_nodes level =
+      let rec go acc n =
+        match R.get n.next.(level) with
+        | Null -> List.rev acc
+        | Ptr { dest; marked } ->
+          if dest == t.tail then List.rev acc
+          else go (if marked then acc else dest :: acc) dest
+      in
+      go [] t.head
+    in
+    let check_sorted level nodes =
+      let rec go last = function
+        | [] -> ()
+        | n :: rest ->
+          if n.key <= last then
+            failwith (Printf.sprintf "skiplist: level %d not sorted" level);
+          go n.key rest
+      in
+      go min_int nodes
+    in
+    let base = level_nodes 0 in
+    check_sorted 0 base;
+    for level = 1 to max_level do
+      let nodes = level_nodes level in
+      check_sorted level nodes;
+      List.iter
+        (fun n ->
+          if not (List.memq n base) then
+            failwith
+              (Printf.sprintf "skiplist: node %d at level %d missing from level 0"
+                 n.key level))
+        nodes
+    done
+
+  let flush ctx = ctx.smr_h.flush ()
+
+  let report t : Set_intf.report =
+    { smr = t.smr.stats ();
+      allocations = Arena.allocations t.arena;
+      frees = Arena.frees t.arena;
+      outstanding = Arena.outstanding t.arena;
+      violations = Arena.violations t.arena;
+      double_frees = Arena.double_frees t.arena }
+
+  let retired_count t = t.smr.retired_count ()
+  let violations t = Arena.violations t.arena
+  let outstanding t = Arena.outstanding t.arena
+  let nodes_per_key = 1
+  let scheme_name t = t.smr.scheme_name
+end

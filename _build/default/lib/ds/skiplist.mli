@@ -1,0 +1,42 @@
+(** Lock-free skip-list set (Fraser-style, as in ASCYLIB) — the second of
+    the paper's evaluation structures, and the one that stresses
+    hazard-pointer maintenance hardest: two hazard pointers per level
+    (K = 32 here; the paper quotes up to 35), which is why the paper's
+    QSense-vs-QSBR gap is widest on the skip list.
+
+    Level-0 membership is authoritative; deletion marks top-down and the
+    level-0 mark winner owns the removal, retiring the node only after a
+    full traversal pass no longer meets it at any level. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
+  type t
+  type ctx
+  type node
+
+  val max_level : int
+
+  val hp_per_process : int
+  (** K = 2 × (max_level + 1). *)
+
+  val nodes_per_key : int
+
+  val create : Set_intf.config -> t
+  val register : t -> pid:int -> ctx
+
+  val search : ctx -> int -> bool
+  val insert : ctx -> int -> bool
+  val delete : ctx -> int -> bool
+
+  val to_list : ctx -> int list
+  val size : ctx -> int
+  val flush : ctx -> unit
+  val report : t -> Set_intf.report
+  val retired_count : t -> int
+  val violations : t -> int
+  val outstanding : t -> int
+  val scheme_name : t -> string
+
+  val validate : ctx -> unit
+  (** Check structural invariants; raises [Failure] on corruption.
+      Sequential context only. *)
+end

@@ -1,0 +1,141 @@
+(* Treiber's lock-free stack with QSense-style reclamation — the worked
+   example of applying the paper's three-rule methodology to a brand-new
+   data structure (see examples/custom_structure.ml):
+
+   1. call [manage_state] between operations (here: at the top of
+      push/pop);
+   2. protect the node about to be dereferenced with [assign_hp] and
+      re-validate that it is still the top (Condition 1);
+   3. call [retire] instead of [free] when a node is unlinked.
+
+   Classic Treiber with free() suffers from ABA: a popped-and-recycled node
+   can reappear as top and a stale CAS succeeds. Here that cannot happen
+   for two independent reasons: links are unique [Ptr] objects compared
+   physically, and the SMR scheme keeps a node from being recycled while
+   any process still holds a protected reference to it. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
+  type node = {
+    mutable value : int;
+    mutable next : link; (* written only before the node is published *)
+    mutable state : Qs_arena.Node_state.t;
+    mutable birth : int;
+  }
+
+  and link = Null | Ptr of node
+
+  module Node_impl = struct
+    type t = node
+
+    let create () =
+      { value = 0; next = Null; state = Qs_arena.Node_state.Free; birth = 0 }
+
+    let get_state n = n.state
+    let set_state n s = n.state <- s
+    let bump_birth n = n.birth <- n.birth + 1
+  end
+
+  module Arena = Qs_arena.Arena.Make (Node_impl)
+  module Glue = Smr_glue.Make (R) (struct type t = node end)
+
+  type t = {
+    top : link R.atomic;
+    dummy : node;
+    smr : Glue.ops;
+    arena : Arena.t;
+    debug_checks : bool;
+  }
+
+  type ctx = { stack : t; smr_h : Glue.handle; arena_h : Arena.handle }
+
+  let hp_per_process = 1
+
+  let create (cfg : Set_intf.config) =
+    let smr_cfg =
+      { cfg.smr with hp_per_process; removes_per_op_max = 1 }
+    in
+    let dummy =
+      { value = 0; next = Null; state = Qs_arena.Node_state.Reachable; birth = 0 }
+    in
+    let arena =
+      Arena.create ?capacity:cfg.capacity ~n_processes:smr_cfg.n_processes ()
+    in
+    let arena_handles =
+      Array.init smr_cfg.n_processes (fun pid -> Arena.register arena ~pid)
+    in
+    let free n = Arena.free arena_handles.(R.self ()) n in
+    let smr = Glue.make cfg.scheme smr_cfg ~dummy ~free in
+    { top = R.atomic Null; dummy; smr; arena; debug_checks = cfg.debug_checks }
+
+  let register t ~pid =
+    { stack = t;
+      smr_h = t.smr.register ~pid;
+      arena_h = Arena.register t.arena ~pid }
+
+  let touch ctx n = if ctx.stack.debug_checks then Arena.touch ctx.arena_h n
+
+  let push ctx value =
+    ctx.smr_h.manage_state ();
+    let n = Arena.alloc ctx.arena_h in
+    n.value <- value;
+    let rec attempt () =
+      let old = R.get ctx.stack.top in
+      n.next <- old;
+      if R.cas ctx.stack.top old (Ptr n) then
+        n.state <- Qs_arena.Node_state.Reachable
+      else attempt ()
+    in
+    attempt ();
+    (* end-of-operation hook: drops protections / unpins epoch schemes *)
+    ctx.smr_h.clear_hps ()
+
+  let pop ctx =
+    ctx.smr_h.manage_state ();
+    let rec attempt () =
+      match R.get ctx.stack.top with
+      | Null ->
+        ctx.smr_h.clear_hps ();
+        None
+      | Ptr n as old ->
+        ctx.smr_h.assign_hp ~slot:0 n;
+        (* re-validate: n is still the top, hence not yet retired *)
+        if R.get ctx.stack.top != old then attempt ()
+        else begin
+          touch ctx n;
+          let next = n.next in
+          touch ctx n;
+          if R.cas ctx.stack.top old next then begin
+            let v = n.value in
+            n.state <- Qs_arena.Node_state.Removed;
+            ctx.smr_h.retire n;
+            ctx.smr_h.clear_hps ();
+            Some v
+          end
+          else attempt ()
+        end
+    in
+    attempt ()
+
+  (* Sequential-context helpers. *)
+
+  let to_list ctx =
+    let rec go acc = function
+      | Null -> List.rev acc
+      | Ptr n -> go (n.value :: acc) n.next
+    in
+    go [] (R.get ctx.stack.top)
+
+  let length ctx = List.length (to_list ctx)
+  let flush ctx = ctx.smr_h.flush ()
+
+  let report t : Set_intf.report =
+    { smr = t.smr.stats ();
+      allocations = Arena.allocations t.arena;
+      frees = Arena.frees t.arena;
+      outstanding = Arena.outstanding t.arena;
+      violations = Arena.violations t.arena;
+      double_frees = Arena.double_frees t.arena }
+
+  let violations t = Arena.violations t.arena
+  let outstanding t = Arena.outstanding t.arena
+end

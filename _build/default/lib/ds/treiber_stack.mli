@@ -1,0 +1,26 @@
+(** Treiber's lock-free stack with pluggable reclamation — the worked
+    example of applying the paper's three-rule methodology to a new data
+    structure (see examples/custom_structure.ml). K = 1 hazard pointer.
+    Values are integers. *)
+
+module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
+  type t
+  type ctx
+
+  val hp_per_process : int
+
+  val create : Set_intf.config -> t
+  val register : t -> pid:int -> ctx
+
+  val push : ctx -> int -> unit
+  val pop : ctx -> int option
+
+  val to_list : ctx -> int list
+  (** Top first; process context, no concurrent mutators. *)
+
+  val length : ctx -> int
+  val flush : ctx -> unit
+  val report : t -> Set_intf.report
+  val violations : t -> int
+  val outstanding : t -> int
+end

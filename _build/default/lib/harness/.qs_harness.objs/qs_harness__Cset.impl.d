@@ -1,0 +1,1 @@
+lib/harness/cset.ml: Qs_ds

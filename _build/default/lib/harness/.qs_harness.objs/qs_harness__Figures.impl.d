@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Cset Fun List Printf Qs_sim Qs_smr Qs_util Qs_workload Scheme Sim_exp

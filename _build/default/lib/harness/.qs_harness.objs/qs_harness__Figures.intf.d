@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Cset Qs_smr Qs_util Sim_exp

@@ -1,0 +1,1 @@
+lib/harness/real_exp.ml: Array Atomic Cset Fun Qs_arena Qs_ds Qs_real Qs_smr Qs_util Qs_workload Unix

@@ -1,0 +1,1 @@
+lib/harness/real_exp.mli: Cset Qs_ds Qs_smr Qs_workload

@@ -1,0 +1,1 @@
+lib/harness/sim_exp.ml: Array Cset Fun List Printexc Printf Qs_arena Qs_ds Qs_sim Qs_smr Qs_util Qs_workload Scheduler Sim_runtime

@@ -1,0 +1,1 @@
+lib/harness/sim_exp.mli: Cset Qs_ds Qs_sim Qs_smr Qs_workload Scheduler

@@ -1,0 +1,118 @@
+(** Experiment runner over real OCaml 5 domains ({!Qs_real.Real_runtime}).
+
+    The shape mirrors {!Sim_exp}: N worker domains run a random operation
+    mix against one structure for a wall-clock duration, with an optional
+    stalled victim. On a machine with enough cores this reproduces the
+    paper's curves natively; on fewer cores domains timeshare, so use the
+    simulator for scalability shapes and this runner for real-fence
+    smoke tests and demos. Rooster domains are started automatically for
+    schemes that need them. *)
+
+type setup = {
+  ds : Cset.kind;
+  scheme : Qs_smr.Scheme.kind;
+  n_domains : int;
+  workload : Qs_workload.Spec.t;
+  duration_ms : int;
+  seed : int;
+  capacity : int option;
+  stall_victim_after_ms : int option;
+      (** victim = highest pid; it stops working (but never quiesces) after
+          this instant and resumes 2x later *)
+  smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
+}
+
+let default_setup ~ds ~scheme ~n_domains ~workload =
+  { ds;
+    scheme;
+    n_domains;
+    workload;
+    duration_ms = 200;
+    seed = 1;
+    capacity = None;
+    stall_victim_after_ms = None;
+    smr_tweak = Fun.id }
+
+type result = {
+  ops_total : int;
+  throughput_mops : float;
+  violations : int;
+  failed : bool;  (** some domain hit [Arena.Exhausted] *)
+  report : Qs_ds.Set_intf.report;
+}
+
+let rooster_interval_ns = 2_000_000 (* 2 ms *)
+
+let cset_of : Cset.kind -> (module Cset.S) = function
+  | Cset.List -> (module Qs_ds.Linked_list.Make (Qs_real.Real_runtime))
+  | Cset.Skiplist -> (module Qs_ds.Skiplist.Make (Qs_real.Real_runtime))
+  | Cset.Bst -> (module Qs_ds.Bst.Make (Qs_real.Real_runtime))
+  | Cset.Hashtable -> (module Qs_ds.Hashtable.Make (Qs_real.Real_runtime))
+
+let run (setup : setup) : result =
+  let module C = (val cset_of setup.ds) in
+  let n = setup.n_domains in
+  let base = Qs_ds.Set_intf.default_config ~n_processes:n ~scheme:setup.scheme in
+  let cfg =
+    { base with
+      capacity = setup.capacity;
+      smr =
+        setup.smr_tweak
+          { base.smr with
+            rooster_interval = rooster_interval_ns;
+            epsilon = rooster_interval_ns / 2 } }
+  in
+  let set = C.create cfg in
+  let ctxs = Array.init n (fun pid -> C.register set ~pid) in
+  Qs_real.Real_runtime.register_self 0;
+  let keys = Array.of_list (Qs_workload.Spec.initial_keys setup.workload) in
+  Qs_util.Prng.shuffle (Qs_util.Prng.create ~seed:setup.seed) keys;
+  Array.iter (fun k -> ignore (C.insert ctxs.(0) k)) keys;
+  let roosters =
+    if Qs_smr.Scheme.needs_roosters setup.scheme then
+      Some (Qs_real.Roosters.start ~interval_ns:rooster_interval_ns ~n:1)
+    else None
+  in
+  let stop = Atomic.make false in
+  let failed = Atomic.make false in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. (float_of_int setup.duration_ms /. 1000.) in
+  let master = Qs_util.Prng.create ~seed:(setup.seed + 31) in
+  let prngs = Array.init n (fun _ -> Qs_util.Prng.split master) in
+  let ops =
+    Qs_real.Domain_pool.run ~n (fun pid ->
+        let prng = prngs.(pid) and ctx = ctxs.(pid) in
+        let stall_at =
+          match setup.stall_victim_after_ms with
+          | Some ms when pid = n - 1 ->
+            Some (t0 +. (float_of_int ms /. 1000.), t0 +. (2. *. float_of_int ms /. 1000.))
+          | _ -> None
+        in
+        let count = ref 0 in
+        (try
+           while (not (Atomic.get stop)) && Unix.gettimeofday () < deadline do
+             (match stall_at with
+             | Some (a, b) ->
+               let now = Unix.gettimeofday () in
+               if now >= a && now < b then Unix.sleepf (b -. now)
+             | None -> ());
+             (match Qs_workload.Spec.pick prng setup.workload with
+             | Search k -> ignore (C.search ctx k)
+             | Insert k -> ignore (C.insert ctx k)
+             | Delete k -> ignore (C.delete ctx k));
+             incr count
+           done
+         with Qs_arena.Arena.Exhausted ->
+           Atomic.set failed true;
+           Atomic.set stop true);
+        !count)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match roosters with Some r -> Qs_real.Roosters.stop r | None -> ());
+  let report = C.report set in
+  let ops_total = Array.fold_left ( + ) 0 ops in
+  { ops_total;
+    throughput_mops = float_of_int ops_total /. elapsed /. 1e6;
+    violations = C.violations set;
+    failed = Atomic.get failed;
+    report }

@@ -1,0 +1,42 @@
+(** Experiment runner over real OCaml 5 domains — the {!Sim_exp} shape on
+    {!Qs_real.Real_runtime}. On a machine with enough cores this reproduces
+    the paper's curves natively; on fewer cores domains timeshare, so use
+    the simulator for scalability shapes and this runner for real-fence
+    smoke tests and demos. Roosters are started automatically for schemes
+    that need them. *)
+
+type setup = {
+  ds : Cset.kind;
+  scheme : Qs_smr.Scheme.kind;
+  n_domains : int;
+  workload : Qs_workload.Spec.t;
+  duration_ms : int;
+  seed : int;
+  capacity : int option;
+  stall_victim_after_ms : int option;
+      (** the highest-pid domain stops working (without quiescing) at this
+          instant and resumes at twice it *)
+  smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
+}
+
+val default_setup :
+  ds:Cset.kind ->
+  scheme:Qs_smr.Scheme.kind ->
+  n_domains:int ->
+  workload:Qs_workload.Spec.t ->
+  setup
+
+type result = {
+  ops_total : int;
+  throughput_mops : float;
+  violations : int;
+  failed : bool;  (** some domain hit the arena capacity *)
+  report : Qs_ds.Set_intf.report;
+}
+
+val rooster_interval_ns : int
+
+val cset_of : Cset.kind -> (module Cset.S)
+(** The real-runtime instantiation of each structure. *)
+
+val run : setup -> result

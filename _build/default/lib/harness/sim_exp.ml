@@ -1,0 +1,197 @@
+(** Experiment runner over the deterministic simulator.
+
+    One experiment = N worker processes, one per virtual core, running a
+    random mix of set operations for a fixed span of virtual time, with
+    optional delay injection (a chosen victim process sleeping through given
+    windows, as in the paper's §7.2 robustness runs) and an optional arena
+    capacity (exceeding it models running out of memory). Throughput is
+    operations per million virtual ticks — the analogue of the paper's
+    Mops/s. *)
+
+open Qs_sim
+
+type delays = { victim : int; windows : (int * int) list }
+
+type setup = {
+  ds : Cset.kind;
+  scheme : Qs_smr.Scheme.kind;
+  n_processes : int;
+  workload : Qs_workload.Spec.t;
+  duration : int;
+  seed : int;
+  capacity : int option;
+  delays : delays option;
+  sample_every : int;  (** bucket width of the throughput series; 0 = none *)
+  record_latency : bool;  (** collect per-operation latencies (in ticks) *)
+  smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
+  sched_tweak : Scheduler.config -> Scheduler.config;
+}
+
+let default_setup ~ds ~scheme ~n_processes ~workload =
+  { ds;
+    scheme;
+    n_processes;
+    workload;
+    duration = 300_000;
+    seed = 1;
+    capacity = None;
+    delays = None;
+    sample_every = 0;
+    record_latency = false;
+    smr_tweak = Fun.id;
+    sched_tweak = Fun.id }
+
+type result = {
+  ops_total : int;
+  per_worker_ops : int array;
+  throughput : float;  (** ops per million virtual ticks *)
+  series : float array;  (** ops/Mtick per sample bucket *)
+  failed_at : int option;  (** virtual time of memory exhaustion, if any *)
+  latencies : int array;  (** per-operation latencies in ticks, all workers *)
+  violations : int;
+  report : Qs_ds.Set_intf.report;
+  rooster_fires : int;
+  final_size : int;
+  leak_check : [ `Ok | `Leaked of int | `Skipped ];
+      (** after teardown flush: do outstanding nodes match live nodes? *)
+}
+
+(* The paper's defaults scaled to simulator ticks: rooster interval T and
+   the quiescence/scan thresholds. *)
+let default_rooster_interval = 4_000
+let default_epsilon = 600
+
+let base_smr_config ~n_processes =
+  { (Qs_smr.Smr_intf.default_config ~n_processes ~hp_per_process:2) with
+    quiescence_threshold = 32;
+    scan_threshold = 32;
+    rooster_interval = default_rooster_interval;
+    epsilon = default_epsilon }
+
+let cset_of : Cset.kind -> (module Cset.S) = function
+  | Cset.List -> (module Qs_ds.Linked_list.Make (Sim_runtime))
+  | Cset.Skiplist -> (module Qs_ds.Skiplist.Make (Sim_runtime))
+  | Cset.Bst -> (module Qs_ds.Bst.Make (Sim_runtime))
+  | Cset.Hashtable -> (module Qs_ds.Hashtable.Make (Sim_runtime))
+
+let run (setup : setup) : result =
+  let module C = (val cset_of setup.ds) in
+  let n = setup.n_processes in
+  let sched_cfg =
+    setup.sched_tweak
+      { (Scheduler.default_config ~n_cores:n ~seed:setup.seed) with
+        rooster_interval =
+          (if Qs_smr.Scheme.needs_roosters setup.scheme then
+             Some default_rooster_interval
+           else None);
+        rooster_oversleep = default_epsilon / 2 }
+  in
+  let sched = Scheduler.create sched_cfg in
+  let set_cfg =
+    { Qs_ds.Set_intf.scheme = setup.scheme;
+      smr = setup.smr_tweak (base_smr_config ~n_processes:n);
+      capacity = setup.capacity;
+      debug_checks = true }
+  in
+  let set = C.create set_cfg in
+  let ctxs = Array.init n (fun pid -> C.register set ~pid) in
+  (* Pre-fill to half the key range from a single process (§7.1). *)
+  Scheduler.exec sched ~pid:0 (fun () ->
+      (* shuffled so that unbalanced structures (the external BST) do not
+         degenerate under an ascending fill *)
+      let keys = Array.of_list (Qs_workload.Spec.initial_keys setup.workload) in
+      Qs_util.Prng.shuffle (Qs_util.Prng.create ~seed:setup.seed) keys;
+      Array.iter (fun k -> ignore (C.insert ctxs.(0) k)) keys);
+  (* measured time starts now, not after the fill *)
+  Scheduler.reset_clocks sched;
+  let n_buckets =
+    if setup.sample_every > 0 then (setup.duration / setup.sample_every) + 1 else 0
+  in
+  let buckets = Array.make (max n_buckets 1) 0 in
+  let per_worker_ops = Array.make n 0 in
+  let latency_logs = Array.init n (fun _ -> ref []) in
+  let failed_at = ref None in
+  let master = Qs_util.Prng.create ~seed:(setup.seed + 7919) in
+  let prngs = Array.init n (fun _ -> Qs_util.Prng.split master) in
+  for pid = 0 to n - 1 do
+    Scheduler.spawn sched ~pid (fun () ->
+        let prng = prngs.(pid) and ctx = ctxs.(pid) in
+        let windows =
+          match setup.delays with
+          | Some d when d.victim = pid -> d.windows
+          | _ -> []
+        in
+        let rec loop () =
+          let t = Sim_runtime.now () in
+          if t < setup.duration && !failed_at = None then begin
+            (match
+               List.find_opt (fun (a, b) -> a <= t && t < b) windows
+             with
+            | Some (_, b) ->
+              (* clamp: no point sleeping past the end of the experiment *)
+              Sim_runtime.sleep_until (min b setup.duration)
+            | None ->
+              (try
+                 (match Qs_workload.Spec.pick prng setup.workload with
+                 | Search k -> ignore (C.search ctx k)
+                 | Insert k -> ignore (C.insert ctx k)
+                 | Delete k -> ignore (C.delete ctx k));
+                 if setup.record_latency then begin
+                   let log = latency_logs.(pid) in
+                   log := (Sim_runtime.now () - t) :: !log
+                 end;
+                 per_worker_ops.(pid) <- per_worker_ops.(pid) + 1;
+                 if setup.sample_every > 0 then begin
+                   let b = t / setup.sample_every in
+                   if b < Array.length buckets then
+                     buckets.(b) <- buckets.(b) + 1
+                 end
+               with Qs_arena.Arena.Exhausted ->
+                 if !failed_at = None then failed_at := Some t));
+            loop ()
+          end
+        in
+        loop ())
+  done;
+  Scheduler.run_all sched;
+  (match Scheduler.failures sched with
+  | [] -> ()
+  | (pid, e) :: _ ->
+    failwith
+      (Printf.sprintf "sim worker %d died: %s" pid (Printexc.to_string e)));
+  let ops_total = Array.fold_left ( + ) 0 per_worker_ops in
+  let throughput = float_of_int ops_total /. float_of_int setup.duration *. 1e6 in
+  let series =
+    if setup.sample_every = 0 then [||]
+    else
+      Array.map
+        (fun c -> float_of_int c /. float_of_int setup.sample_every *. 1e6)
+        buckets
+  in
+  let violations = C.violations set in
+  let final_size = Scheduler.exec sched ~pid:0 (fun () -> C.size ctxs.(0)) in
+  (* capture statistics before the teardown flush below frees everything *)
+  let report = C.report set in
+  let leak_check =
+    if setup.scheme = Qs_smr.Scheme.None_ then `Skipped
+    else begin
+      Scheduler.exec sched ~pid:0 (fun () -> Array.iter C.flush ctxs);
+      let leaked = C.outstanding set - (C.nodes_per_key * final_size) in
+      if leaked = 0 then `Ok else `Leaked leaked
+    end
+  in
+  let latencies =
+    Array.of_list
+      (Array.fold_left (fun acc l -> List.rev_append !l acc) [] latency_logs)
+  in
+  { ops_total;
+    per_worker_ops;
+    throughput;
+    series;
+    latencies;
+    failed_at = !failed_at;
+    violations;
+    report;
+    rooster_fires = Scheduler.rooster_fires sched;
+    final_size;
+    leak_check }

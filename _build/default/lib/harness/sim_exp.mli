@@ -1,0 +1,72 @@
+(** Experiment runner over the deterministic simulator.
+
+    One experiment = N worker processes (one per virtual core) running a
+    random operation mix against a freshly filled structure for a span of
+    virtual time, with optional delay injection (the paper's §7.2 setup: a
+    victim process sleeping through given windows) and an optional arena
+    capacity whose exhaustion models running out of memory.
+
+    Everything is deterministic given [seed]. Throughput is reported in
+    operations per million virtual ticks — the analogue of the paper's
+    Mops/s. *)
+
+open Qs_sim
+
+type delays = {
+  victim : int;
+  windows : (int * int) list;  (** [start, stop) in virtual time *)
+}
+
+type setup = {
+  ds : Cset.kind;
+  scheme : Qs_smr.Scheme.kind;
+  n_processes : int;
+  workload : Qs_workload.Spec.t;
+  duration : int;  (** virtual ticks of measured time (after the fill) *)
+  seed : int;
+  capacity : int option;  (** arena cap; exceeded => the run "fails" *)
+  delays : delays option;
+  sample_every : int;  (** bucket width of the throughput series; 0 = none *)
+  record_latency : bool;  (** collect per-operation latencies (in ticks) *)
+  smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
+  sched_tweak : Scheduler.config -> Scheduler.config;
+}
+
+val default_setup :
+  ds:Cset.kind ->
+  scheme:Qs_smr.Scheme.kind ->
+  n_processes:int ->
+  workload:Qs_workload.Spec.t ->
+  setup
+(** 300k ticks, seed 1, no cap, no delays, no sampling; roosters are
+    configured automatically for schemes that need them. *)
+
+type result = {
+  ops_total : int;
+  per_worker_ops : int array;
+  throughput : float;  (** ops per million virtual ticks *)
+  series : float array;  (** ops/Mtick per sample bucket (if sampling) *)
+  failed_at : int option;  (** virtual time of memory exhaustion, if any *)
+  latencies : int array;  (** per-op latencies in ticks (if recording) *)
+  violations : int;  (** use-after-free oracle hits — 0 for sound schemes *)
+  report : Qs_ds.Set_intf.report;  (** captured before the teardown flush *)
+  rooster_fires : int;
+  final_size : int;
+  leak_check : [ `Ok | `Leaked of int | `Skipped ];
+      (** after teardown flush: outstanding nodes vs live nodes *)
+}
+
+val default_rooster_interval : int
+val default_epsilon : int
+
+val base_smr_config : n_processes:int -> Qs_smr.Smr_intf.config
+(** The SMR defaults every experiment starts from (before [smr_tweak]). *)
+
+val cset_of : Cset.kind -> (module Cset.S)
+(** The simulator instantiation of each structure. *)
+
+val run : setup -> result
+(** Fill to half the key range from process 0 (shuffled), reset the virtual
+    clocks, run all workers to [duration], then collect statistics and
+    perform the teardown leak check. Raises [Failure] if a worker dies of
+    anything other than the modelled memory exhaustion. *)

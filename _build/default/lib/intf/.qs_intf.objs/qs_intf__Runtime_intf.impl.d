@@ -1,0 +1,1 @@
+lib/intf/runtime_intf.ml:

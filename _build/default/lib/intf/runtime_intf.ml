@@ -1,0 +1,85 @@
+(** The shared-memory runtime abstraction.
+
+    Every memory-reclamation scheme and every lock-free data structure in
+    this repository is a functor over {!module-type:RUNTIME}. Two
+    implementations exist:
+
+    - {!Qs_sim.Sim_runtime} — a deterministic multicore simulator with a TSO
+      (total-store-order) memory model: {e plain} writes go through a
+      per-process store buffer and only become globally visible on a fence, a
+      context switch, or buffer-capacity overflow. This runtime reproduces
+      the reordering bug of the paper's Algorithm 2 and is the substrate for
+      all figure reproductions.
+    - {!Qs_real.Real_runtime} — real OCaml 5 domains. Atomics map to
+      [Stdlib.Atomic]; plain cells map to racy-but-memory-safe mutable
+      fields; [fence] maps to an atomic exchange (the cost analogue of
+      x86 [mfence]).
+
+    The two cell kinds mirror the distinction the paper's performance
+    argument rests on:
+
+    - {e atomics} are sequentially consistent locations used for data
+      structure links, epochs and flags. CAS and SC stores drain the
+      issuer's store buffer (as the x86 [lock] prefix does).
+    - {e plain} cells are single-writer multi-reader locations used for
+      hazard pointers. A plain write is cheap but its visibility to other
+      processes is delayed — bounded only by fences, context switches
+      (rooster processes!) and buffer capacity. *)
+
+module type RUNTIME = sig
+  (** {1 Sequentially consistent atomics} *)
+
+  type 'a atomic
+
+  val atomic : 'a -> 'a atomic
+  (** Allocate an atomic location. Safe to call outside process context. *)
+
+  val get : 'a atomic -> 'a
+
+  val set : 'a atomic -> 'a -> unit
+  (** Sequentially consistent store; drains the issuing process's store
+      buffer. *)
+
+  val cas : 'a atomic -> 'a -> 'a -> bool
+  (** Compare-and-set using physical equality on the expected value, as
+      [Stdlib.Atomic.compare_and_set] does. Drains the store buffer. *)
+
+  val fetch_and_add : int atomic -> int -> int
+  (** Atomic fetch-and-add on an integer location. Drains the store
+      buffer. *)
+
+  (** {1 TSO plain cells} *)
+
+  type 'a plain
+
+  val plain : 'a -> 'a plain
+  (** Allocate a plain location. Safe to call outside process context. *)
+
+  val read : 'a plain -> 'a
+  (** Reads the issuer's own latest buffered write if any (store-to-load
+      forwarding), otherwise the committed value — which may be stale with
+      respect to other processes' buffered writes. *)
+
+  val write : 'a plain -> 'a -> unit
+  (** Buffered store: enqueued in the issuer's store buffer; other processes
+      cannot observe it until the buffer drains. *)
+
+  (** {1 Ordering, time, identity} *)
+
+  val fence : unit -> unit
+  (** Full memory barrier: drains the issuer's store buffer. Deliberately
+      expensive — this is the cost hazard pointers pay per traversed node
+      and the cost Cadence removes. *)
+
+  val now : unit -> int
+  (** Monotone clock. Simulator: virtual ticks on the caller's core plus a
+      bounded per-core skew. Real runtime: nanoseconds. Timestamps from
+      different processes may disagree by at most the configured epsilon. *)
+
+  val self : unit -> int
+  (** Identity of the calling process, in [0, n_processes). *)
+
+  val yield : unit -> unit
+  (** Cooperation/backoff point. Simulator: a zero-cost preemption point.
+      Real runtime: [Domain.cpu_relax]. *)
+end

@@ -1,0 +1,1 @@
+lib/real/domain_pool.ml: Array Domain List Real_runtime

@@ -1,0 +1,1 @@
+lib/real/domain_pool.mli:

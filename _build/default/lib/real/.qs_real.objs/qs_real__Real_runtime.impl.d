@@ -1,0 +1,1 @@
+lib/real/real_runtime.ml: Atomic Domain Unix

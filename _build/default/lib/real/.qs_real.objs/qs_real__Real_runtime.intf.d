@@ -1,0 +1,1 @@
+lib/real/real_runtime.mli: Qs_intf

@@ -1,0 +1,1 @@
+lib/real/roosters.ml: Atomic Domain List Real_runtime Unix

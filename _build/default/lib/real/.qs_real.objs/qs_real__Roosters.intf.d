@@ -1,0 +1,1 @@
+lib/real/roosters.mli:

@@ -1,0 +1,12 @@
+(* Spawn-and-join helper for worker domains. Each worker gets its process id
+   registered in domain-local storage before the body runs, so that
+   [Real_runtime.self] works inside the SMR schemes. *)
+
+let run ~n f =
+  let domains =
+    List.init n (fun pid ->
+        Domain.spawn (fun () ->
+            Real_runtime.register_self pid;
+            f pid))
+  in
+  Array.of_list (List.map Domain.join domains)

@@ -1,0 +1,6 @@
+(** Worker-domain pool. *)
+
+val run : n:int -> (int -> 'a) -> 'a array
+(** [run ~n f] spawns [n] domains, runs [f pid] on each (with
+    [Real_runtime.register_self pid] already done), joins them all and
+    returns their results indexed by pid. *)

@@ -1,0 +1,35 @@
+(* RUNTIME over real OCaml 5 domains.
+
+   Atomics are [Stdlib.Atomic]. Plain cells are single mutable fields; a
+   cross-domain plain read is racy but memory-safe under the OCaml memory
+   model and may observe a stale value — exactly the TSO store-buffer window
+   the paper's Cadence closes with rooster processes and deferred
+   reclamation. [fence] is an atomic exchange on a domain-local cell: on
+   x86-64 this compiles to a [lock]-prefixed instruction, the same cost class
+   as the [mfence] classic hazard pointers pay per traversed node. *)
+
+type 'a atomic = 'a Atomic.t
+
+let atomic = Atomic.make
+let get = Atomic.get
+let set = Atomic.set
+let cas = Atomic.compare_and_set
+let fetch_and_add = Atomic.fetch_and_add
+
+type 'a plain = { mutable v : 'a }
+
+let plain v = { v }
+let read c = c.v
+let write c x = c.v <- x
+
+let fence_cell : int Atomic.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Atomic.make 0)
+
+let fence () = ignore (Atomic.exchange (Domain.DLS.get fence_cell) 1)
+
+let pid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let register_self pid = Domain.DLS.set pid_key pid
+let self () = Domain.DLS.get pid_key
+
+let now () = int_of_float (Unix.gettimeofday () *. 1e9)
+let yield () = Domain.cpu_relax ()

@@ -1,0 +1,12 @@
+(** The {!Qs_intf.Runtime_intf.RUNTIME} instance over real OCaml 5 domains.
+
+    Atomics map to [Stdlib.Atomic]; plain cells are racy-but-memory-safe
+    mutable fields (stale reads possible, as under hardware TSO); [fence] is
+    an atomic exchange — the cost analogue of x86 [mfence]; [now] is
+    wall-clock nanoseconds. *)
+
+include Qs_intf.Runtime_intf.RUNTIME
+
+val register_self : int -> unit
+(** Must be called once by each worker domain before it uses the library,
+    with its process id in [0, n_processes). {!self} returns this id. *)

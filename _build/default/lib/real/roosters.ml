@@ -1,0 +1,42 @@
+(* Rooster processes for the real runtime.
+
+   The paper pins one rooster per core; each sleeps for interval T and wakes
+   up, forcing a context switch that drains the descheduled worker's store
+   buffer. On stock x86 hardware store buffers drain within nanoseconds
+   anyway; what the deferred-reclamation argument needs is a clock that
+   everyone agrees on up to a small epsilon and the guarantee that a hazard
+   pointer written before a node's removal is visible once the node is
+   [T + epsilon] old. The rooster domains here keep a coarse shared clock
+   ticking at a fraction of T, which gives Cadence cheap timestamps and lets
+   tests observe rooster liveness; the visibility bound itself is provided
+   by the hardware (sub-microsecond) and is therefore far inside any
+   practical T. *)
+
+type t = {
+  stop : bool Atomic.t;
+  coarse : int Atomic.t;
+  wakeups : int Atomic.t;
+  domains : unit Domain.t list;
+}
+
+let start ~interval_ns ~n =
+  let stop = Atomic.make false in
+  let coarse = Atomic.make (Real_runtime.now ()) in
+  let wakeups = Atomic.make 0 in
+  let tick_s = float_of_int interval_ns /. 1e9 in
+  let body () =
+    while not (Atomic.get stop) do
+      Unix.sleepf tick_s;
+      Atomic.set coarse (Real_runtime.now ());
+      Atomic.incr wakeups
+    done
+  in
+  let domains = List.init (max 1 n) (fun _ -> Domain.spawn body) in
+  { stop; coarse; wakeups; domains }
+
+let coarse_now t = Atomic.get t.coarse
+let wakeups t = Atomic.get t.wakeups
+
+let stop t =
+  Atomic.set t.stop true;
+  List.iter Domain.join t.domains

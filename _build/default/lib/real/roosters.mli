@@ -1,0 +1,19 @@
+(** Rooster processes for the real runtime: background domains that wake up
+    every [interval_ns], maintaining a coarse shared clock. Start them
+    whenever Cadence or QSense runs on {!Real_runtime}; their wake-up count
+    is observable for tests. *)
+
+type t
+
+val start : interval_ns:int -> n:int -> t
+(** [start ~interval_ns ~n] spawns [n] rooster domains (one per core in the
+    paper's setup). *)
+
+val coarse_now : t -> int
+(** Last wall-clock timestamp published by a rooster, in ns. *)
+
+val wakeups : t -> int
+(** Total rooster wake-ups so far. *)
+
+val stop : t -> unit
+(** Signal and join all rooster domains. *)

@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Array Cell Effect Format List Qs_util Queue

@@ -1,0 +1,1 @@
+lib/sim/sim_runtime.ml: Cell Effect Scheduler

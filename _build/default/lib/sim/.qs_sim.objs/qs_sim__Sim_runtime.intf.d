@@ -1,0 +1,1 @@
+lib/sim/sim_runtime.mli: Cell Qs_intf

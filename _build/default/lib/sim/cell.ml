@@ -1,0 +1,48 @@
+type 'a t = {
+  mutable committed : 'a;
+  mutable pending : (int * int * 'a) list; (* (pid, uid, value), newest first *)
+  mutable owner : int;
+}
+
+type buffered = B : 'a t * int -> buffered
+
+let uid_counter = ref 0
+
+let make v = { committed = v; pending = []; owner = -1 }
+
+let read_own pid c =
+  let rec find = function
+    | [] -> c.committed
+    | (p, _, v) :: rest -> if p = pid then v else find rest
+  in
+  find c.pending
+
+let read_committed c = c.committed
+
+let write_committed c v = c.committed <- v
+
+let enqueue_write pid c v =
+  incr uid_counter;
+  let uid = !uid_counter in
+  c.pending <- (pid, uid, v) :: c.pending;
+  B (c, uid)
+
+let commit (B (c, uid)) =
+  (* The buffer is FIFO per process, so of the entries with this uid there is
+     exactly one (uids are globally unique); committing removes it. *)
+  let rec remove acc = function
+    | [] -> None
+    | ((p, u, v) as e) :: rest ->
+      if u = uid then Some (p, v, List.rev_append acc rest) else remove (e :: acc) rest
+  in
+  match remove [] c.pending with
+  | None -> () (* already committed (e.g. capacity overflow then fence) *)
+  | Some (pid, v, pending') ->
+    c.committed <- v;
+    c.pending <- pending';
+    c.owner <- pid
+
+let owner c = c.owner
+let set_owner c pid = c.owner <- pid
+
+let pending_count c = List.length c.pending

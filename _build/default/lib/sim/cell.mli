@@ -1,0 +1,48 @@
+(** Shared-memory locations for the TSO simulator.
+
+    A cell holds a {e committed} value — what main memory contains — plus a
+    set of {e pending} writes that live in some process's store buffer and
+    are invisible to every other process. The scheduler owns the policy of
+    when pending writes commit (fences, context switches, buffer capacity,
+    probabilistic drain); this module only provides the mechanics.
+
+    Cells also carry a last-owner tag used by the scheduler's cache-coherence
+    cost model (an access to a line owned by another core is charged a
+    remote-miss penalty). *)
+
+type 'a t
+
+type buffered = B : 'a t * int -> buffered
+(** A store sitting in a store buffer: the target cell and the unique id of
+    the pending entry. *)
+
+val make : 'a -> 'a t
+(** A fresh cell whose committed value is the argument. *)
+
+val read_own : int -> 'a t -> 'a
+(** [read_own pid c] implements TSO store-to-load forwarding: the newest
+    pending write by [pid] if there is one, otherwise the committed value.
+    Pending writes of other processes are never visible. *)
+
+val read_committed : 'a t -> 'a
+(** The value in main memory, ignoring all store buffers. *)
+
+val write_committed : 'a t -> 'a -> unit
+(** Store directly to main memory (used for SC stores and CAS results). *)
+
+val enqueue_write : int -> 'a t -> 'a -> buffered
+(** [enqueue_write pid c v] registers a pending write and returns the token
+    to put in [pid]'s store buffer. *)
+
+val commit : buffered -> unit
+(** Make a pending write visible in main memory. Idempotent: committing a
+    token twice is a no-op. *)
+
+val owner : _ t -> int
+(** Core that last wrote the cell, [-1] when shared/fresh. *)
+
+val set_owner : _ t -> int -> unit
+
+val pending_count : _ t -> int
+(** Number of uncommitted writes currently targeting this cell (all
+    processes). Used by tests. *)

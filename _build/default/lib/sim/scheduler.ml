@@ -1,0 +1,449 @@
+open Effect.Deep
+
+type drain_policy = No_drain | Prob of float
+
+type cost_model = {
+  plain_op : int;
+  atomic_load : int;
+  atomic_store : int;
+  cas : int;
+  fence : int;
+  remote_access : int;
+  ctx_switch : int;
+  jitter : int;
+  stall_prob : float;
+  stall_max : int;
+}
+
+let default_cost =
+  { plain_op = 1;
+    (* pointer-chasing loads miss the cache for structures larger than L1;
+       this is the dominant per-node cost the fence is measured against *)
+    atomic_load = 8;
+    atomic_store = 3;
+    cas = 12;
+    fence = 60;
+    remote_access = 8;
+    ctx_switch = 200;
+    jitter = 1;
+    stall_prob = 0.002;
+    stall_max = 400 }
+
+type config = {
+  n_cores : int;
+  seed : int;
+  cost : cost_model;
+  store_buffer_capacity : int;
+  drain : drain_policy;
+  rooster_interval : int option;
+  rooster_oversleep : int;
+  clock_skew : int;
+  kill_roosters_at : int option;
+  trace_capacity : int;
+}
+
+type event =
+  | Ev_read
+  | Ev_write
+  | Ev_atomic_get
+  | Ev_atomic_set
+  | Ev_cas of bool
+  | Ev_faa
+  | Ev_fence
+  | Ev_rooster
+  | Ev_stall of int
+  | Ev_sleep of int
+  | Ev_wake
+
+let pp_event fmt = function
+  | Ev_read -> Format.pp_print_string fmt "read"
+  | Ev_write -> Format.pp_print_string fmt "write"
+  | Ev_atomic_get -> Format.pp_print_string fmt "atomic-get"
+  | Ev_atomic_set -> Format.pp_print_string fmt "atomic-set"
+  | Ev_cas ok -> Format.fprintf fmt "cas(%s)" (if ok then "ok" else "fail")
+  | Ev_faa -> Format.pp_print_string fmt "faa"
+  | Ev_fence -> Format.pp_print_string fmt "fence"
+  | Ev_rooster -> Format.pp_print_string fmt "rooster-fire"
+  | Ev_stall n -> Format.fprintf fmt "stall(%d)" n
+  | Ev_sleep target -> Format.fprintf fmt "sleep(until %d)" target
+  | Ev_wake -> Format.pp_print_string fmt "wake"
+
+let default_config ~n_cores ~seed =
+  { n_cores;
+    seed;
+    cost = default_cost;
+    store_buffer_capacity = 64;
+    drain = No_drain;
+    rooster_interval = None;
+    rooster_oversleep = 0;
+    clock_skew = 0;
+    kill_roosters_at = None;
+    trace_capacity = 0 }
+
+type pstate = Idle | Ready | Sleeping of int | Done | Failed of exn
+
+type proc = {
+  pid : int;
+  mutable clock : int;
+  skew : int;
+  buffer : Cell.buffered Queue.t;
+  mutable state : pstate;
+  mutable resume : (unit -> unit) option;
+  mutable next_rooster : int;
+  prng : Qs_util.Prng.t;
+  mutable flushes : int;
+}
+
+type t = {
+  cfg : config;
+  procs : proc array;
+  prng : Qs_util.Prng.t;
+  mutable rooster_fires : int;
+  mutable steps : int;
+  mutable failures : (int * exn) list;
+  trace : (int * int * event) array; (* ring: (pid, clock, event) *)
+  mutable trace_pos : int;
+  mutable trace_len : int;
+}
+
+type _ Effect.t +=
+  | E_atomic_get : 'a Cell.t -> 'a Effect.t
+  | E_atomic_set : 'a Cell.t * 'a -> unit Effect.t
+  | E_cas : 'a Cell.t * 'a * 'a -> bool Effect.t
+  | E_faa : int Cell.t * int -> int Effect.t
+  | E_read : 'a Cell.t -> 'a Effect.t
+  | E_write : 'a Cell.t * 'a -> unit Effect.t
+  | E_fence : unit Effect.t
+  | E_now : int Effect.t
+  | E_self : int Effect.t
+  | E_yield : unit Effect.t
+  | E_sleep_until : int -> unit Effect.t
+  | E_charge : int -> unit Effect.t
+
+let create cfg =
+  let prng = Qs_util.Prng.create ~seed:cfg.seed in
+  let make_proc pid =
+    let p_prng = Qs_util.Prng.split prng in
+    let skew = if cfg.clock_skew = 0 then 0 else Qs_util.Prng.int p_prng (cfg.clock_skew + 1) in
+    let next_rooster =
+      match cfg.rooster_interval with
+      | None -> max_int
+      | Some iv ->
+        iv
+        + (if cfg.rooster_oversleep = 0 then 0 else Qs_util.Prng.int p_prng (cfg.rooster_oversleep + 1))
+    in
+    { pid;
+      clock = 0;
+      skew;
+      buffer = Queue.create ();
+      state = Idle;
+      resume = None;
+      next_rooster;
+      prng = p_prng;
+      flushes = 0 }
+  in
+  { cfg;
+    procs = Array.init cfg.n_cores make_proc;
+    prng;
+    rooster_fires = 0;
+    steps = 0;
+    failures = [];
+    trace = Array.make (max cfg.trace_capacity 1) (0, 0, Ev_read);
+    trace_pos = 0;
+    trace_len = 0 }
+
+let record (t : t) (p : proc) ev =
+  if t.cfg.trace_capacity > 0 then begin
+    t.trace.(t.trace_pos) <- (p.pid, p.clock, ev);
+    t.trace_pos <- (t.trace_pos + 1) mod t.cfg.trace_capacity;
+    if t.trace_len < t.cfg.trace_capacity then t.trace_len <- t.trace_len + 1
+  end
+
+let flush_buffer p =
+  if not (Queue.is_empty p.buffer) then begin
+    while not (Queue.is_empty p.buffer) do
+      Cell.commit (Queue.pop p.buffer)
+    done;
+    p.flushes <- p.flushes + 1
+  end
+
+let roosters_alive t fire_time =
+  match t.cfg.kill_roosters_at with None -> true | Some k -> fire_time < k
+
+(* Advance [p]'s clock to [target], firing every rooster wake-up crossed on
+   the way. A rooster wake-up forces a context switch on [p]'s core, which
+   drains [p]'s store buffer — the visibility guarantee Cadence needs. *)
+let rec advance_to (t : t) (p : proc) target =
+  match t.cfg.rooster_interval with
+  | Some iv when p.next_rooster <= target && roosters_alive t p.next_rooster ->
+    p.clock <- max p.clock p.next_rooster;
+    flush_buffer p;
+    t.rooster_fires <- t.rooster_fires + 1;
+    record t p Ev_rooster;
+    p.clock <- p.clock + t.cfg.cost.ctx_switch;
+    let oversleep =
+      if t.cfg.rooster_oversleep = 0 then 0
+      else Qs_util.Prng.int p.prng (t.cfg.rooster_oversleep + 1)
+    in
+    p.next_rooster <- p.next_rooster + iv + oversleep;
+    advance_to t p target
+  | _ -> p.clock <- max p.clock target
+
+let account (t : t) (p : proc) cost =
+  let jitter =
+    if t.cfg.cost.jitter = 0 then 0 else Qs_util.Prng.int p.prng (t.cfg.cost.jitter + 1)
+  in
+  (* Occasional long stalls model cache misses, interrupts and preemptions:
+     the asynchrony that lets one process race far ahead of another. *)
+  let stall =
+    if t.cfg.cost.stall_prob > 0. && Qs_util.Prng.float p.prng 1.0 < t.cfg.cost.stall_prob
+    then Qs_util.Prng.int p.prng (t.cfg.cost.stall_max + 1)
+    else 0
+  in
+  if stall > 0 then record t p (Ev_stall stall);
+  advance_to t p (p.clock + cost + jitter + stall)
+
+(* Cache-coherence cost model: accessing a line last written by another core
+   costs a remote miss. Reads downgrade the line to shared; the next commit
+   of a write re-acquires ownership (see Cell.commit). *)
+let read_extra (t : t) (p : proc) (c : _ Cell.t) =
+  let o = Cell.owner c in
+  if o <> p.pid && o <> -1 then begin
+    Cell.set_owner c (-1);
+    t.cfg.cost.remote_access
+  end
+  else 0
+
+let write_extra (t : t) (p : proc) (c : _ Cell.t) =
+  let o = Cell.owner c in
+  let extra = if o <> p.pid && o <> -1 then t.cfg.cost.remote_access else 0 in
+  Cell.set_owner c p.pid;
+  extra
+
+let run_fiber (t : t) (p : proc) f =
+  match_with f ()
+    { retc = (fun () -> p.state <- Done);
+      exnc =
+        (fun e ->
+          p.state <- Failed e;
+          t.failures <- (p.pid, e) :: t.failures);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_read c ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      account t p (t.cfg.cost.plain_op + read_extra t p c);
+                      record t p Ev_read;
+                      continue k (Cell.read_own p.pid c)))
+          | E_write (c, v) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      account t p t.cfg.cost.plain_op;
+                      let token = Cell.enqueue_write p.pid c v in
+                      Queue.push token p.buffer;
+                      if Queue.length p.buffer > t.cfg.store_buffer_capacity then
+                        Cell.commit (Queue.pop p.buffer);
+                      record t p Ev_write;
+                      continue k ()))
+          | E_atomic_get c ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      account t p (t.cfg.cost.atomic_load + read_extra t p c);
+                      record t p Ev_atomic_get;
+                      continue k (Cell.read_committed c)))
+          | E_atomic_set (c, v) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      flush_buffer p;
+                      account t p (t.cfg.cost.atomic_store + write_extra t p c);
+                      Cell.write_committed c v;
+                      record t p Ev_atomic_set;
+                      continue k ()))
+          | E_cas (c, expected, desired) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      flush_buffer p;
+                      account t p (t.cfg.cost.cas + write_extra t p c);
+                      let ok = Cell.read_committed c == expected in
+                      if ok then Cell.write_committed c desired;
+                      record t p (Ev_cas ok);
+                      continue k ok))
+          | E_faa (c, n) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      flush_buffer p;
+                      account t p (t.cfg.cost.cas + write_extra t p c);
+                      let old = Cell.read_committed c in
+                      Cell.write_committed c (old + n);
+                      record t p Ev_faa;
+                      continue k old))
+          | E_fence ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      flush_buffer p;
+                      account t p t.cfg.cost.fence;
+                      record t p Ev_fence;
+                      continue k ()))
+          | E_now ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      account t p t.cfg.cost.plain_op;
+                      continue k (p.clock + p.skew)))
+          | E_self ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <- Some (fun () -> continue k p.pid))
+          | E_yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <- Some (fun () -> continue k ()))
+          | E_sleep_until target ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                record t p (Ev_sleep target);
+                p.state <- Sleeping target;
+                p.resume <- Some (fun () -> continue k ()))
+          | E_charge n ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                p.resume <-
+                  Some
+                    (fun () ->
+                      account t p n;
+                      continue k ()))
+          | _ -> None) }
+
+(* A sleeping core advances in bounded quanta so that rooster wake-ups fire
+   at (approximately) the right virtual time relative to the other cores. *)
+let sleep_quantum = 512
+
+let drain_maybe (t : t) (p : proc) =
+  match t.cfg.drain with
+  | No_drain -> ()
+  | Prob prob ->
+    if (not (Queue.is_empty p.buffer)) && Qs_util.Prng.float p.prng 1.0 < prob then
+      Cell.commit (Queue.pop p.buffer)
+
+let step (t : t) (p : proc) =
+  t.steps <- t.steps + 1;
+  match p.state with
+  | Sleeping target ->
+    advance_to t p (min target (p.clock + sleep_quantum));
+    if p.clock >= target then begin
+      record t p Ev_wake;
+      p.state <- Ready
+    end
+  | Ready ->
+    drain_maybe t p;
+    (match p.resume with
+    | Some r ->
+      p.resume <- None;
+      r ()
+    | None -> p.state <- Done)
+  | Idle | Done | Failed _ -> ()
+
+let active p = match p.state with Ready | Sleeping _ -> true | _ -> false
+
+let pick t =
+  let best = ref None in
+  Array.iter
+    (fun p ->
+      if active p then
+        match !best with
+        | None -> best := Some p
+        | Some b ->
+          if p.clock < b.clock || (p.clock = b.clock && Qs_util.Prng.bool t.prng) then
+            best := Some p)
+    t.procs;
+  !best
+
+let spawn t ~pid f =
+  let p = t.procs.(pid) in
+  p.state <- Ready;
+  p.resume <- None;
+  run_fiber t p f
+
+let run_all t =
+  let rec loop () =
+    match pick t with
+    | None -> ()
+    | Some p ->
+      step t p;
+      loop ()
+  in
+  loop ();
+  (* Commit leftovers so post-run inspection sees final memory. *)
+  Array.iter flush_buffer t.procs
+
+let exec t ~pid f =
+  let p = t.procs.(pid) in
+  let result = ref None in
+  spawn t ~pid (fun () -> result := Some (f ()));
+  while active p do
+    step t p
+  done;
+  match p.state with
+  | Failed e ->
+    t.failures <- List.filter (fun (pid', _) -> pid' <> pid) t.failures;
+    p.state <- Idle;
+    raise e
+  | _ -> (
+    match !result with
+    | Some r -> r
+    | None -> failwith "Scheduler.exec: fiber did not complete")
+
+(* Zero every core clock (e.g. after a single-process pre-fill phase, so
+   that experiment time starts when the workers do). Store buffers are
+   drained first; rooster schedules restart. *)
+let reset_clocks t =
+  Array.iter
+    (fun p ->
+      flush_buffer p;
+      p.clock <- 0;
+      p.next_rooster <-
+        (match t.cfg.rooster_interval with
+        | None -> max_int
+        | Some iv ->
+          iv
+          + (if t.cfg.rooster_oversleep = 0 then 0
+             else Qs_util.Prng.int p.prng (t.cfg.rooster_oversleep + 1))))
+    t.procs
+
+let failures t = List.rev t.failures
+let clock_of t ~pid = t.procs.(pid).clock
+let skewed_now t ~pid = t.procs.(pid).clock + t.procs.(pid).skew
+let max_clock t = Array.fold_left (fun acc p -> max acc p.clock) 0 t.procs
+let flush_count t ~pid = t.procs.(pid).flushes
+let rooster_fires t = t.rooster_fires
+let steps t = t.steps
+
+(* Oldest-first contents of the event ring. *)
+let recent_events t =
+  let n = t.trace_len in
+  let cap = max t.cfg.trace_capacity 1 in
+  List.init n (fun i -> t.trace.((t.trace_pos - n + i + (2 * cap)) mod cap))

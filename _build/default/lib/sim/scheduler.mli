@@ -1,0 +1,150 @@
+(** Deterministic multicore simulator.
+
+    The simulator models [n_cores] cores, each running exactly one pinned
+    worker process (as in the paper's evaluation, where every process is
+    pinned to a distinct core), plus one rooster per core modelled as a
+    timer event. Workers are OCaml effect-handler coroutines: every shared
+    memory access performs an effect, which is a preemption point.
+
+    {b Time.} Each core has its own virtual clock, advanced by the cost of
+    the operations {e that core} executes (see {!cost_model}). The scheduler
+    always steps the runnable core with the smallest clock, so cores proceed
+    in parallel virtual time: [n] cores each executing [k] ticks of work
+    finish at virtual time [k], not [n*k]. Throughput numbers are
+    operations per virtual time unit.
+
+    {b TSO.} Plain writes go to a per-process store buffer (capacity
+    {!config.store_buffer_capacity}); they commit to memory on a fence, on a
+    rooster-induced context switch, on capacity overflow, on any atomic
+    operation by the same process (x86 [lock] semantics), or — under
+    [Prob p] drain — spontaneously with probability [p] per step.
+
+    {b Roosters.} With [rooster_interval = Some t], each core flushes its
+    worker's store buffer every [t] ticks (plus a bounded random oversleep),
+    charging the worker a context-switch cost. This is the mechanism
+    Cadence's safety relies on.
+
+    {b Determinism.} Everything — interleaving, jitter, oversleep, skew —
+    derives from [seed]. *)
+
+type drain_policy =
+  | No_drain  (** adversarial: only fences/atomics/roosters/capacity drain *)
+  | Prob of float  (** commit the oldest buffered store with prob. p per step *)
+
+type cost_model = {
+  plain_op : int;      (** plain read/write, clock read *)
+  atomic_load : int;   (** atomic load — a pointer-chasing node access *)
+  atomic_store : int;  (** SC store *)
+  cas : int;           (** compare-and-set / fetch-and-add *)
+  fence : int;         (** full barrier — the cost hazard pointers pay *)
+  remote_access : int; (** added when touching a line owned by another core *)
+  ctx_switch : int;    (** charged to the worker at each rooster wake-up *)
+  jitter : int;        (** uniform random extra in [0, jitter] per operation *)
+  stall_prob : float;
+      (** probability, per operation, of a long stall — modelling cache
+          misses, interrupts and preemptions, the asynchrony that lets one
+          process race far ahead of another *)
+  stall_max : int;     (** stall length is uniform in [0, stall_max] *)
+}
+
+val default_cost : cost_model
+(** plain 1, atomic load 8 (pointer chase), atomic store 3, cas 12,
+    fence 60, remote 8, ctx switch 200, jitter 1, stall 0.002/400 —
+    ratios in line with published x86 measurements. *)
+
+type config = {
+  n_cores : int;
+  seed : int;
+  cost : cost_model;
+  store_buffer_capacity : int;  (** oldest store commits when full (hw ~64) *)
+  drain : drain_policy;
+  rooster_interval : int option;  (** [None]: no roosters *)
+  rooster_oversleep : int;  (** max extra sleep per wake-up, drawn per event *)
+  clock_skew : int;  (** per-core constant offset in [0, clock_skew] *)
+  kill_roosters_at : int option;
+      (** stop firing roosters after this virtual time (fault injection) *)
+  trace_capacity : int;
+      (** keep the last N events in a ring for debugging; 0 disables *)
+}
+
+(** Events recorded in the debug trace ring (when [trace_capacity] > 0). *)
+type event =
+  | Ev_read
+  | Ev_write
+  | Ev_atomic_get
+  | Ev_atomic_set
+  | Ev_cas of bool  (** success? *)
+  | Ev_faa
+  | Ev_fence
+  | Ev_rooster
+  | Ev_stall of int
+  | Ev_sleep of int
+  | Ev_wake
+
+val pp_event : Format.formatter -> event -> unit
+
+val default_config : n_cores:int -> seed:int -> config
+
+type t
+
+val create : config -> t
+
+(** {1 Effects performed by {!Sim_runtime}} *)
+
+type _ Effect.t +=
+  | E_atomic_get : 'a Cell.t -> 'a Effect.t
+  | E_atomic_set : 'a Cell.t * 'a -> unit Effect.t
+  | E_cas : 'a Cell.t * 'a * 'a -> bool Effect.t
+  | E_faa : int Cell.t * int -> int Effect.t
+  | E_read : 'a Cell.t -> 'a Effect.t
+  | E_write : 'a Cell.t * 'a -> unit Effect.t
+  | E_fence : unit Effect.t
+  | E_now : int Effect.t
+  | E_self : int Effect.t
+  | E_yield : unit Effect.t
+  | E_sleep_until : int -> unit Effect.t
+  | E_charge : int -> unit Effect.t
+
+(** {1 Running processes} *)
+
+val exec : t -> pid:int -> (unit -> 'a) -> 'a
+(** [exec t ~pid f] runs [f] as process [pid]'s fiber to completion, alone,
+    advancing that core's clock. Used for initialisation (the paper fills
+    the structure from a single process) and for sequential tests.
+    Re-raises any exception of [f]. *)
+
+val spawn : t -> pid:int -> (unit -> unit) -> unit
+(** Register the body of process [pid] for the next {!run_all}. [pid] must
+    be in [0, n_cores). *)
+
+val run_all : t -> unit
+(** Run all spawned processes to completion under the min-clock policy.
+    Worker exceptions are recorded, not re-raised — see {!failures}. *)
+
+val reset_clocks : t -> unit
+(** Zero every core clock and restart rooster schedules; used after a
+    single-process initialisation phase so that measured time starts with
+    the workers. Buffers are drained first. *)
+
+val failures : t -> (int * exn) list
+(** Processes that died with an exception during the last {!run_all}. *)
+
+val clock_of : t -> pid:int -> int
+(** Core-local virtual clock (without skew). *)
+
+val skewed_now : t -> pid:int -> int
+
+val max_clock : t -> int
+
+val flush_count : t -> pid:int -> int
+(** Number of store-buffer drains performed by/for this process. *)
+
+val rooster_fires : t -> int
+(** Total rooster wake-ups fired so far. *)
+
+val steps : t -> int
+(** Total effect-steps executed, across all processes. *)
+
+val recent_events : t -> (int * int * event) list
+(** The trace ring's contents, oldest first: (pid, core clock, event).
+    Empty unless [config.trace_capacity] > 0. *)

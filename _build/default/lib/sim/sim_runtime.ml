@@ -1,0 +1,30 @@
+(* The RUNTIME instance backed by the deterministic simulator. Every
+   operation performs an effect handled by the {!Scheduler} of the enclosing
+   fiber; calling these functions outside [Scheduler.exec]/[Scheduler.spawn]
+   raises [Effect.Unhandled]. Cell creation is effect-free and may happen
+   anywhere. *)
+
+type 'a atomic = 'a Cell.t
+type 'a plain = 'a Cell.t
+
+let atomic v = Cell.make v
+let plain v = Cell.make v
+let get c = Effect.perform (Scheduler.E_atomic_get c)
+let set c v = Effect.perform (Scheduler.E_atomic_set (c, v))
+let cas c expected desired = Effect.perform (Scheduler.E_cas (c, expected, desired))
+let fetch_and_add c n = Effect.perform (Scheduler.E_faa (c, n))
+let read c = Effect.perform (Scheduler.E_read c)
+let write c v = Effect.perform (Scheduler.E_write (c, v))
+let fence () = Effect.perform Scheduler.E_fence
+let now () = Effect.perform Scheduler.E_now
+let self () = Effect.perform Scheduler.E_self
+let yield () = Effect.perform Scheduler.E_yield
+
+(* Simulator extras, not part of RUNTIME. *)
+
+let sleep_until target = Effect.perform (Scheduler.E_sleep_until target)
+(** Block the calling process until its core clock reaches [target]; used
+    for delay injection. *)
+
+let charge n = Effect.perform (Scheduler.E_charge n)
+(** Account [n] extra virtual ticks of application work to the caller. *)

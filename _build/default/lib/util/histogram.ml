@@ -1,0 +1,53 @@
+type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+let create ~lo ~hi ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; counts = Array.make buckets 0; total = 0 }
+
+let add t x =
+  let n = Array.length t.counts in
+  let idx =
+    int_of_float (float_of_int n *. (x -. t.lo) /. (t.hi -. t.lo))
+  in
+  let idx = if idx < 0 then 0 else if idx >= n then n - 1 else idx in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bucket_counts t = Array.copy t.counts
+
+let to_ascii t ~width =
+  let n = Array.length t.counts in
+  let biggest = Array.fold_left max 1 t.counts in
+  let buf = Buffer.create 256 in
+  let step = (t.hi -. t.lo) /. float_of_int n in
+  for i = 0 to n - 1 do
+    let bar = t.counts.(i) * width / biggest in
+    Buffer.add_string buf
+      (Printf.sprintf "%10.2f | %s %d\n"
+         (t.lo +. (step *. float_of_int i))
+         (String.make bar '#')
+         t.counts.(i))
+  done;
+  Buffer.contents buf
+
+let spark_levels = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                      "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                      "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline xs =
+  if Array.length xs = 0 then ""
+  else begin
+    let lo, hi = Stats.min_max xs in
+    let span = if hi -. lo <= 0. then 1. else hi -. lo in
+    let buf = Buffer.create (Array.length xs * 3) in
+    Array.iter
+      (fun x ->
+        let lvl = int_of_float ((x -. lo) /. span *. 8.) in
+        let lvl = if lvl < 0 then 0 else if lvl > 8 then 8 else lvl in
+        Buffer.add_string buf spark_levels.(lvl))
+      xs;
+    Buffer.contents buf
+  end

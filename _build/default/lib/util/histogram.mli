@@ -1,0 +1,22 @@
+(** Fixed-bucket histograms, used for latency/age distributions in the
+    harness and for quick terminal visualisation of throughput series. *)
+
+type t
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** [create ~lo ~hi ~buckets] covers [\[lo, hi)] with equally sized buckets;
+    samples outside the range land in the first/last bucket. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total number of samples added. *)
+
+val bucket_counts : t -> int array
+
+val to_ascii : t -> width:int -> string
+(** Horizontal bar chart, one line per bucket, bars scaled to [width]. *)
+
+val sparkline : float array -> string
+(** Renders a series as a one-line unicode sparkline — used for the
+    throughput-over-time figures on a terminal. *)

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that every
+    experiment and every simulator schedule is reproducible from a single
+    seed. The generator is SplitMix64, which is fast, has a 64-bit state and
+    supports cheap splitting into independent streams (one per simulated
+    process). *)
+
+type t
+(** A mutable PRNG state. Not thread-safe; use one [t] per process/domain. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator determined entirely by [seed]. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of the remainder of [t]'s stream. Used to derive per-process
+    streams from an experiment master seed. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val percent : t -> int
+(** [percent t] is uniform in [\[0, 100)], convenient for operation mixes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

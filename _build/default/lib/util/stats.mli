@@ -1,0 +1,29 @@
+(** Small summary-statistics helpers used by the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0. for fewer than 2 points. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. Raises [Invalid_argument] on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
+    closest ranks. Does not mutate the input. *)
+
+val median : float array -> float
+
+val total : float array -> float
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], or 0 when [b = 0]. *)
+
+val overhead_pct : baseline:float -> float -> float
+(** [overhead_pct ~baseline v] is the relative slowdown of throughput [v]
+    versus [baseline], in percent: [(baseline - v) / baseline * 100]. *)
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline v] is [v / baseline] (how many times faster than the
+    baseline throughput). *)

@@ -1,0 +1,72 @@
+type t = { headers : string list; mutable rows : string list list (* reversed *) }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.3f") xs)
+
+let all_rows t = t.headers :: List.rev t.rows
+
+let to_ascii t =
+  let rows = all_rows t in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let record_widths row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter record_widths rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match rows with
+  | header :: data ->
+    emit_row header;
+    let sep = List.init ncols (fun i -> String.make widths.(i) '-') in
+    emit_row sep;
+    List.iter emit_row data
+  | [] -> ());
+  Buffer.contents buf
+
+let csv_cell cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if not needs_quote then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell row));
+    Buffer.add_char buf '\n'
+  in
+  List.iter emit_row (all_rows t);
+  Buffer.contents buf
+
+let print t = print_string (to_ascii t)
+
+let save_csv t path =
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc

@@ -1,0 +1,1 @@
+lib/verify/lin_check.ml: Array Hashtbl History Int List Map Printf

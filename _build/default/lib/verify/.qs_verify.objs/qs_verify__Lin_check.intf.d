@@ -1,0 +1,1 @@
+lib/verify/lin_check.mli: History

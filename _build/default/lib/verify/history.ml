@@ -1,0 +1,32 @@
+type op_kind = Search | Insert | Delete
+
+type entry = {
+  pid : int;
+  op : op_kind;
+  key : int;
+  result : bool;
+  inv : int;
+  res : int;
+}
+
+type t = { logs : entry list ref array }
+
+let create ~n = { logs = Array.init n (fun _ -> ref []) }
+
+let record t ~pid ~op ~key ~inv ~res ~result =
+  let log = t.logs.(pid) in
+  log := { pid; op; key; result; inv; res } :: !log
+
+let entries t =
+  Array.fold_left (fun acc log -> List.rev_append !log acc) [] t.logs
+
+let length t = Array.fold_left (fun acc log -> acc + List.length !log) 0 t.logs
+
+let op_to_string = function
+  | Search -> "search"
+  | Insert -> "insert"
+  | Delete -> "delete"
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[p%d %s(%d)=%b @%d-%d]" e.pid (op_to_string e.op) e.key
+    e.result e.inv e.res

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Qs_util Spec

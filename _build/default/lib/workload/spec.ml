@@ -1,0 +1,34 @@
+(** Workload specification, matching the paper's §7.1: each operation is
+    chosen at random according to a probability distribution, with a
+    randomly chosen key; an update percentage of [u] means [u/2]% inserts
+    and [u/2]% deletes; the structure is pre-filled to half the key range. *)
+
+type op = Search of int | Insert of int | Delete of int
+
+type t = {
+  key_range : int;
+  update_pct : int;  (** 0..100; split evenly between inserts and deletes *)
+}
+
+let make ~key_range ~update_pct =
+  if key_range <= 0 then invalid_arg "Spec.make: key_range must be positive";
+  if update_pct < 0 || update_pct > 100 then
+    invalid_arg "Spec.make: update_pct must be in [0, 100]";
+  { key_range; update_pct }
+
+(** The paper's scalability setting: 50% updates (25% ins / 25% del). *)
+let updates_50 ~key_range = make ~key_range ~update_pct:50
+
+(** The paper's Figure 3 setting: 10% updates. *)
+let updates_10 ~key_range = make ~key_range ~update_pct:10
+
+let pick prng t =
+  let key = Qs_util.Prng.int prng t.key_range in
+  let pct = Qs_util.Prng.percent prng in
+  if pct < t.update_pct / 2 then Insert key
+  else if pct < t.update_pct then Delete key
+  else Search key
+
+(** Keys used to pre-fill the structure to half the key range (every other
+    key, so both hits and misses occur for all operation types). *)
+let initial_keys t = List.init (t.key_range / 2) (fun i -> 2 * i)

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Int List Qs_ds Qs_harness Qs_real Qs_sim Qs_smr Qs_workload Set

@@ -1,0 +1,1 @@
+test/test_list.ml: Alcotest Array Int List Printexc Printf Qs_ds Qs_sim Qs_smr Qs_util Scheduler Set Sim_runtime

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Cset Gen Int List Printf QCheck QCheck_alcotest Qs_arena Qs_harness Qs_smr Qs_verify Qs_workload Set Sim_exp

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array Hashtbl List Printexc Printf Qs_ds Qs_sim Qs_smr Qs_util Queue Scheduler Sim_runtime

@@ -1,0 +1,1 @@
+test/test_real.ml: Alcotest Array Qs_harness Qs_real Qs_smr Qs_workload Unix

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Cset List Printf Qs_harness Qs_sim Qs_smr Qs_workload Sim_exp

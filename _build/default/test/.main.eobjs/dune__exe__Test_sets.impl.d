@@ -1,0 +1,1 @@
+test/test_sets.ml: Alcotest Array Int List Printexc Printf Qs_ds Qs_harness Qs_sim Qs_smr Qs_util Scheduler Set Sim_runtime

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cell List Printf Qs_sim Scheduler Sim_runtime

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest List Qs_sim Qs_smr Scheduler Sim_runtime

@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Array List Printexc Qs_ds Qs_sim Qs_smr Qs_util Scheduler Sim_runtime

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Filename Fun Gen Histogram List Prng QCheck QCheck_alcotest Qs_util Stats String Sys Table

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array History Int Lin_check List Printexc QCheck QCheck_alcotest Qs_ds Qs_harness Qs_sim Qs_smr Qs_util Qs_verify Scheduler Set Sim_runtime

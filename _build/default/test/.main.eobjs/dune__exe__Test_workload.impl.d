@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Qs_harness Qs_smr Qs_util Qs_workload

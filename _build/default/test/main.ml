@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "qsense"
+    [ ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("smr", Test_smr.suite);
+      ("list", Test_list.suite);
+      ("sets", Test_sets.suite);
+      ("robustness", Test_robustness.suite);
+      ("verify", Test_verify.suite);
+      ("stack", Test_stack.suite);
+      ("queue", Test_queue.suite);
+      ("workload", Test_workload.suite);
+      ("differential", Test_differential.suite);
+      ("properties", Test_properties.suite);
+      ("real", Test_real.suite)
+    ]

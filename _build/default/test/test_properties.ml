@@ -1,0 +1,190 @@
+(* Randomised (qcheck) properties over whole simulator runs and over the
+   support libraries:
+
+   - safety net: for arbitrary (seed, structure, scheme, mix), a run has no
+     use-after-free, no double free, no leak, and no worker crash;
+   - arena bookkeeping invariants under random alloc/free sequences;
+   - randomly generated sequential histories are always linearizable;
+   - the legal switch threshold really is above all three Property-4 terms. *)
+
+open Qs_harness
+
+let scheme_gen =
+  QCheck.Gen.oneofl
+    [ Qs_smr.Scheme.Hp; Qs_smr.Scheme.Qsbr; Qs_smr.Scheme.Ebr;
+      Qs_smr.Scheme.Cadence; Qs_smr.Scheme.Qsense ]
+
+let ds_gen = QCheck.Gen.oneofl [ Cset.List; Cset.Skiplist; Cset.Bst; Cset.Hashtable ]
+
+let run_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, scheme, ds, update_pct, n) -> (seed, scheme, ds, update_pct, n))
+      (tup5 (int_range 1 10_000) scheme_gen ds_gen (int_range 0 100) (int_range 2 6)))
+
+let print_run (seed, scheme, ds, update_pct, n) =
+  Printf.sprintf "seed=%d scheme=%s ds=%s updates=%d%% n=%d" seed
+    (Qs_smr.Scheme.to_string scheme)
+    (Cset.kind_to_string ds)
+    update_pct n
+
+let prop_runs_are_safe =
+  QCheck.Test.make ~name:"random runs: no UAF, no leak, no crash" ~count:20
+    (QCheck.make ~print:print_run run_gen)
+    (fun (seed, scheme, ds, update_pct, n) ->
+      let workload = Qs_workload.Spec.make ~key_range:48 ~update_pct in
+      let r =
+        Sim_exp.run
+          { (Sim_exp.default_setup ~ds ~scheme ~n_processes:n ~workload) with
+            seed;
+            duration = 120_000;
+            smr_tweak =
+              (fun c ->
+                { c with
+                  quiescence_threshold = 8;
+                  scan_threshold = 8;
+                  switch_threshold = 64 }) }
+      in
+      r.violations = 0
+      && r.report.double_frees = 0
+      && r.failed_at = None
+      && r.leak_check = `Ok)
+
+(* --- arena invariants ---------------------------------------------------- *)
+
+type anode = { mutable st : Qs_arena.Node_state.t; mutable b : int }
+
+module A = Qs_arena.Arena.Make (struct
+  type t = anode
+
+  let create () = { st = Qs_arena.Node_state.Free; b = 0 }
+  let get_state n = n.st
+  let set_state n s = n.st <- s
+  let bump_birth n = n.b <- n.b + 1
+end)
+
+let prop_arena_bookkeeping =
+  QCheck.Test.make ~name:"arena: outstanding = allocs - frees; recycling works"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) bool)
+    (fun script ->
+      let a = A.create ~n_processes:1 () in
+      let h = A.register a ~pid:0 in
+      let live = ref [] in
+      List.iter
+        (fun alloc ->
+          if alloc then live := A.alloc h :: !live
+          else
+            match !live with
+            | [] -> ()
+            | n :: rest ->
+              A.free h n;
+              live := rest)
+        script;
+      A.outstanding a = List.length !live
+      && A.allocations a - A.frees a = A.outstanding a
+      && A.violations a = 0
+      && A.double_frees a = 0)
+
+let prop_arena_detects_double_free =
+  QCheck.Test.make ~name:"arena: double free and UAF detected" ~count:50
+    QCheck.(int_range 1 20)
+    (fun k ->
+      let a = A.create ~n_processes:1 () in
+      let h = A.register a ~pid:0 in
+      let n = A.alloc h in
+      A.free h n;
+      for _ = 1 to k do
+        A.free h n
+      done;
+      A.touch h n;
+      A.double_frees a = k && A.violations a = 1)
+
+let test_arena_capacity () =
+  let a = A.create ~capacity:3 ~n_processes:1 () in
+  let h = A.register a ~pid:0 in
+  let n1 = A.alloc h in
+  let _ = A.alloc h in
+  let _ = A.alloc h in
+  Alcotest.check_raises "capacity enforced" Qs_arena.Arena.Exhausted (fun () ->
+      ignore (A.alloc h));
+  (* freeing lets allocation proceed via the free list *)
+  A.free h n1;
+  let n4 = A.alloc h in
+  Alcotest.(check bool) "recycled the freed node" true (n1 == n4);
+  Alcotest.(check bool) "birth bumped on recycle" true (n4.b >= 2)
+
+let test_node_state_transitions () =
+  let open Qs_arena.Node_state in
+  Alcotest.(check bool) "free->allocated" true (can_transition Free Allocated);
+  Alcotest.(check bool) "allocated->reachable" true (can_transition Allocated Reachable);
+  Alcotest.(check bool) "reachable->removed" true (can_transition Reachable Removed);
+  Alcotest.(check bool) "removed->free" true (can_transition Removed Free);
+  Alcotest.(check bool) "free->reachable illegal" false (can_transition Free Reachable);
+  Alcotest.(check bool) "reachable->free illegal" false (can_transition Reachable Free);
+  List.iter
+    (fun s -> Alcotest.(check bool) "to_string nonempty" true (to_string s <> ""))
+    [ Allocated; Reachable; Removed; Retired; Free ]
+
+(* --- generated sequential histories are linearizable --------------------- *)
+
+let seq_history_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (tup2 (int_range 0 2) (int_range 0 5) (* op kind, key *)))
+
+let prop_sequential_histories_linearizable =
+  QCheck.Test.make ~name:"sequential histories always linearizable" ~count:200
+    (QCheck.make seq_history_gen)
+    (fun script ->
+      let module IS = Set.Make (Int) in
+      let model = ref IS.empty in
+      let clock = ref 0 in
+      let entries =
+        List.map
+          (fun (opk, key) ->
+            let inv = !clock in
+            incr clock;
+            let res = !clock in
+            incr clock;
+            let op, result =
+              match opk with
+              | 0 ->
+                let r = not (IS.mem key !model) in
+                model := IS.add key !model;
+                (Qs_verify.History.Insert, r)
+              | 1 ->
+                let r = IS.mem key !model in
+                model := IS.remove key !model;
+                (Qs_verify.History.Delete, r)
+              | _ -> (Qs_verify.History.Search, IS.mem key !model)
+            in
+            { Qs_verify.History.pid = 0; op; key; result; inv; res })
+          script
+      in
+      Qs_verify.Lin_check.is_linearizable ~initial:[] entries)
+
+let prop_legal_threshold_dominates =
+  QCheck.Test.make ~name:"legal C exceeds all Property-4 terms" ~count:200
+    QCheck.(quad (int_range 1 64) (int_range 1 64) (int_range 1 64) (int_range 1 5_000))
+    (fun (n, k, q, t) ->
+      let cfg =
+        { (Qs_smr.Smr_intf.default_config ~n_processes:n ~hp_per_process:k) with
+          quiescence_threshold = q;
+          rooster_interval = t;
+          removes_per_op_max = 2 }
+      in
+      let c = Qs_smr.Smr_intf.legal_switch_threshold cfg in
+      c > 2 * q
+      && c > (n * k) + t
+      && c > (k + t + cfg.scan_threshold) / 2)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_runs_are_safe;
+    QCheck_alcotest.to_alcotest prop_arena_bookkeeping;
+    QCheck_alcotest.to_alcotest prop_arena_detects_double_free;
+    Alcotest.test_case "arena capacity + recycling" `Quick test_arena_capacity;
+    Alcotest.test_case "node state transitions" `Quick test_node_state_transitions;
+    QCheck_alcotest.to_alcotest prop_sequential_histories_linearizable;
+    QCheck_alcotest.to_alcotest prop_legal_threshold_dominates
+  ]

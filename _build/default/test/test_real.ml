@@ -1,0 +1,93 @@
+(* Tests of the real-domain runtime: primitives, rooster domains, the
+   domain pool, and multi-domain smoke runs of the data structures with
+   real atomics/fences (domains timeshare on small machines — correctness,
+   not scalability, is what these check). *)
+
+module R = Qs_real.Real_runtime
+
+let test_primitives () =
+  let p = R.plain 1 in
+  R.write p 2;
+  Alcotest.(check int) "plain rw" 2 (R.read p);
+  let a = R.atomic 10 in
+  R.set a 11;
+  Alcotest.(check int) "atomic rw" 11 (R.get a);
+  Alcotest.(check bool) "cas ok" true (R.cas a 11 12);
+  Alcotest.(check bool) "cas stale" false (R.cas a 11 13);
+  Alcotest.(check int) "faa" 12 (R.fetch_and_add a 5);
+  Alcotest.(check int) "after faa" 17 (R.get a);
+  R.fence ();
+  let t0 = R.now () in
+  let t1 = R.now () in
+  Alcotest.(check bool) "clock monotone" true (t1 >= t0)
+
+let test_self_registration () =
+  R.register_self 0;
+  Alcotest.(check int) "main is 0" 0 (R.self ());
+  let ids =
+    Qs_real.Domain_pool.run ~n:3 (fun pid ->
+        R.yield ();
+        (pid, R.self ()))
+  in
+  Array.iter (fun (pid, self) -> Alcotest.(check int) "self = pid" pid self) ids
+
+let test_roosters () =
+  let r = Qs_real.Roosters.start ~interval_ns:1_000_000 ~n:1 in
+  let t0 = Qs_real.Roosters.coarse_now r in
+  Unix.sleepf 0.05;
+  let w = Qs_real.Roosters.wakeups r in
+  let t1 = Qs_real.Roosters.coarse_now r in
+  Qs_real.Roosters.stop r;
+  Alcotest.(check bool) "woke up" true (w > 0);
+  Alcotest.(check bool) "coarse clock advanced" true (t1 > t0);
+  (* after stop, no more wakeups *)
+  let w_final = Qs_real.Roosters.wakeups r in
+  Unix.sleepf 0.02;
+  Alcotest.(check int) "stopped" w_final (Qs_real.Roosters.wakeups r)
+
+let smoke ~scheme ~ds () =
+  let r =
+    Qs_harness.Real_exp.run
+      { (Qs_harness.Real_exp.default_setup ~ds ~scheme ~n_domains:3
+           ~workload:(Qs_workload.Spec.updates_50 ~key_range:256)) with
+        duration_ms = 150;
+        seed = 3 }
+  in
+  Alcotest.(check int) "no use-after-free" 0 r.violations;
+  Alcotest.(check bool) "not failed" false r.failed;
+  Alcotest.(check bool) "made progress" true (r.ops_total > 100);
+  Alcotest.(check int) "no double frees" 0 r.report.double_frees;
+  if scheme <> Qs_smr.Scheme.None_ then
+    Alcotest.(check bool) "reclaimed memory" true (r.report.smr.frees > 0)
+
+let test_real_stall_tolerance () =
+  (* a stalled domain must not break QSense on the real runtime either *)
+  let r =
+    Qs_harness.Real_exp.run
+      { (Qs_harness.Real_exp.default_setup ~ds:Qs_harness.Cset.List
+           ~scheme:Qs_smr.Scheme.Qsense ~n_domains:3
+           ~workload:(Qs_workload.Spec.updates_50 ~key_range:128)) with
+        duration_ms = 300;
+        stall_victim_after_ms = Some 60;
+        seed = 5;
+        smr_tweak = (fun c -> { c with switch_threshold = 64 }) }
+  in
+  Alcotest.(check int) "no use-after-free" 0 r.violations;
+  Alcotest.(check bool) "not failed" false r.failed
+
+let suite =
+  [ Alcotest.test_case "primitives" `Quick test_primitives;
+    Alcotest.test_case "self registration" `Quick test_self_registration;
+    Alcotest.test_case "rooster domains" `Quick test_roosters;
+    Alcotest.test_case "list/qsense on domains" `Quick
+      (smoke ~scheme:Qs_smr.Scheme.Qsense ~ds:Qs_harness.Cset.List);
+    Alcotest.test_case "list/hp on domains" `Quick
+      (smoke ~scheme:Qs_smr.Scheme.Hp ~ds:Qs_harness.Cset.List);
+    Alcotest.test_case "skiplist/qsense on domains" `Quick
+      (smoke ~scheme:Qs_smr.Scheme.Qsense ~ds:Qs_harness.Cset.Skiplist);
+    Alcotest.test_case "bst/qsense on domains" `Quick
+      (smoke ~scheme:Qs_smr.Scheme.Qsense ~ds:Qs_harness.Cset.Bst);
+    Alcotest.test_case "hashtable/cadence on domains" `Quick
+      (smoke ~scheme:Qs_smr.Scheme.Cadence ~ds:Qs_harness.Cset.Hashtable);
+    Alcotest.test_case "qsense tolerates stalled domain" `Quick test_real_stall_tolerance
+  ]

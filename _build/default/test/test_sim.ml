@@ -1,0 +1,379 @@
+(* Tests for the deterministic TSO simulator: store-buffer semantics,
+   fences, atomics, roosters, clocks, delay injection, determinism. *)
+
+open Qs_sim
+module R = Sim_runtime
+
+let cfg ?(n_cores = 2) ?(seed = 1) ?rooster_interval ?(capacity = 1024)
+    ?(skew = 0) ?(oversleep = 0) ?kill_roosters_at ?(drain = Scheduler.No_drain) () =
+  { (Scheduler.default_config ~n_cores ~seed) with
+    rooster_interval;
+    store_buffer_capacity = capacity;
+    clock_skew = skew;
+    rooster_oversleep = oversleep;
+    kill_roosters_at;
+    drain }
+
+(* A plain write is invisible to the other process until a fence. *)
+let test_tso_staleness () =
+  let s = Scheduler.create (cfg ()) in
+  let x = R.plain 0 in
+  let seen_before_fence = ref (-1) in
+  let seen_after_fence = ref (-1) in
+  let flag = R.atomic false in
+  Scheduler.spawn s ~pid:0 (fun () ->
+      R.write x 1;
+      (* let process 1 observe before we fence *)
+      for _ = 1 to 50 do
+        R.yield ();
+        R.charge 5
+      done;
+      R.fence ();
+      R.set flag true);
+  Scheduler.spawn s ~pid:1 (fun () ->
+      R.charge 20;
+      seen_before_fence := R.read x;
+      (* wait for the fence *)
+      while not (R.get flag) do
+        R.charge 5
+      done;
+      seen_after_fence := R.read x);
+  Scheduler.run_all s;
+  Alcotest.(check (list (pair int reject))) "no failures" [] (Scheduler.failures s);
+  Alcotest.(check int) "stale before fence" 0 !seen_before_fence;
+  Alcotest.(check int) "visible after fence" 1 !seen_after_fence
+
+(* Store-to-load forwarding: the writer reads its own buffered store. *)
+let test_store_to_load_forwarding () =
+  let s = Scheduler.create (cfg ~n_cores:1 ()) in
+  let x = R.plain 0 in
+  let v =
+    Scheduler.exec s ~pid:0 (fun () ->
+        R.write x 42;
+        R.read x)
+  in
+  Alcotest.(check int) "own store visible" 42 v;
+  Alcotest.(check int) "still buffered" 1 (Cell.pending_count x)
+
+(* Atomic ops by the writer drain its own buffer (x86 lock semantics). *)
+let test_atomic_drains_buffer () =
+  let s = Scheduler.create (cfg ~n_cores:1 ()) in
+  let x = R.plain 0 in
+  let a = R.atomic 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.write x 7;
+      R.set a 1);
+  Alcotest.(check int) "committed" 7 (Cell.read_committed x)
+
+(* Buffer capacity: oldest store commits when the buffer overflows. *)
+let test_capacity_overflow () =
+  let s = Scheduler.create (cfg ~n_cores:1 ~capacity:4 ()) in
+  let cells = Array.init 10 (fun _ -> R.plain 0) in
+  Scheduler.exec s ~pid:0 (fun () ->
+      Array.iteri (fun i c -> R.write c (i + 1)) cells);
+  (* 10 writes, capacity 4: the 6 oldest must have committed *)
+  for i = 0 to 5 do
+    Alcotest.(check int) (Printf.sprintf "cell %d committed" i) (i + 1)
+      (Cell.read_committed cells.(i))
+  done;
+  Alcotest.(check int) "newest still pending" 0 (Cell.read_committed cells.(9))
+
+(* Roosters flush the worker's buffer within T (+ oversleep + switch). *)
+let test_rooster_flush () =
+  let s = Scheduler.create (cfg ~n_cores:1 ~rooster_interval:100 ()) in
+  let x = R.plain 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.write x 5;
+      R.charge 500);
+  Alcotest.(check bool) "rooster fired" true (Scheduler.rooster_fires s > 0);
+  Alcotest.(check int) "flushed by rooster" 5 (Cell.read_committed x)
+
+let test_kill_roosters () =
+  let s =
+    Scheduler.create (cfg ~n_cores:1 ~rooster_interval:100 ~kill_roosters_at:50 ())
+  in
+  let x = R.plain 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.write x 5;
+      R.charge 500);
+  Alcotest.(check int) "no rooster fired" 0 (Scheduler.rooster_fires s);
+  Alcotest.(check int) "still buffered" 0 (Cell.read_committed x)
+
+let test_cas_semantics () =
+  let s = Scheduler.create (cfg ~n_cores:1 ()) in
+  let a = R.atomic "a" in
+  let r =
+    Scheduler.exec s ~pid:0 (fun () ->
+        let v0 = R.get a in
+        let ok1 = R.cas a v0 "b" in
+        let ok2 = R.cas a v0 "c" in
+        (* stale expected *)
+        (ok1, ok2, R.get a))
+  in
+  Alcotest.(check (triple bool bool string)) "cas" (true, false, "b") r
+
+let test_faa () =
+  let s = Scheduler.create (cfg ~n_cores:1 ()) in
+  let a = R.atomic 10 in
+  let old =
+    Scheduler.exec s ~pid:0 (fun () ->
+        let o = R.fetch_and_add a 5 in
+        o)
+  in
+  Alcotest.(check int) "old value" 10 old;
+  Alcotest.(check int) "new value" 15 (Cell.read_committed a)
+
+(* Virtual time: parallel cores advance independently — n cores doing the
+   same work finish at roughly the same virtual time as one core. *)
+let test_parallel_virtual_time () =
+  let work () =
+    let a = R.plain 0 in
+    for i = 1 to 1000 do
+      R.write a i
+    done
+  in
+  let t1 =
+    let s = Scheduler.create (cfg ~n_cores:1 ~seed:3 ()) in
+    Scheduler.spawn s ~pid:0 work;
+    Scheduler.run_all s;
+    Scheduler.max_clock s
+  in
+  let t4 =
+    let s = Scheduler.create (cfg ~n_cores:4 ~seed:3 ()) in
+    for pid = 0 to 3 do
+      Scheduler.spawn s ~pid work
+    done;
+    Scheduler.run_all s;
+    Scheduler.max_clock s
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 cores not 4x slower (t1=%d t4=%d)" t1 t4)
+    true
+    (t4 < 2 * t1)
+
+let test_self_and_now () =
+  let s = Scheduler.create (cfg ~n_cores:3 ()) in
+  let ids = Array.make 3 (-1) in
+  for pid = 0 to 2 do
+    Scheduler.spawn s ~pid (fun () ->
+        ids.(pid) <- R.self ();
+        let t0 = R.now () in
+        R.charge 100;
+        let t1 = R.now () in
+        assert (t1 >= t0 + 100))
+  done;
+  Scheduler.run_all s;
+  Alcotest.(check (array int)) "self ids" [| 0; 1; 2 |] ids;
+  Alcotest.(check (list (pair int reject))) "no failures" [] (Scheduler.failures s)
+
+let test_clock_skew_bounded () =
+  let skew = 50 in
+  let s = Scheduler.create (cfg ~n_cores:4 ~skew ()) in
+  for pid = 0 to 3 do
+    Scheduler.spawn s ~pid (fun () ->
+        let t = R.now () in
+        assert (t <= Scheduler.max_clock s + skew))
+  done;
+  Scheduler.run_all s;
+  Alcotest.(check (list (pair int reject))) "no failures" [] (Scheduler.failures s)
+
+let test_sleep_until () =
+  let s = Scheduler.create (cfg ~n_cores:2 ()) in
+  let woke_at = ref 0 in
+  let other_progress = ref 0 in
+  Scheduler.spawn s ~pid:0 (fun () ->
+      R.sleep_until 10_000;
+      woke_at := R.now ());
+  Scheduler.spawn s ~pid:1 (fun () ->
+      while R.now () < 5_000 do
+        R.charge 50;
+        incr other_progress
+      done);
+  Scheduler.run_all s;
+  Alcotest.(check bool) "woke after target" true (!woke_at >= 10_000);
+  Alcotest.(check bool) "other made progress meanwhile" true (!other_progress > 50)
+
+(* A sleeping process's buffer is still flushed by its core's rooster. *)
+let test_rooster_flushes_sleeper () =
+  let s = Scheduler.create (cfg ~n_cores:1 ~rooster_interval:1_000 ()) in
+  let x = R.plain 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.write x 9;
+      R.sleep_until 20_000);
+  Alcotest.(check int) "flushed during sleep" 9 (Cell.read_committed x)
+
+(* Exceptions in workers are recorded, not propagated by run_all. *)
+let test_failure_recorded () =
+  let s = Scheduler.create (cfg ~n_cores:2 ()) in
+  Scheduler.spawn s ~pid:0 (fun () -> failwith "boom");
+  Scheduler.spawn s ~pid:1 (fun () -> R.charge 10);
+  Scheduler.run_all s;
+  match Scheduler.failures s with
+  | [ (0, Failure msg) ] when msg = "boom" -> ()
+  | _ -> Alcotest.fail "expected exactly one recorded failure"
+
+let test_exec_reraises () =
+  let s = Scheduler.create (cfg ~n_cores:1 ()) in
+  Alcotest.check_raises "exec re-raises" (Failure "bang") (fun () ->
+      Scheduler.exec s ~pid:0 (fun () -> failwith "bang"));
+  Alcotest.(check (list (pair int reject))) "failures cleared" [] (Scheduler.failures s)
+
+(* Full determinism: two runs with the same seed produce identical clocks,
+   step counts and memory contents. *)
+let run_det seed =
+  let s = Scheduler.create (cfg ~n_cores:4 ~seed ()) in
+  let shared = R.atomic 0 in
+  let accum = R.plain 0 in
+  for pid = 0 to 3 do
+    Scheduler.spawn s ~pid (fun () ->
+        for _ = 1 to 200 do
+          let v = R.get shared in
+          if R.cas shared v (v + 1) then R.write accum (R.read accum + 1);
+          R.fence ()
+        done)
+  done;
+  Scheduler.run_all s;
+  (Scheduler.max_clock s, Scheduler.steps s, Cell.read_committed shared, Cell.read_committed accum)
+
+let test_determinism () =
+  let a = run_det 99 and b = run_det 99 in
+  Alcotest.(check bool) "identical runs" true (a = b);
+  let c = run_det 100 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+(* The drain policy eventually commits buffered stores without fences. *)
+let test_prob_drain () =
+  let s = Scheduler.create (cfg ~n_cores:1 ~drain:(Scheduler.Prob 0.5) ()) in
+  let x = R.plain 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.write x 3;
+      for _ = 1 to 200 do
+        R.charge 1;
+        R.yield ()
+      done);
+  Alcotest.(check int) "drained probabilistically" 3 (Cell.read_committed x)
+
+(* Remote-access cost: ping-pong on one cell costs more than local reuse. *)
+let test_contention_cost () =
+  let run n_cores =
+    let s = Scheduler.create (cfg ~n_cores ~seed:5 ()) in
+    let hot = R.atomic 0 in
+    for pid = 0 to n_cores - 1 do
+      Scheduler.spawn s ~pid (fun () ->
+          for _ = 1 to 500 do
+            let v = R.get hot in
+            ignore (R.cas hot v (v + 1))
+          done)
+    done;
+    Scheduler.run_all s;
+    Scheduler.max_clock s
+  in
+  let solo = run 1 and contended = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "contention costs (solo=%d contended=%d)" solo contended)
+    true (contended > solo)
+
+(* reset_clocks: clocks restart at zero, buffers drain, roosters reschedule *)
+let test_reset_clocks () =
+  let s = Scheduler.create (cfg ~n_cores:2 ~rooster_interval:500 ()) in
+  let x = R.plain 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.charge 10_000;
+      R.write x 3);
+  Alcotest.(check bool) "clock advanced" true (Scheduler.clock_of s ~pid:0 >= 10_000);
+  Scheduler.reset_clocks s;
+  Alcotest.(check int) "clock reset" 0 (Scheduler.clock_of s ~pid:0);
+  Alcotest.(check int) "buffer drained" 3 (Cell.read_committed x);
+  (* roosters fire again on the fresh timeline *)
+  let fires_before = Scheduler.rooster_fires s in
+  Scheduler.exec s ~pid:0 (fun () -> R.charge 2_000);
+  Alcotest.(check bool) "roosters rescheduled" true
+    (Scheduler.rooster_fires s > fires_before)
+
+let test_counters () =
+  let s = Scheduler.create (cfg ~n_cores:1 ()) in
+  let x = R.plain 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.write x 1;
+      R.fence ();
+      R.write x 2;
+      R.fence ());
+  Alcotest.(check bool) "steps counted" true (Scheduler.steps s >= 4);
+  Alcotest.(check bool) "flushes counted" true (Scheduler.flush_count s ~pid:0 >= 2)
+
+(* atomic loads cost more than plain ops (the pointer-chase model) *)
+let test_atomic_load_cost () =
+  let cost_of f =
+    let s =
+      Scheduler.create
+        { (cfg ~n_cores:1 ()) with
+          cost = { Scheduler.default_cost with jitter = 0; stall_prob = 0. } }
+    in
+    Scheduler.exec s ~pid:0 f;
+    Scheduler.clock_of s ~pid:0
+  in
+  let a = R.atomic 0 in
+  let p = R.plain 0 in
+  let atomic_cost = cost_of (fun () -> for _ = 1 to 100 do ignore (R.get a) done) in
+  let plain_cost = cost_of (fun () -> for _ = 1 to 100 do ignore (R.read p) done) in
+  Alcotest.(check bool)
+    (Printf.sprintf "atomic load (%d) dearer than plain read (%d)" atomic_cost plain_cost)
+    true
+    (atomic_cost > 2 * plain_cost)
+
+(* Event-trace ring: records the configured window of events, oldest first. *)
+let test_trace_ring () =
+  let s =
+    Scheduler.create
+      { (cfg ~n_cores:1 ~rooster_interval:300 ()) with trace_capacity = 8 }
+  in
+  let x = R.plain 0 in
+  let a = R.atomic 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.write x 1;
+      ignore (R.get a);
+      ignore (R.cas a 0 1);
+      R.fence ();
+      R.charge 1_000);
+  let events = Scheduler.recent_events s in
+  Alcotest.(check bool) "bounded by capacity" true (List.length events <= 8);
+  Alcotest.(check bool) "nonempty" true (events <> []);
+  let kinds = List.map (fun (_, _, e) -> e) events in
+  Alcotest.(check bool) "rooster fires recorded" true
+    (List.exists (function Scheduler.Ev_rooster -> true | _ -> false) kinds);
+  (* clocks are non-decreasing per process *)
+  let rec monotone last = function
+    | [] -> true
+    | (_, clock, _) :: rest -> clock >= last && monotone clock rest
+  in
+  Alcotest.(check bool) "clock-ordered" true (monotone 0 events);
+  (* disabled by default *)
+  let s2 = Scheduler.create (cfg ~n_cores:1 ()) in
+  Scheduler.exec s2 ~pid:0 (fun () -> R.write x 2);
+  Alcotest.(check (list reject)) "disabled: empty" []
+    (List.map (fun _ -> ()) (Scheduler.recent_events s2))
+
+let suite =
+  [ Alcotest.test_case "tso staleness until fence" `Quick test_tso_staleness;
+    Alcotest.test_case "store-to-load forwarding" `Quick test_store_to_load_forwarding;
+    Alcotest.test_case "atomic drains buffer" `Quick test_atomic_drains_buffer;
+    Alcotest.test_case "capacity overflow commits oldest" `Quick test_capacity_overflow;
+    Alcotest.test_case "rooster flushes buffer" `Quick test_rooster_flush;
+    Alcotest.test_case "killed roosters stop flushing" `Quick test_kill_roosters;
+    Alcotest.test_case "cas semantics" `Quick test_cas_semantics;
+    Alcotest.test_case "fetch-and-add" `Quick test_faa;
+    Alcotest.test_case "parallel virtual time" `Quick test_parallel_virtual_time;
+    Alcotest.test_case "self and now" `Quick test_self_and_now;
+    Alcotest.test_case "clock skew bounded" `Quick test_clock_skew_bounded;
+    Alcotest.test_case "sleep_until delays" `Quick test_sleep_until;
+    Alcotest.test_case "rooster flushes sleeping process" `Quick test_rooster_flushes_sleeper;
+    Alcotest.test_case "worker failure recorded" `Quick test_failure_recorded;
+    Alcotest.test_case "exec re-raises" `Quick test_exec_reraises;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "probabilistic drain" `Quick test_prob_drain;
+    Alcotest.test_case "contention cost model" `Quick test_contention_cost;
+    Alcotest.test_case "reset clocks" `Quick test_reset_clocks;
+    Alcotest.test_case "step/flush counters" `Quick test_counters;
+    Alcotest.test_case "atomic load cost model" `Quick test_atomic_load_cost;
+    Alcotest.test_case "event trace ring" `Quick test_trace_ring
+  ]

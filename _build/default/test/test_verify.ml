@@ -1,0 +1,234 @@
+(* The linearizability checker itself (positive and negative hand-crafted
+   histories), then end-to-end: record real concurrent histories from the
+   simulator on every data structure and check them. *)
+
+open Qs_verify
+open Qs_sim
+
+let e pid op key result inv res : History.entry = { pid; op; key; result; inv; res }
+
+let test_checker_sequential_ok () =
+  let h =
+    [ e 0 History.Insert 1 true 0 1;
+      e 0 History.Search 1 true 2 3;
+      e 0 History.Delete 1 true 4 5;
+      e 0 History.Search 1 false 6 7
+    ]
+  in
+  Alcotest.(check bool) "sequential history ok" true
+    (Lin_check.is_linearizable ~initial:[] h)
+
+let test_checker_rejects_wrong_result () =
+  let h = [ e 0 History.Search 1 true 0 1 ] in
+  Alcotest.(check bool) "search of absent key returning true" false
+    (Lin_check.is_linearizable ~initial:[] h);
+  Alcotest.(check bool) "ok with initial fill" true
+    (Lin_check.is_linearizable ~initial:[ 1 ] h)
+
+let test_checker_rejects_non_linearizable () =
+  (* p0: insert(1)=true completes before p1 starts; p1 then reads absent. *)
+  let h =
+    [ e 0 History.Insert 1 true 0 10; e 1 History.Search 1 false 20 30 ]
+  in
+  Alcotest.(check bool) "stale read after completed insert" false
+    (Lin_check.is_linearizable ~initial:[] h);
+  (* but if the operations overlap, either order is a valid linearization *)
+  let h' =
+    [ e 0 History.Insert 1 true 0 25; e 1 History.Search 1 false 20 30 ]
+  in
+  Alcotest.(check bool) "overlapping ops may order either way" true
+    (Lin_check.is_linearizable ~initial:[] h')
+
+let test_checker_double_insert () =
+  (* two concurrent successful inserts of the same key cannot both succeed *)
+  let h =
+    [ e 0 History.Insert 5 true 0 10; e 1 History.Insert 5 true 0 10 ]
+  in
+  Alcotest.(check bool) "two successful inserts" false
+    (Lin_check.is_linearizable ~initial:[] h);
+  let h' =
+    [ e 0 History.Insert 5 true 0 10; e 1 History.Insert 5 false 0 10 ]
+  in
+  Alcotest.(check bool) "one must fail" true
+    (Lin_check.is_linearizable ~initial:[] h')
+
+let test_checker_keys_independent () =
+  (* a violation on key 7 is found even among unrelated traffic *)
+  let h =
+    [ e 0 History.Insert 1 true 0 1;
+      e 0 History.Search 7 true 2 3;
+      e 1 History.Delete 2 false 0 5
+    ]
+  in
+  (match Lin_check.check_set ~initial:[] h with
+  | Lin_check.Violation 7 -> ()
+  | _ -> Alcotest.fail "expected a violation on key 7");
+  Alcotest.(check bool) "fine once key 7 is prefilled" true
+    (Lin_check.is_linearizable ~initial:[ 7 ] h)
+
+let test_checker_too_large () =
+  let h = List.init 61 (fun i -> e 0 History.Search 1 true i i) in
+  match Lin_check.check_set ~initial:[ 1 ] h with
+  | Lin_check.Too_large 1 -> ()
+  | _ -> Alcotest.fail "expected Too_large"
+
+(* --- qcheck properties over the checker ---------------------------------- *)
+
+module IS = Set.Make (Int)
+
+(* A valid sequential history over a few keys, with tight intervals. *)
+let sequential_history script =
+  let model = ref IS.empty in
+  let clock = ref 0 in
+  List.map
+    (fun (opk, key) ->
+      let inv = !clock in
+      incr clock;
+      let res = !clock in
+      incr clock;
+      let op, result =
+        match opk mod 3 with
+        | 0 ->
+          let r = not (IS.mem key !model) in
+          model := IS.add key !model;
+          (History.Insert, r)
+        | 1 ->
+          let r = IS.mem key !model in
+          model := IS.remove key !model;
+          (History.Delete, r)
+        | _ -> (History.Search, IS.mem key !model)
+      in
+      { History.pid = 0; op; key; result; inv; res })
+    script
+
+let script_gen = QCheck.Gen.(list_size (int_range 2 30) (tup2 (int_range 0 2) (int_range 0 3)))
+
+(* Widening intervals only adds legal linearizations: each operation's
+   original linearization point stays inside its widened interval, so the
+   original order remains a witness. *)
+let prop_widening_preserves_linearizability =
+  QCheck.Test.make ~name:"interval widening preserves linearizability" ~count:200
+    (QCheck.make QCheck.Gen.(tup2 script_gen (int_range 0 50)))
+    (fun (script, width) ->
+      let entries = sequential_history script in
+      let prng = Qs_util.Prng.create ~seed:(width + List.length script) in
+      let widened =
+        List.map
+          (fun (e : History.entry) ->
+            { e with
+              inv = e.inv - Qs_util.Prng.int prng (width + 1);
+              res = e.res + Qs_util.Prng.int prng (width + 1) })
+          entries
+      in
+      Lin_check.is_linearizable ~initial:[] widened)
+
+(* In a strictly sequential history the execution is forced, so flipping any
+   single result must be detected. *)
+let prop_mutation_detected =
+  QCheck.Test.make ~name:"flipped result in sequential history detected" ~count:200
+    (QCheck.make QCheck.Gen.(tup2 script_gen (int_range 0 1_000)))
+    (fun (script, pick) ->
+      let entries = sequential_history script in
+      let n = List.length entries in
+      QCheck.assume (n > 0);
+      let idx = pick mod n in
+      let mutated =
+        List.mapi
+          (fun i (e : History.entry) ->
+            if i = idx then { e with result = not e.result } else e)
+          entries
+      in
+      not (Lin_check.is_linearizable ~initial:[] mutated))
+
+(* --- end-to-end: real histories from the simulator ---------------------- *)
+
+module Run (C : Qs_harness.Cset.S) = struct
+  let record ~scheme ~seed ~range ~ops =
+    let n = 4 in
+    let s =
+      Scheduler.create
+        { (Scheduler.default_config ~n_cores:n ~seed) with
+          rooster_interval = Some 2_000;
+          rooster_oversleep = 50 }
+    in
+    let base = Qs_ds.Set_intf.default_config ~n_processes:n ~scheme in
+    let set =
+      C.create
+        { base with
+          smr =
+            { base.smr with
+              quiescence_threshold = 8;
+              scan_threshold = 8;
+              rooster_interval = 2_000;
+              epsilon = 300 } }
+    in
+    let ctxs = Array.init n (fun pid -> C.register set ~pid) in
+    let initial = List.init (range / 2) (fun i -> 2 * i) in
+    Scheduler.exec s ~pid:0 (fun () ->
+        List.iter (fun k -> ignore (C.insert ctxs.(0) k)) initial);
+    let hist = History.create ~n in
+    let master = Qs_util.Prng.create ~seed:(seed + 17) in
+    let prngs = Array.init n (fun _ -> Qs_util.Prng.split master) in
+    for pid = 0 to n - 1 do
+      Scheduler.spawn s ~pid (fun () ->
+          let prng = prngs.(pid) and ctx = ctxs.(pid) in
+          for _ = 1 to ops do
+            let key = Qs_util.Prng.int prng range in
+            let inv = Sim_runtime.now () in
+            let op, result =
+              match Qs_util.Prng.int prng 3 with
+              | 0 -> (History.Insert, C.insert ctx key)
+              | 1 -> (History.Delete, C.delete ctx key)
+              | _ -> (History.Search, C.search ctx key)
+            in
+            History.record hist ~pid ~op ~key ~inv ~res:(Sim_runtime.now ()) ~result
+          done)
+    done;
+    Scheduler.run_all s;
+    (match Scheduler.failures s with
+    | [] -> ()
+    | (pid, exn) :: _ ->
+      Alcotest.failf "worker %d failed: %s" pid (Printexc.to_string exn));
+    (initial, History.entries hist)
+
+  let check ~scheme ~seed ~range ~ops =
+    let initial, entries = record ~scheme ~seed ~range ~ops in
+    match Lin_check.check_set ~initial entries with
+    | Lin_check.Ok -> ()
+    | Lin_check.Violation k -> Alcotest.failf "non-linearizable on key %d" k
+    | Lin_check.Too_large k -> Alcotest.failf "history too large on key %d" k
+end
+
+module List_run = Run (Qs_ds.Linked_list.Make (Sim_runtime))
+module Skip_run = Run (Qs_ds.Skiplist.Make (Sim_runtime))
+module Bst_run = Run (Qs_ds.Bst.Make (Sim_runtime))
+module Hash_run = Run (Qs_ds.Hashtable.Make (Sim_runtime))
+
+let lin_case name check =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter
+        (fun (scheme, seed) -> check ~scheme ~seed ~range:96 ~ops:400)
+        [ (Qs_smr.Scheme.Qsense, 3);
+          (Qs_smr.Scheme.Qsbr, 4);
+          (Qs_smr.Scheme.Hp, 5);
+          (Qs_smr.Scheme.Cadence, 6)
+        ])
+
+let suite =
+  [ Alcotest.test_case "checker: sequential ok" `Quick test_checker_sequential_ok;
+    Alcotest.test_case "checker: wrong result rejected" `Quick test_checker_rejects_wrong_result;
+    Alcotest.test_case "checker: real-time order enforced" `Quick test_checker_rejects_non_linearizable;
+    Alcotest.test_case "checker: double insert rejected" `Quick test_checker_double_insert;
+    Alcotest.test_case "checker: keys independent" `Quick test_checker_keys_independent;
+    Alcotest.test_case "checker: oversized history" `Quick test_checker_too_large;
+    lin_case "list linearizable" (fun ~scheme ~seed ~range ~ops ->
+        List_run.check ~scheme ~seed ~range ~ops);
+    lin_case "skiplist linearizable" (fun ~scheme ~seed ~range ~ops ->
+        Skip_run.check ~scheme ~seed ~range ~ops);
+    lin_case "bst linearizable" (fun ~scheme ~seed ~range ~ops ->
+        Bst_run.check ~scheme ~seed ~range ~ops);
+    lin_case "hashtable linearizable" (fun ~scheme ~seed ~range ~ops ->
+        Hash_run.check ~scheme ~seed ~range ~ops);
+    QCheck_alcotest.to_alcotest prop_widening_preserves_linearizability;
+    QCheck_alcotest.to_alcotest prop_mutation_detected
+  ]

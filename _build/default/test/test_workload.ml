@@ -1,0 +1,92 @@
+(* Workload specification and pre-generated stream tests. *)
+
+module Spec = Qs_workload.Spec
+module Gen = Qs_workload.Generator
+
+let test_spec_validation () =
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Spec.make: key_range must be positive") (fun () ->
+      ignore (Spec.make ~key_range:0 ~update_pct:10));
+  Alcotest.check_raises "bad pct"
+    (Invalid_argument "Spec.make: update_pct must be in [0, 100]") (fun () ->
+      ignore (Spec.make ~key_range:10 ~update_pct:101))
+
+let test_spec_distribution () =
+  let spec = Spec.make ~key_range:100 ~update_pct:40 in
+  let prng = Qs_util.Prng.create ~seed:5 in
+  let n = 100_000 in
+  let searches = ref 0 and inserts = ref 0 and deletes = ref 0 in
+  for _ = 1 to n do
+    match Spec.pick prng spec with
+    | Spec.Search k | Spec.Insert k | Spec.Delete k when k < 0 || k >= 100 ->
+      Alcotest.fail "key out of range"
+    | Spec.Search _ -> incr searches
+    | Spec.Insert _ -> incr inserts
+    | Spec.Delete _ -> incr deletes
+  done;
+  let pct x = 100 * x / n in
+  Alcotest.(check bool) "searches ~60%" true (abs (pct !searches - 60) <= 2);
+  Alcotest.(check bool) "inserts ~20%" true (abs (pct !inserts - 20) <= 2);
+  Alcotest.(check bool) "deletes ~20%" true (abs (pct !deletes - 20) <= 2)
+
+let test_initial_keys () =
+  let spec = Spec.make ~key_range:100 ~update_pct:50 in
+  let keys = Spec.initial_keys spec in
+  Alcotest.(check int) "half the range" 50 (List.length keys);
+  List.iter
+    (fun k ->
+      if k < 0 || k >= 100 then Alcotest.fail "initial key out of range";
+      if k mod 2 <> 0 then Alcotest.fail "expected even keys")
+    keys;
+  Alcotest.(check (list int)) "distinct" (List.sort_uniq compare keys) keys
+
+let test_generator_deterministic () =
+  let spec = Spec.updates_50 ~key_range:64 in
+  let a = Gen.make spec ~n_processes:3 ~ops_per_process:500 ~seed:9 in
+  let b = Gen.make spec ~n_processes:3 ~ops_per_process:500 ~seed:9 in
+  for pid = 0 to 2 do
+    Alcotest.(check bool) "same stream" true (Gen.stream a ~pid = Gen.stream b ~pid)
+  done;
+  let c = Gen.make spec ~n_processes:3 ~ops_per_process:500 ~seed:10 in
+  Alcotest.(check bool) "different seed differs" true
+    (Gen.stream a ~pid:0 <> Gen.stream c ~pid:0)
+
+let test_generator_streams_independent () =
+  let spec = Spec.updates_50 ~key_range:64 in
+  let g = Gen.make spec ~n_processes:2 ~ops_per_process:300 ~seed:4 in
+  Alcotest.(check bool) "streams differ across pids" true
+    (Gen.stream g ~pid:0 <> Gen.stream g ~pid:1);
+  Alcotest.(check int) "length" 300 (Gen.length g);
+  Alcotest.(check int) "processes" 2 (Gen.n_processes g)
+
+let test_generator_census () =
+  let spec = Spec.make ~key_range:64 ~update_pct:30 in
+  let g = Gen.make spec ~n_processes:1 ~ops_per_process:20_000 ~seed:2 in
+  let s, i, d = Gen.census (Gen.stream g ~pid:0) in
+  Alcotest.(check int) "total" 20_000 (s + i + d);
+  Alcotest.(check bool) "updates ~30%" true
+    (abs ((100 * (i + d) / 20_000) - 30) <= 2)
+
+let test_latency_recording () =
+  let r =
+    Qs_harness.Sim_exp.run
+      { (Qs_harness.Sim_exp.default_setup ~ds:Qs_harness.Cset.List
+           ~scheme:Qs_smr.Scheme.Qsense ~n_processes:2
+           ~workload:(Spec.updates_50 ~key_range:64)) with
+        duration = 60_000;
+        record_latency = true }
+  in
+  Alcotest.(check int) "one latency per op" r.ops_total (Array.length r.latencies);
+  Array.iter
+    (fun l -> if l <= 0 then Alcotest.fail "non-positive latency")
+    r.latencies
+
+let suite =
+  [ Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "spec distribution" `Quick test_spec_distribution;
+    Alcotest.test_case "initial keys" `Quick test_initial_keys;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator per-pid streams" `Quick test_generator_streams_independent;
+    Alcotest.test_case "generator census" `Quick test_generator_census;
+    Alcotest.test_case "latency recording" `Quick test_latency_recording
+  ]
