@@ -188,30 +188,25 @@ let overhead_table per_ds_results =
   let suffix_of ds scheme =
     Printf.sprintf "/%s/%s" ds (Qs_smr.Scheme.to_string scheme)
   in
-  let ends_with ~suffix s =
-    let ls = String.length s and lx = String.length suffix in
-    ls >= lx && String.sub s (ls - lx) lx = suffix
-  in
   let cost ds scheme =
     let results = List.assoc ds per_ds_results in
     let suffix = suffix_of ds scheme in
     Hashtbl.fold
-      (fun name _ acc -> if ends_with ~suffix name then ns_per_run results name else acc)
+      (fun name _ acc ->
+        if String.ends_with ~suffix name then ns_per_run results name else acc)
       results nan
   in
+  (* Baselines are computed once, outside the per-scheme loop. *)
+  let none_costs = List.map (fun ds -> cost ds Qs_smr.Scheme.None_) dss in
+  let hp_costs = List.map (fun ds -> cost ds Qs_smr.Scheme.Hp) dss in
   List.iter
     (fun scheme ->
       let costs = List.map (fun ds -> cost ds scheme) dss in
       let over =
-        List.map2
-          (fun ds c ->
-            (* throughput overhead = 1 - none/cost *)
-            100. *. (1. -. (cost ds Qs_smr.Scheme.None_ /. c)))
-          dss costs
+        (* throughput overhead = 1 - none/cost *)
+        List.map2 (fun none_c c -> 100. *. (1. -. (none_c /. c))) none_costs costs
       in
-      let speedups =
-        List.map2 (fun ds c -> cost ds Qs_smr.Scheme.Hp /. c) dss costs
-      in
+      let speedups = List.map2 (fun hp_c c -> hp_c /. c) hp_costs costs in
       Qs_util.Table.add_row tbl
         (Qs_smr.Scheme.to_string scheme
         :: (List.map (Printf.sprintf "%.0f") costs
@@ -224,22 +219,264 @@ let overhead_table per_ds_results =
   Qs_util.Table.print tbl;
   print_newline ()
 
+(* --- retire/scan microbenchmarks ----------------------------------------- *)
+
+(* Head-to-head of the vector-based limbo list + sorted-id membership set
+   against a faithful replica of the seed's list-based Cadence (wrapper cons
+   per retire, [List.filter] + [List.length] per scan, [List.memq] over the
+   hazard-pointer snapshot). Two scenarios per limbo size L:
+
+   - "keep":  nothing is old enough, so scans compact the limbo list while
+     keeping every node — the steady-state cost of retire + periodic scans
+     (~8 scans per L retires).
+   - "drain": everything is old enough and unprotected, so the scan that
+     fires after L retires checks all L nodes against the N*K hazard
+     pointers and frees them — the membership-heavy path.
+
+   Growing state rules out bechamel's closure timing, so rounds are timed
+   by hand on the monotonic clock and the best round is reported. *)
+
+module Micro = struct
+  type fake = { id : int; mutable freed : int }
+
+  module FN = struct
+    type t = fake
+
+    let id n = n.id
+  end
+
+  let n_processes = 8
+  let hp_per_process = 8
+
+  let micro_cfg ~scan_threshold ~rooster_interval ~epsilon =
+    { (Qs_smr.Smr_intf.default_config ~n_processes ~hp_per_process) with
+      scan_threshold;
+      rooster_interval;
+      epsilon }
+
+  (* The vector/sorted-set implementation under test. *)
+  module Cad_vec = Qs_smr.Cadence.Make (R) (FN)
+
+  (* Replica of the seed's list-based Cadence hot path (retire + scan),
+     kept as the before/after baseline for the JSON report. *)
+  module Cad_list = struct
+    module Hp = Qs_smr.Hp_array.Make (R) (FN)
+
+    type wrapper = { node : fake; ts : int }
+
+    type t = {
+      cfg : Qs_smr.Smr_intf.config;
+      hp : Hp.t;
+      free : fake -> unit;
+      mutable rlist : wrapper list;
+      mutable rcount : int;
+      mutable retires : int;
+    }
+
+    let create cfg ~dummy ~free =
+      { cfg;
+        hp = Hp.create ~n:cfg.Qs_smr.Smr_intf.n_processes ~k:cfg.hp_per_process ~dummy;
+        free;
+        rlist = [];
+        rcount = 0;
+        retires = 0 }
+
+    let assign_hp t ~pid ~slot n = Hp.assign t.hp ~pid ~slot n
+
+    let is_old_enough t ~now w =
+      now - w.ts >= t.cfg.Qs_smr.Smr_intf.rooster_interval + t.cfg.epsilon
+
+    let scan t =
+      let now = R.now () in
+      let snapshot = Hp.snapshot t.hp in
+      let kept =
+        List.filter
+          (fun w ->
+            if is_old_enough t ~now w && not (Hp.protects snapshot w.node) then begin
+              t.free w.node;
+              false
+            end
+            else true)
+          t.rlist
+      in
+      t.rlist <- kept;
+      t.rcount <- List.length kept
+
+    let retire t n =
+      t.rlist <- { node = n; ts = R.now () } :: t.rlist;
+      t.rcount <- t.rcount + 1;
+      t.retires <- t.retires + 1;
+      if t.retires mod t.cfg.Qs_smr.Smr_intf.scan_threshold = 0 then scan t
+
+    let flush t =
+      List.iter (fun w -> t.free w.node) t.rlist;
+      t.rlist <- [];
+      t.rcount <- 0
+  end
+
+  let dummy = { id = -1; freed = 0 }
+
+  (* Node pool reused across rounds; protected nodes live outside it. *)
+  let pool l = Array.init l (fun i -> { id = i; freed = 0 })
+
+  let protected_nodes =
+    Array.init (n_processes * hp_per_process) (fun i ->
+        { id = 1_000_000 + i; freed = 0 })
+
+  let fill_hps assign =
+    for pid = 0 to n_processes - 1 do
+      for slot = 0 to hp_per_process - 1 do
+        assign ~pid ~slot protected_nodes.((pid * hp_per_process) + slot)
+      done
+    done
+
+  type scenario = Keep | Drain
+
+  let scenario_name = function Keep -> "keep" | Drain -> "drain"
+
+  let cfg_of_scenario scenario ~limbo =
+    match scenario with
+    | Keep ->
+      (* Nothing ever ages out: scans keep the whole limbo list. ~8 scans
+         over the L retires of a round. *)
+      micro_cfg ~scan_threshold:(max 1 (limbo / 8))
+        ~rooster_interval:max_int ~epsilon:0
+    | Drain ->
+      (* Everything is immediately old: the scan after the L-th retire
+         checks every node against the N*K hazard pointers and frees it. *)
+      micro_cfg ~scan_threshold:limbo ~rooster_interval:0 ~epsilon:0
+
+  (* Returns best-round ns per retire (scan cost amortized in). *)
+  let run_vec scenario ~limbo ~rounds =
+    let cfg = cfg_of_scenario scenario ~limbo in
+    let t = Cad_vec.create cfg ~dummy ~free:(fun n -> n.freed <- n.freed + 1) in
+    let handles = Array.init n_processes (fun pid -> Cad_vec.register t ~pid) in
+    fill_hps (fun ~pid ~slot n -> Cad_vec.assign_hp handles.(pid) ~slot n);
+    let nodes = pool limbo in
+    let h = handles.(0) in
+    let best = ref max_float in
+    for _round = 1 to rounds do
+      let t0 = R.now () in
+      for i = 0 to limbo - 1 do
+        Cad_vec.retire h nodes.(i)
+      done;
+      let dt = float_of_int (R.now () - t0) in
+      if dt < !best then best := dt;
+      (* Keep rounds start from an empty limbo; Drain rounds already do. *)
+      Cad_vec.flush h
+    done;
+    !best /. float_of_int limbo
+
+  let run_list scenario ~limbo ~rounds =
+    let cfg = cfg_of_scenario scenario ~limbo in
+    let t = Cad_list.create cfg ~dummy ~free:(fun n -> n.freed <- n.freed + 1) in
+    fill_hps (fun ~pid ~slot n -> Cad_list.assign_hp t ~pid ~slot n);
+    let nodes = pool limbo in
+    let best = ref max_float in
+    for _round = 1 to rounds do
+      let t0 = R.now () in
+      for i = 0 to limbo - 1 do
+        Cad_list.retire t nodes.(i)
+      done;
+      let dt = float_of_int (R.now () - t0) in
+      if dt < !best then best := dt;
+      Cad_list.flush t
+    done;
+    !best /. float_of_int limbo
+
+  type result = {
+    scenario : scenario;
+    limbo : int;
+    list_ns : float;
+    vec_ns : float;
+  }
+
+  let speedup r = r.list_ns /. r.vec_ns
+
+  let run ~sizes ~target_ops =
+    List.concat_map
+      (fun limbo ->
+        let rounds = max 3 (target_ops / limbo) in
+        List.map
+          (fun scenario ->
+            let list_ns = run_list scenario ~limbo ~rounds in
+            let vec_ns = run_vec scenario ~limbo ~rounds in
+            { scenario; limbo; list_ns; vec_ns })
+          [ Keep; Drain ])
+      sizes
+
+  let print_table results =
+    let tbl =
+      Qs_util.Table.create
+        [ "scenario"; "limbo"; "list ns/retire"; "vec ns/retire"; "speedup" ]
+    in
+    List.iter
+      (fun r ->
+        Qs_util.Table.add_row tbl
+          [ scenario_name r.scenario;
+            string_of_int r.limbo;
+            Printf.sprintf "%.1f" r.list_ns;
+            Printf.sprintf "%.1f" r.vec_ns;
+            Printf.sprintf "%.2fx" (speedup r) ])
+      results;
+    Qs_util.Table.print tbl;
+    print_newline ()
+
+  let emit_json ~path ~quick results =
+    let oc = open_out path in
+    Printf.fprintf oc "{\n";
+    Printf.fprintf oc "  \"schema\": 1,\n";
+    Printf.fprintf oc "  \"quick\": %b,\n" quick;
+    Printf.fprintf oc "  \"n_processes\": %d,\n" n_processes;
+    Printf.fprintf oc "  \"hp_per_process\": %d,\n" hp_per_process;
+    Printf.fprintf oc "  \"retire_scan\": [\n";
+    let n = List.length results in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"scenario\": \"%s\", \"limbo\": %d, \"list_ns_per_op\": %.2f, \
+           \"vec_ns_per_op\": %.2f, \"speedup\": %.3f}%s\n"
+          (scenario_name r.scenario) r.limbo r.list_ns r.vec_ns (speedup r)
+          (if i = n - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+end
+
 let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let micro_only = List.mem "--micro-only" argv in
   R.register_self 0;
   (* roosters give Cadence/QSense their coarse clock and wake-up guarantee *)
   let roosters = Qs_real.Roosters.start ~interval_ns:2_000_000 ~n:1 in
-  ignore (run_group "primitives (real x86 costs)" (Test.make_grouped ~name:"prim" primitives));
-  let fig3 = run_group "fig3: list, 10% updates" (List_b.group ~group_name:"fig3" ~update_pct:10) in
-  ignore fig3;
-  let list_r = run_group "fig5-top: list, 50% updates" (List_b.group ~group_name:"list50" ~update_pct:50) in
-  let skip_r = run_group "fig5-top: skiplist, 50% updates" (Skip_b.group ~group_name:"skip50" ~update_pct:50) in
-  let bst_r = run_group "fig5-top: bst, 50% updates" (Bst_b.group ~group_name:"bst50" ~update_pct:50) in
-  let hash_r = run_group "extra: hashtable, 50% updates" (Hash_b.group ~group_name:"hash50" ~update_pct:50) in
-  ignore (run_group "extra: treiber stack, push+pop" (Stack_b.group ()));
-  ignore (run_group "extra: michael-scott queue, enq+deq" (Queue_b.group ()));
-  Printf.printf "== §7.3-style overhead table (derived from ns/op above) ==\n%!";
-  overhead_table
-    [ ("list", list_r); ("skiplist", skip_r); ("bst", bst_r); ("hashtable", hash_r) ];
+  if not micro_only then begin
+    ignore
+      (run_group "primitives (real x86 costs)"
+         (Test.make_grouped ~name:"prim" primitives));
+    if not quick then begin
+      ignore
+        (run_group "fig3: list, 10% updates"
+           (List_b.group ~group_name:"fig3" ~update_pct:10));
+      let list_r = run_group "fig5-top: list, 50% updates" (List_b.group ~group_name:"list50" ~update_pct:50) in
+      let skip_r = run_group "fig5-top: skiplist, 50% updates" (Skip_b.group ~group_name:"skip50" ~update_pct:50) in
+      let bst_r = run_group "fig5-top: bst, 50% updates" (Bst_b.group ~group_name:"bst50" ~update_pct:50) in
+      let hash_r = run_group "extra: hashtable, 50% updates" (Hash_b.group ~group_name:"hash50" ~update_pct:50) in
+      ignore (run_group "extra: treiber stack, push+pop" (Stack_b.group ()));
+      ignore (run_group "extra: michael-scott queue, enq+deq" (Queue_b.group ()));
+      Printf.printf "== §7.3-style overhead table (derived from ns/op above) ==\n%!";
+      overhead_table
+        [ ("list", list_r); ("skiplist", skip_r); ("bst", bst_r); ("hashtable", hash_r) ]
+    end
+  end;
+  Printf.printf
+    "== retire/scan microbenchmark (vec + sorted-id set vs seed list impl) ==\n%!";
+  let sizes = if quick then [ 100; 1_000; 10_000 ] else [ 100; 1_000; 10_000; 100_000 ] in
+  let target_ops = if quick then 200_000 else 2_000_000 in
+  let results = Micro.run ~sizes ~target_ops in
+  Micro.print_table results;
+  Micro.emit_json ~path:"BENCH_RESULTS.json" ~quick results;
   Qs_real.Roosters.stop roosters;
   (* The multi-core figures come from the simulator: *)
   print_endline "Scalability and robustness figures (multi-core) are produced by the";

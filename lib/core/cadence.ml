@@ -5,11 +5,21 @@
      is bounded by the rooster interval T: every core's store buffer is
      drained at least every T (+ oversleep) time units by a rooster-induced
      context switch.
-   - [retire] wraps the node with a timestamp ([timestamped_node] of
-     Algorithm 3). A scan frees a node only when it is old enough —
-     [age >= T + epsilon] — because by then any hazard pointer that could
-     protect it (necessarily written before the node was removed, by
-     Condition 1) has become visible, so the ordinary HP check suffices.
+   - [retire] records the node with a timestamp (Algorithm 3's
+     [timestamped_node] — here a parallel array, not a wrapper record). A
+     scan frees a node only when it is old enough — [age >= T + epsilon] —
+     because by then any hazard pointer that could protect it (necessarily
+     written before the node was removed, by Condition 1) has become
+     visible, so the ordinary HP check suffices.
+
+   Hot-path discipline: [retire] is allocation- and syscall-free — the
+   timestamp comes from the runtime's coarse clock ([R.now_coarse], an
+   atomic load refreshed by the roosters) and the node lands in a
+   timestamped vector. Scans compact that vector in place against a
+   reusable sorted-id snapshot of the hazard pointers. The coarse
+   timestamp understates the removal time by at most one rooster period;
+   DESIGN.md ("Hot-path discipline") gives the accounting that keeps the
+   deferral sound.
 
    Cadence is usable stand-alone (this module) and as QSense's fallback
    path ({!Qsense} re-implements the merged version over the limbo lists).
@@ -21,20 +31,19 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   module Hp = Hp_array.Make (R) (N)
 
-  type wrapper = { node : node; ts : int }
-
   type t = {
     cfg : Smr_intf.config;
     hp : Hp.t;
     free : node -> unit;
+    dummy : node;
     handles : handle option array;
   }
 
   and handle = {
     owner : t;
     pid : int;
-    mutable rlist : wrapper list;
-    mutable rcount : int;
+    rlist : node Qs_util.Vec.Ts.t;
+    scan_set : Hp.scan_set;
     mutable retires : int;
     mutable frees : int;
     mutable scans : int;
@@ -47,14 +56,15 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     { cfg;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
+      dummy;
       handles = Array.make cfg.n_processes None }
 
   let register t ~pid =
     let h =
       { owner = t;
         pid;
-        rlist = [];
-        rcount = 0;
+        rlist = Qs_util.Vec.Ts.create t.dummy;
+        scan_set = Hp.scan_set t.hp;
         retires = 0;
         frees = 0;
         scans = 0;
@@ -70,50 +80,43 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   let clear_hps h = Hp.clear h.owner.hp ~pid:h.pid
 
-  let is_old_enough t ~now w =
-    now - w.ts >= t.cfg.rooster_interval + t.cfg.epsilon
+  let is_old_enough t ~now ts =
+    now - ts >= t.cfg.rooster_interval + t.cfg.epsilon
 
   let scan h =
     let t = h.owner in
     h.scans <- h.scans + 1;
-    let now = R.now () in
-    let snapshot = Hp.snapshot t.hp in
-    let kept =
-      List.filter
-        (fun w ->
-          if is_old_enough t ~now w && not (Hp.protects snapshot w.node) then begin
-            t.free w.node;
-            h.frees <- h.frees + 1;
-            false
-          end
-          else true)
-        h.rlist
-    in
-    h.rlist <- kept;
-    h.rcount <- List.length kept
+    let now = R.now_coarse () in
+    Hp.snapshot_into t.hp h.scan_set;
+    Qs_util.Vec.Ts.filter_in_place h.rlist (fun n ts ->
+        if is_old_enough t ~now ts && not (Hp.protects_set h.scan_set n) then begin
+          t.free n;
+          h.frees <- h.frees + 1;
+          false
+        end
+        else true)
 
   let retire h n =
-    h.rlist <- { node = n; ts = R.now () } :: h.rlist;
-    h.rcount <- h.rcount + 1;
+    Qs_util.Vec.Ts.push h.rlist n (R.now_coarse ());
     h.retires <- h.retires + 1;
-    if h.rcount > h.retired_peak then h.retired_peak <- h.rcount;
+    let rcount = Qs_util.Vec.Ts.length h.rlist in
+    if rcount > h.retired_peak then h.retired_peak <- rcount;
     if h.retires mod h.owner.cfg.scan_threshold = 0 then scan h
 
   let flush h =
-    List.iter
-      (fun w ->
-        h.owner.free w.node;
+    Qs_util.Vec.Ts.iter
+      (fun n _ts ->
+        h.owner.free n;
         h.frees <- h.frees + 1)
       h.rlist;
-    h.rlist <- [];
-    h.rcount <- 0
+    Qs_util.Vec.Ts.clear h.rlist
 
   let fold t f =
     Array.fold_left
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t (fun h -> h.rcount)
+  let retired_count t = fold t (fun h -> Qs_util.Vec.Ts.length h.rlist)
 
   let stats t =
     { Smr_intf.zero_stats with

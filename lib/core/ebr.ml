@@ -13,7 +13,12 @@
    Integration piggybacks on the standard three-call interface:
    [manage_state] (top of every operation) = enter the critical region;
    [clear_hps] (end of every operation, where hazard-pointer schemes drop
-   protection) = leave it. *)
+   protection) = leave it.
+
+   Hot-path discipline: vector limbo lists (amortised allocation-free
+   [retire]); padded per-process epoch slots — [clear_hps] writes the slot
+   on every single operation, making it the most false-sharing-sensitive
+   cell in the scheme. *)
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type node = N.t
@@ -25,14 +30,14 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     (* local.(pid): -1 when inactive, else the epoch pinned by the
        in-flight operation *)
     locals : int R.atomic array;
+    dummy : node;
     handles : handle option array;
   }
 
   and handle = {
     owner : t;
     pid : int;
-    limbo : node list array;
-    sizes : int array;
+    limbo : node Qs_util.Vec.t array;
     mutable last_epoch : int; (* last epoch this process was pinned to *)
     mutable ops : int;
     mutable retires : int;
@@ -43,19 +48,19 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   let name = "ebr"
 
-  let create (cfg : Smr_intf.config) ~dummy:_ ~free =
+  let create (cfg : Smr_intf.config) ~dummy ~free =
     { cfg;
       free;
-      global = R.atomic 0;
-      locals = Array.init cfg.n_processes (fun _ -> R.atomic (-1));
+      global = R.atomic_padded 0;
+      locals = Array.init cfg.n_processes (fun _ -> R.atomic_padded (-1));
+      dummy;
       handles = Array.make cfg.n_processes None }
 
   let register t ~pid =
     let h =
       { owner = t;
         pid;
-        limbo = Array.make 3 [];
-        sizes = Array.make 3 0;
+        limbo = Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
         last_epoch = -1;
         ops = 0;
         retires = 0;
@@ -67,13 +72,13 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     h
 
   let free_epoch h e =
-    List.iter
+    let v = h.limbo.(e) in
+    Qs_util.Vec.iter
       (fun n ->
         h.owner.free n;
         h.frees <- h.frees + 1)
-      h.limbo.(e);
-    h.limbo.(e) <- [];
-    h.sizes.(e) <- 0
+      v;
+    Qs_util.Vec.clear v
 
   (* Every process is either inactive or pinned to [eg]. *)
   let all_on t eg =
@@ -109,16 +114,20 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   let assign_hp _ ~slot:_ _ = ()
 
+  let total_limbo h =
+    Qs_util.Vec.length h.limbo.(0)
+    + Qs_util.Vec.length h.limbo.(1)
+    + Qs_util.Vec.length h.limbo.(2)
+
   let retire h n =
     let e =
       match R.get h.owner.locals.(h.pid) with
       | -1 -> R.get h.owner.global (* retire outside an operation *)
       | e -> e
     in
-    h.limbo.(e) <- n :: h.limbo.(e);
-    h.sizes.(e) <- h.sizes.(e) + 1;
+    Qs_util.Vec.push h.limbo.(e) n;
     h.retires <- h.retires + 1;
-    let total = h.sizes.(0) + h.sizes.(1) + h.sizes.(2) in
+    let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total
 
   let flush h =
@@ -131,7 +140,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t (fun h -> h.sizes.(0) + h.sizes.(1) + h.sizes.(2))
+  let retired_count t = fold t total_limbo
 
   let stats t =
     { Smr_intf.zero_stats with

@@ -9,7 +9,12 @@
    [Make_gen] also admits an unfenced variant ({!Unsafe_hp}) used by the
    tests to demonstrate that the fence is load-bearing: under the simulator's
    TSO model the unfenced variant reclaims nodes that are still hazardously
-   referenced. *)
+   referenced.
+
+   Hot-path discipline: the removed list is a vector (allocation-free
+   [retire]); a scan snapshots the N×K hazard slots into a reusable sorted
+   id set (O(log N·K) membership, zero allocation) and compacts the removed
+   list in place. *)
 
 module type PARAMS = sig
   val scheme_name : string
@@ -29,14 +34,15 @@ struct
     cfg : Smr_intf.config;
     hp : Hp.t;
     free : node -> unit;
+    dummy : node;
     handles : handle option array;
   }
 
   and handle = {
     owner : t;
     pid : int;
-    mutable rlist : node list;
-    mutable rcount : int;
+    rlist : node Qs_util.Vec.t;
+    scan_set : Hp.scan_set;
     mutable retires : int;
     mutable frees : int;
     mutable scans : int;
@@ -49,14 +55,15 @@ struct
     { cfg;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
+      dummy;
       handles = Array.make cfg.n_processes None }
 
   let register t ~pid =
     let h =
       { owner = t;
         pid;
-        rlist = [];
-        rcount = 0;
+        rlist = Qs_util.Vec.create t.dummy;
+        scan_set = Hp.scan_set t.hp;
         retires = 0;
         frees = 0;
         scans = 0;
@@ -78,43 +85,36 @@ struct
   let scan h =
     let t = h.owner in
     h.scans <- h.scans + 1;
-    let snapshot = Hp.snapshot t.hp in
-    let kept =
-      List.filter
-        (fun n ->
-          if Hp.protects snapshot n then true
-          else begin
-            t.free n;
-            h.frees <- h.frees + 1;
-            false
-          end)
-        h.rlist
-    in
-    h.rlist <- kept;
-    h.rcount <- List.length kept
+    Hp.snapshot_into t.hp h.scan_set;
+    Qs_util.Vec.filter_in_place h.rlist (fun n ->
+        if Hp.protects_set h.scan_set n then true
+        else begin
+          t.free n;
+          h.frees <- h.frees + 1;
+          false
+        end)
 
   let retire h n =
-    h.rlist <- n :: h.rlist;
-    h.rcount <- h.rcount + 1;
+    Qs_util.Vec.push h.rlist n;
     h.retires <- h.retires + 1;
-    if h.rcount > h.retired_peak then h.retired_peak <- h.rcount;
-    if h.rcount >= h.owner.cfg.scan_threshold then scan h
+    let rcount = Qs_util.Vec.length h.rlist in
+    if rcount > h.retired_peak then h.retired_peak <- rcount;
+    if rcount >= h.owner.cfg.scan_threshold then scan h
 
   let flush h =
-    List.iter
+    Qs_util.Vec.iter
       (fun n ->
         h.owner.free n;
         h.frees <- h.frees + 1)
       h.rlist;
-    h.rlist <- [];
-    h.rcount <- 0
+    Qs_util.Vec.clear h.rlist
 
   let fold t f =
     Array.fold_left
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t (fun h -> h.rcount)
+  let retired_count t = fold t (fun h -> Qs_util.Vec.length h.rlist)
 
   let stats t =
     { Smr_intf.zero_stats with

@@ -3,13 +3,22 @@
    *plain* cells — publishing is a cheap store whose visibility is bounded
    only by fences (classic HP) or rooster context switches (Cadence/QSense).
    Unused slots hold the data structure's dummy node rather than an option,
-   keeping the traversal path allocation-free. *)
+   keeping the traversal path allocation-free. Each process's row of slots
+   is padded against false sharing: rows are written by different processes
+   on every traversal step.
+
+   Scans use a reusable {e scan set}: the N×K slots are snapshotted into a
+   per-handle sorted [int] array of node ids ({!Smr_intf.NODE.id}), giving
+   O(log N·K) membership per retired node and zero allocation per scan. The
+   seed's list-based [snapshot]/[protects] ([List.memq], O(N·K) per node,
+   one cons per non-dummy slot) is kept as the reference implementation for
+   the differential property tests. *)
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type t = { slots : N.t R.plain array array; dummy : N.t; k : int }
 
   let create ~n ~k ~dummy =
-    { slots = Array.init n (fun _ -> Array.init k (fun _ -> R.plain dummy));
+    { slots = Array.init n (fun _ -> Array.init k (fun _ -> R.plain_padded dummy));
       dummy;
       k }
 
@@ -20,6 +29,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     for i = 0 to t.k - 1 do
       R.write row.(i) t.dummy
     done
+
+  (* --- reference implementation (tests only) ----------------------------- *)
 
   (* Read every slot of every process; the result is the set of nodes that
      must not be reclaimed. Reads are racy by design: a hazard pointer whose
@@ -38,4 +49,62 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     !acc
 
   let protects snapshot n = List.memq n snapshot
+
+  (* --- the scan set: reusable sorted-id snapshot -------------------------- *)
+
+  type scan_set = { mutable ids : int array; mutable len : int }
+
+  let scan_set t =
+    { ids = Array.make (max 1 (Array.length t.slots * t.k)) 0; len = 0 }
+
+  (* Insertion sort: the snapshot has at most N·K entries (tens), is nearly
+     free to sort, and needs no closure or comparator allocation. *)
+  let sort_ids ids len =
+    for i = 1 to len - 1 do
+      let x = ids.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && ids.(!j) > x do
+        ids.(!j + 1) <- ids.(!j);
+        decr j
+      done;
+      ids.(!j + 1) <- x
+    done
+
+  (* Snapshot all N×K slots into [s] (same raciness as {!snapshot}): ids of
+     the non-dummy slots, sorted. No allocation in steady state; the id
+     array grows only if the set outlives a resize of the HP array (it
+     cannot today — both are sized at creation). *)
+  let snapshot_into t s =
+    let cap = Array.length t.slots * t.k in
+    if Array.length s.ids < cap then s.ids <- Array.make cap 0;
+    let len = ref 0 in
+    let dummy = t.dummy in
+    for pid = 0 to Array.length t.slots - 1 do
+      let row = t.slots.(pid) in
+      for i = 0 to t.k - 1 do
+        let n = R.read row.(i) in
+        if n != dummy then begin
+          s.ids.(!len) <- N.id n;
+          incr len
+        end
+      done
+    done;
+    s.len <- !len;
+    sort_ids s.ids s.len
+
+  let mem_id s id =
+    let lo = ref 0 and hi = ref (s.len - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = s.ids.(mid) in
+      if v = id then found := true
+      else if v < id then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+
+  (* O(log N·K) membership by stable node identity. Conservative under id
+     collisions (keeps the node), never frees a protected node. *)
+  let protects_set s n = mem_id s (N.id n)
 end

@@ -10,7 +10,13 @@
 
    Fast (no per-node work at all) but blocking: one delayed process freezes
    the global epoch and with it all reclamation — the failure mode QSense's
-   fallback path exists to survive. *)
+   fallback path exists to survive.
+
+   Hot-path discipline: limbo lists are growable vectors ({!Qs_util.Vec}),
+   so [retire] is an amortised allocation-free array store and [free_epoch]
+   walks a contiguous block; per-process epoch slots are cache-line padded
+   ([R.atomic_padded]) because each is written by its owner and read by
+   everyone. *)
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type node = N.t
@@ -20,14 +26,14 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     free : node -> unit;
     global : int R.atomic;
     locals : int R.atomic array;
+    dummy : node;
     handles : handle option array;
   }
 
   and handle = {
     owner : t;
     pid : int;
-    limbo : node list array; (* one list per epoch *)
-    sizes : int array;
+    limbo : node Qs_util.Vec.t array; (* one vector per epoch *)
     mutable ops : int;
     mutable retires : int;
     mutable frees : int;
@@ -37,19 +43,19 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   let name = "qsbr"
 
-  let create (cfg : Smr_intf.config) ~dummy:_ ~free =
+  let create (cfg : Smr_intf.config) ~dummy ~free =
     { cfg;
       free;
-      global = R.atomic 0;
-      locals = Array.init cfg.n_processes (fun _ -> R.atomic 0);
+      global = R.atomic_padded 0;
+      locals = Array.init cfg.n_processes (fun _ -> R.atomic_padded 0);
+      dummy;
       handles = Array.make cfg.n_processes None }
 
   let register t ~pid =
     let h =
       { owner = t;
         pid;
-        limbo = Array.make 3 [];
-        sizes = Array.make 3 0;
+        limbo = Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
         ops = 0;
         retires = 0;
         frees = 0;
@@ -60,13 +66,13 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     h
 
   let free_epoch h e =
-    List.iter
+    let v = h.limbo.(e) in
+    Qs_util.Vec.iter
       (fun n ->
         h.owner.free n;
         h.frees <- h.frees + 1)
-      h.limbo.(e);
-    h.limbo.(e) <- [];
-    h.sizes.(e) <- 0
+      v;
+    Qs_util.Vec.clear v
 
   let all_current t eg =
     let n = Array.length t.locals in
@@ -91,12 +97,16 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   let assign_hp _ ~slot:_ _ = ()
   let clear_hps _ = ()
 
+  let total_limbo h =
+    Qs_util.Vec.length h.limbo.(0)
+    + Qs_util.Vec.length h.limbo.(1)
+    + Qs_util.Vec.length h.limbo.(2)
+
   let retire h n =
     let e = R.get h.owner.locals.(h.pid) in
-    h.limbo.(e) <- n :: h.limbo.(e);
-    h.sizes.(e) <- h.sizes.(e) + 1;
+    Qs_util.Vec.push h.limbo.(e) n;
     h.retires <- h.retires + 1;
-    let total = h.sizes.(0) + h.sizes.(1) + h.sizes.(2) in
+    let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total
 
   let flush h =
@@ -109,7 +119,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t (fun h -> h.sizes.(0) + h.sizes.(1) + h.sizes.(2))
+  let retired_count t = fold t total_limbo
 
   let stats t =
     { Smr_intf.zero_stats with

@@ -8,8 +8,10 @@
 
    - hazard pointers: published on every traversal with a plain store and
      NO fence (visibility bounded by the rooster interval T);
-   - retire timestamps: every retired node is wrapped with its removal time
-     (Algorithm 5's free_node_later).
+   - retire timestamps: every retired node is recorded with its removal time
+     (Algorithm 5's free_node_later) — in a parallel array, not a wrapper
+     record, and taken from the coarse rooster clock, so [retire] performs
+     no allocation and no syscall.
 
    Mode is a shared fallback flag. A process whose limbo lists exceed the
    threshold C flips it to fallback (quiescence has evidently stalled); a
@@ -24,7 +26,13 @@
    (it has been off-CPU far longer than T) and (b) while any process is
    evicted — and for the first epoch cycle after it rejoins — quiescent
    freeing filters through the hazard-pointer + age check instead of freeing
-   unconditionally. *)
+   unconditionally.
+
+   Hot-path discipline: limbo lists are timestamped vectors, fallback
+   scans compact them in place against a reusable sorted-id hazard-pointer
+   snapshot, and the per-process cells written by their owner and read by
+   everyone (epoch slots, presence and eviction flags) are cache-line
+   padded. *)
 
 module type PUBLICATION = sig
   val scheme_name : string
@@ -42,8 +50,6 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
 
   module Hp = Hp_array.Make (R) (N)
 
-  type wrapper = { node : node; ts : int }
-
   type t = {
     cfg : Smr_intf.config;
     c_threshold : int;
@@ -57,14 +63,15 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     evicted_count : int R.atomic;
     fallback_since : int R.atomic;
     mutable mode_shadow : Smr_intf.mode; (* effect-free mirror for stats *)
+    dummy : node;
     handles : handle option array;
   }
 
   and handle = {
     owner : t;
     pid : int;
-    limbo : wrapper list array; (* one list per epoch, as in QSBR *)
-    sizes : int array;
+    limbo : node Qs_util.Vec.Ts.t array; (* one vector per epoch, as in QSBR *)
+    scan_set : Hp.scan_set;
     mutable call_count : int;
     mutable fnl_count : int;
     mutable prev_fallback : bool; (* prev_seen_fallback_flag of Algorithm 5 *)
@@ -90,22 +97,23 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       c_threshold = c;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
-      global = R.atomic 0;
-      locals = Array.init cfg.n_processes (fun _ -> R.atomic 0);
-      fallback_flag = R.atomic 0;
-      presence = Array.init cfg.n_processes (fun _ -> R.atomic 0);
-      evicted = Array.init cfg.n_processes (fun _ -> R.atomic 0);
-      evicted_count = R.atomic 0;
-      fallback_since = R.atomic 0;
+      global = R.atomic_padded 0;
+      locals = Array.init cfg.n_processes (fun _ -> R.atomic_padded 0);
+      fallback_flag = R.atomic_padded 0;
+      presence = Array.init cfg.n_processes (fun _ -> R.atomic_padded 0);
+      evicted = Array.init cfg.n_processes (fun _ -> R.atomic_padded 0);
+      evicted_count = R.atomic_padded 0;
+      fallback_since = R.atomic_padded 0;
       mode_shadow = Smr_intf.Fast;
+      dummy;
       handles = Array.make cfg.n_processes None }
 
   let register t ~pid =
     let h =
       { owner = t;
         pid;
-        limbo = Array.make 3 [];
-        sizes = Array.make 3 0;
+        limbo = Array.init 3 (fun _ -> Qs_util.Vec.Ts.create t.dummy);
+        scan_set = Hp.scan_set t.hp;
         call_count = 0;
         fnl_count = 0;
         prev_fallback = false;
@@ -122,7 +130,10 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     t.handles.(pid) <- Some h;
     h
 
-  let total_limbo h = h.sizes.(0) + h.sizes.(1) + h.sizes.(2)
+  let total_limbo h =
+    Qs_util.Vec.Ts.length h.limbo.(0)
+    + Qs_util.Vec.Ts.length h.limbo.(1)
+    + Qs_util.Vec.Ts.length h.limbo.(2)
 
   (* Hazard pointers are maintained in BOTH modes, without fences — this is
      what makes the fast path fast and the switch sound (see §4.1). The
@@ -135,34 +146,29 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     end
   let clear_hps h = Hp.clear h.owner.hp ~pid:h.pid
 
-  let is_old_enough t ~now (w : wrapper) =
-    now - w.ts >= t.cfg.rooster_interval + t.cfg.epsilon
+  let is_old_enough t ~now ts =
+    now - ts >= t.cfg.rooster_interval + t.cfg.epsilon
 
   (* Cadence-style filtered reclamation of one limbo list: free entries that
-     are old enough and unprotected, keep the rest. *)
-  let scan_epoch h ~now ~snapshot e =
+     are old enough and unprotected, keep the rest. The caller must have
+     refreshed [h.scan_set]. *)
+  let scan_epoch h ~now e =
     let t = h.owner in
-    let kept =
-      List.filter
-        (fun w ->
-          if is_old_enough t ~now w && not (Hp.protects snapshot w.node) then begin
-            t.free w.node;
-            h.frees <- h.frees + 1;
-            false
-          end
-          else true)
-        h.limbo.(e)
-    in
-    h.limbo.(e) <- kept;
-    h.sizes.(e) <- List.length kept
+    Qs_util.Vec.Ts.filter_in_place h.limbo.(e) (fun n ts ->
+        if is_old_enough t ~now ts && not (Hp.protects_set h.scan_set n) then begin
+          t.free n;
+          h.frees <- h.frees + 1;
+          false
+        end
+        else true)
 
   (* Algorithm 5 lines 45-47: in fallback mode all three epochs are scanned. *)
   let scan_all h =
     h.scans <- h.scans + 1;
-    let now = R.now () in
-    let snapshot = Hp.snapshot h.owner.hp in
+    let now = R.now_coarse () in
+    Hp.snapshot_into h.owner.hp h.scan_set;
     for e = 0 to 2 do
-      scan_epoch h ~now ~snapshot e
+      scan_epoch h ~now e
     done
 
   (* Free an adopted epoch's limbo list. Unconditional in the common case
@@ -174,18 +180,18 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     let filtered = R.get t.evicted_count > 0 || h.rejoin_guard > 0 in
     if h.rejoin_guard > 0 then h.rejoin_guard <- h.rejoin_guard - 1;
     if filtered then begin
-      let now = R.now () in
-      let snapshot = Hp.snapshot t.hp in
-      scan_epoch h ~now ~snapshot e
+      let now = R.now_coarse () in
+      Hp.snapshot_into t.hp h.scan_set;
+      scan_epoch h ~now e
     end
     else begin
-      List.iter
-        (fun w ->
-          t.free w.node;
+      let v = h.limbo.(e) in
+      Qs_util.Vec.Ts.iter
+        (fun n _ts ->
+          t.free n;
           h.frees <- h.frees + 1)
-        h.limbo.(e);
-      h.limbo.(e) <- [];
-      h.sizes.(e) <- 0
+        v;
+      Qs_util.Vec.Ts.clear v
     end
 
   let all_current t eg =
@@ -279,12 +285,12 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       end
     end
 
-  (* Algorithm 5, free_node_later. *)
+  (* Algorithm 5, free_node_later. Allocation-free: a coarse-clock read and
+     two array stores in steady state. *)
   let retire h n =
     let t = h.owner in
     let e = R.get t.locals.(h.pid) in
-    h.limbo.(e) <- { node = n; ts = R.now () } :: h.limbo.(e);
-    h.sizes.(e) <- h.sizes.(e) + 1;
+    Qs_util.Vec.Ts.push h.limbo.(e) n (R.now_coarse ());
     h.retires <- h.retires + 1;
     let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total;
@@ -303,13 +309,13 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
 
   let flush h =
     for e = 0 to 2 do
-      List.iter
-        (fun w ->
-          h.owner.free w.node;
+      let v = h.limbo.(e) in
+      Qs_util.Vec.Ts.iter
+        (fun n _ts ->
+          h.owner.free n;
           h.frees <- h.frees + 1)
-        h.limbo.(e);
-      h.limbo.(e) <- [];
-      h.sizes.(e) <- 0
+        v;
+      Qs_util.Vec.Ts.clear v
     done
 
   let fold t f =

@@ -16,6 +16,19 @@
 
 module type NODE = sig
   type t
+
+  val id : t -> int
+  (** A stable identity for the node, constant for the node's whole
+      lifetime (across arena reuse too — it identifies the {e object}, not
+      the allocation). Used by the hazard-pointer membership set
+      ({!Hp_array}) in place of physical-equality list scans: a snapshot
+      becomes a sorted [int] array with O(log N·K) membership and zero
+      per-scan allocation. Collisions are {e safe} — a node sharing an id
+      with a protected node is merely kept one scan longer — but hurt
+      reclamation latency, so ids should be unique in practice (the data
+      structures stamp each node from a per-structure counter at creation).
+      Physical equality on OCaml objects cannot be hashed or ordered
+      directly (the GC moves objects), hence this explicit identity. *)
 end
 
 type config = {

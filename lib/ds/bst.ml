@@ -39,6 +39,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   let max_real_key = inf1 - 1
 
   type node = {
+    uid : int; (* stable identity for the SMR membership set *)
     mutable key : int;
     mutable is_leaf : bool;
     left : link R.atomic;
@@ -77,11 +78,15 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   let clean () = Clean (ref ())
 
+  let uid_counter = Atomic.make 0
+  let fresh_uid () = Atomic.fetch_and_add uid_counter 1
+
   module Node_impl = struct
     type t = node
 
     let create () =
-      { key = 0;
+      { uid = fresh_uid ();
+        key = 0;
         is_leaf = true;
         left = R.atomic Nil;
         right = R.atomic Nil;
@@ -95,7 +100,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   end
 
   module Arena = Qs_arena.Arena.Make (Node_impl)
-  module Glue = Smr_glue.Make (R) (struct type t = node end)
+
+  module Glue = Smr_glue.Make (R) (struct
+    type t = node
+
+    let id n = n.uid
+  end)
 
   type t = {
     root : node;
@@ -109,7 +119,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   let hp_per_process = 6
 
   let mk_leaf key =
-    { key;
+    { uid = fresh_uid ();
+      key;
       is_leaf = true;
       left = R.atomic Nil;
       right = R.atomic Nil;
@@ -120,7 +131,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   let create (cfg : Set_intf.config) =
     let smr_cfg = { cfg.smr with hp_per_process; removes_per_op_max = 2 } in
     let root =
-      { key = inf2;
+      { uid = fresh_uid ();
+        key = inf2;
         is_leaf = false;
         left = R.atomic (Child { dest = mk_leaf inf1; marked = false });
         right = R.atomic (Child { dest = mk_leaf inf2; marked = false });

@@ -17,6 +17,7 @@
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   type node = {
+    uid : int; (* stable identity for the SMR membership set *)
     mutable key : int;
     next : link R.atomic;
     mutable state : Qs_arena.Node_state.t;
@@ -25,11 +26,21 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   and link = Null | Ptr of { dest : node; marked : bool }
 
+  (* Node identities for Smr_intf.NODE.id: stamped once at creation (the
+     slow allocation path), stable across arena reuse. Stdlib atomics, not
+     R: identity assignment is meta-level, not simulated shared memory. *)
+  let uid_counter = Atomic.make 0
+  let fresh_uid () = Atomic.fetch_and_add uid_counter 1
+
   module Node_impl = struct
     type t = node
 
     let create () =
-      { key = 0; next = R.atomic Null; state = Qs_arena.Node_state.Free; birth = 0 }
+      { uid = fresh_uid ();
+        key = 0;
+        next = R.atomic Null;
+        state = Qs_arena.Node_state.Free;
+        birth = 0 }
 
     let get_state n = n.state
     let set_state n s = n.state <- s
@@ -37,7 +48,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   end
 
   module Arena = Qs_arena.Arena.Make (Node_impl)
-  module Glue = Smr_glue.Make (R) (struct type t = node end)
+
+  module Glue = Smr_glue.Make (R) (struct
+    type t = node
+
+    let id n = n.uid
+  end)
 
   type t = {
     head : node;
@@ -58,13 +74,15 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
         removes_per_op_max = 1 }
     in
     let tail =
-      { key = max_int;
+      { uid = fresh_uid ();
+        key = max_int;
         next = R.atomic Null;
         state = Qs_arena.Node_state.Reachable;
         birth = 0 }
     in
     let head =
-      { key = min_int;
+      { uid = fresh_uid ();
+        key = min_int;
         next = R.atomic (Ptr { dest = tail; marked = false });
         state = Qs_arena.Node_state.Reachable;
         birth = 0 }
@@ -224,7 +242,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   (* A fresh head sentinel chained to the shared tail — hash-table buckets.
      Never reclaimed. *)
   let new_bucket t =
-    { key = min_int;
+    { uid = fresh_uid ();
+      key = min_int;
       next = R.atomic (Ptr { dest = t.tail; marked = false });
       state = Qs_arena.Node_state.Reachable;
       birth = 0 }

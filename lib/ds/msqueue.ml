@@ -13,6 +13,7 @@
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   type node = {
+    uid : int; (* stable identity for the SMR membership set *)
     mutable value : int;
     next : link R.atomic;
     mutable state : Qs_arena.Node_state.t;
@@ -21,11 +22,15 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   and link = Null | Ptr of node
 
+  let uid_counter = Atomic.make 0
+  let fresh_uid () = Atomic.fetch_and_add uid_counter 1
+
   module Node_impl = struct
     type t = node
 
     let create () =
-      { value = 0;
+      { uid = fresh_uid ();
+        value = 0;
         next = R.atomic Null;
         state = Qs_arena.Node_state.Free;
         birth = 0 }
@@ -36,7 +41,11 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   end
 
   module Arena = Qs_arena.Arena.Make (Node_impl)
-  module Glue = Smr_glue.Make (R) (struct type t = node end)
+  module Glue = Smr_glue.Make (R) (struct
+    type t = node
+
+    let id n = n.uid
+  end)
 
   type t = {
     head : link R.atomic; (* always Ptr dummy *)
@@ -56,7 +65,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     let smr_cfg = { cfg.smr with hp_per_process; removes_per_op_max = 1 } in
     let sentinel =
       (* never retired; fills unused hazard-pointer slots *)
-      { value = 0;
+      { uid = fresh_uid ();
+        value = 0;
         next = R.atomic Null;
         state = Qs_arena.Node_state.Reachable;
         birth = 0 }

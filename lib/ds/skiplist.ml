@@ -25,6 +25,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   let max_level = 15 (* enough for the paper's 20k-element skip list *)
 
   type node = {
+    uid : int; (* stable identity for the SMR membership set *)
     mutable key : int;
     mutable top : int; (* index of this node's highest level *)
     next : link R.atomic array; (* length top+1; sentinels are full height *)
@@ -34,13 +35,17 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   and link = Null | Ptr of { dest : node; marked : bool }
 
+  let uid_counter = Atomic.make 0
+  let fresh_uid () = Atomic.fetch_and_add uid_counter 1
+
   module Node_impl = struct
     type t = node
 
     (* Nodes are allocated at full height and reused at any level: a
        recycled node just uses a prefix of its link array. *)
     let create () =
-      { key = 0;
+      { uid = fresh_uid ();
+        key = 0;
         top = 0;
         next = Array.init (max_level + 1) (fun _ -> R.atomic Null);
         state = Qs_arena.Node_state.Free;
@@ -52,7 +57,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   end
 
   module Arena = Qs_arena.Arena.Make (Node_impl)
-  module Glue = Smr_glue.Make (R) (struct type t = node end)
+
+  module Glue = Smr_glue.Make (R) (struct
+    type t = node
+
+    let id n = n.uid
+  end)
 
   type t = {
     head : node;
@@ -79,14 +89,16 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
       { cfg.smr with hp_per_process; removes_per_op_max = 1 }
     in
     let tail =
-      { key = max_int;
+      { uid = fresh_uid ();
+        key = max_int;
         top = max_level;
         next = Array.init (max_level + 1) (fun _ -> R.atomic Null);
         state = Qs_arena.Node_state.Reachable;
         birth = 0 }
     in
     let head =
-      { key = min_int;
+      { uid = fresh_uid ();
+        key = min_int;
         top = max_level;
         next =
           Array.init (max_level + 1) (fun _ ->

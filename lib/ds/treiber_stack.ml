@@ -16,6 +16,7 @@
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   type node = {
+    uid : int; (* stable identity for the SMR membership set *)
     mutable value : int;
     mutable next : link; (* written only before the node is published *)
     mutable state : Qs_arena.Node_state.t;
@@ -24,11 +25,18 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   and link = Null | Ptr of node
 
+  let uid_counter = Atomic.make 0
+  let fresh_uid () = Atomic.fetch_and_add uid_counter 1
+
   module Node_impl = struct
     type t = node
 
     let create () =
-      { value = 0; next = Null; state = Qs_arena.Node_state.Free; birth = 0 }
+      { uid = fresh_uid ();
+        value = 0;
+        next = Null;
+        state = Qs_arena.Node_state.Free;
+        birth = 0 }
 
     let get_state n = n.state
     let set_state n s = n.state <- s
@@ -36,7 +44,11 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   end
 
   module Arena = Qs_arena.Arena.Make (Node_impl)
-  module Glue = Smr_glue.Make (R) (struct type t = node end)
+  module Glue = Smr_glue.Make (R) (struct
+    type t = node
+
+    let id n = n.uid
+  end)
 
   type t = {
     top : link R.atomic;
@@ -55,7 +67,11 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
       { cfg.smr with hp_per_process; removes_per_op_max = 1 }
     in
     let dummy =
-      { value = 0; next = Null; state = Qs_arena.Node_state.Reachable; birth = 0 }
+      { uid = fresh_uid ();
+        value = 0;
+        next = Null;
+        state = Qs_arena.Node_state.Reachable;
+        birth = 0 }
     in
     let arena =
       Arena.create ?capacity:cfg.capacity ~n_processes:smr_cfg.n_processes ()

@@ -34,6 +34,14 @@ module type RUNTIME = sig
   val atomic : 'a -> 'a atomic
   (** Allocate an atomic location. Safe to call outside process context. *)
 
+  val atomic_padded : 'a -> 'a atomic
+  (** Like {!atomic}, but the location is isolated against false sharing:
+      on the real runtime the cell is allocated with cache-line slack so
+      that adjacent per-process cells (epoch slots, presence flags) do not
+      ping-pong one line between cores; on the simulator it is {!atomic}
+      (the simulator's coherence model is per-cell already). Use for the
+      elements of per-process arrays written by different processes. *)
+
   val get : 'a atomic -> 'a
 
   val set : 'a atomic -> 'a -> unit
@@ -55,6 +63,11 @@ module type RUNTIME = sig
   val plain : 'a -> 'a plain
   (** Allocate a plain location. Safe to call outside process context. *)
 
+  val plain_padded : 'a -> 'a plain
+  (** Like {!plain}, with the false-sharing isolation of {!atomic_padded}.
+      Use for single-writer cells that sit next to other processes' cells,
+      e.g. the rows of the shared hazard-pointer array. *)
+
   val read : 'a plain -> 'a
   (** Reads the issuer's own latest buffered write if any (store-to-load
       forwarding), otherwise the committed value — which may be stale with
@@ -75,6 +88,23 @@ module type RUNTIME = sig
   (** Monotone clock. Simulator: virtual ticks on the caller's core plus a
       bounded per-core skew. Real runtime: nanoseconds. Timestamps from
       different processes may disagree by at most the configured epsilon. *)
+
+  val now_coarse : unit -> int
+  (** Cheap, possibly-lagging clock for the retire hot path. Contract:
+
+      {[ now_coarse () <= now () <= now_coarse () + T + eps_rooster ]}
+
+      where [T] is the rooster interval and [eps_rooster] the rooster
+      oversleep bound — i.e. the coarse clock lags real time by at most one
+      rooster period. Simulator: identical to {!now} (the virtual clock is
+      already free). Real runtime: the last timestamp published by a
+      rooster domain — a single atomic load, replacing a [gettimeofday]
+      syscall (and its boxed-float allocation) per [retire]. Freshness
+      requires roosters to be running ({!Qs_real.Roosters.start}), which
+      Cadence/QSense mandate anyway; without roosters it falls back on the
+      timestamp captured at runtime initialisation. See DESIGN.md
+      "Hot-path discipline" for why [config.epsilon] absorbs the coarse
+      slack on the real runtime. *)
 
   val self : unit -> int
   (** Identity of the calling process, in [0, n_processes). *)

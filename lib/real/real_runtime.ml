@@ -22,6 +22,29 @@ let plain v = { v }
 let read c = c.v
 let write c x = c.v <- x
 
+(* Best-effort false-sharing isolation. OCaml gives no control over object
+   placement, but minor-heap allocation is sequential: surrounding a small
+   cell with dummy blocks puts >= one cache line (64 B = 8 words) of slack
+   between it and the cells allocated before/after it, so per-process epoch
+   slots, presence flags and hazard-pointer rows allocated in a loop do not
+   share lines. [Sys.opaque_identity] keeps the padding allocations from
+   being optimised away; the pads themselves become garbage immediately,
+   costing nothing after the next minor collection beyond the (one-time,
+   creation-path) bump allocations. *)
+let pad () = ignore (Sys.opaque_identity (Array.make 8 0))
+
+let atomic_padded v =
+  pad ();
+  let c = Atomic.make v in
+  pad ();
+  c
+
+let plain_padded v =
+  pad ();
+  let c = { v } in
+  pad ();
+  c
+
 let fence_cell : int Atomic.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Atomic.make 0)
 
@@ -33,3 +56,15 @@ let self () = Domain.DLS.get pid_key
 
 let now () = int_of_float (Unix.gettimeofday () *. 1e9)
 let yield () = Domain.cpu_relax ()
+
+(* The coarse clock: an atomic cell refreshed by rooster domains
+   ({!Qs_real.Roosters.start} calls {!publish_coarse} on every wake-up).
+   Reading it is one atomic load — no syscall, no boxed-float allocation —
+   which is what makes the retire path of the timestamped schemes
+   allocation-free. Before any rooster has published, it falls back on the
+   timestamp captured when this module was initialised; schemes that
+   consume coarse timestamps (Cadence, QSense) require roosters anyway. *)
+let coarse_clock = Atomic.make (now ())
+
+let publish_coarse t = Atomic.set coarse_clock t
+let now_coarse () = Atomic.get coarse_clock

@@ -10,3 +10,8 @@ include Qs_intf.Runtime_intf.RUNTIME
 val register_self : int -> unit
 (** Must be called once by each worker domain before it uses the library,
     with its process id in [0, n_processes). {!self} returns this id. *)
+
+val publish_coarse : int -> unit
+(** Refresh the coarse clock read by {!now_coarse}. Called by
+    {!Qs_real.Roosters} on every rooster wake-up; tests may call it
+    directly. Monotonicity is the publisher's responsibility. *)

@@ -22,12 +22,17 @@ type t = {
 let start ~interval_ns ~n =
   let stop = Atomic.make false in
   let coarse = Atomic.make (Real_runtime.now ()) in
+  Real_runtime.publish_coarse (Atomic.get coarse);
   let wakeups = Atomic.make 0 in
   let tick_s = float_of_int interval_ns /. 1e9 in
   let body () =
     while not (Atomic.get stop) do
       Unix.sleepf tick_s;
-      Atomic.set coarse (Real_runtime.now ());
+      let t = Real_runtime.now () in
+      Atomic.set coarse t;
+      (* feed the runtime-wide coarse clock consumed by
+         [Real_runtime.now_coarse] — the allocation-free retire timestamp *)
+      Real_runtime.publish_coarse t;
       Atomic.incr wakeups
     done
   in

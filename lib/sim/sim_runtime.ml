@@ -9,6 +9,10 @@ type 'a plain = 'a Cell.t
 
 let atomic v = Cell.make v
 let plain v = Cell.make v
+
+(* The simulator models coherence per cell, so padding is a no-op. *)
+let atomic_padded v = atomic v
+let plain_padded v = plain v
 let get c = Effect.perform (Scheduler.E_atomic_get c)
 let set c v = Effect.perform (Scheduler.E_atomic_set (c, v))
 let cas c expected desired = Effect.perform (Scheduler.E_cas (c, expected, desired))
@@ -17,6 +21,10 @@ let read c = Effect.perform (Scheduler.E_read c)
 let write c v = Effect.perform (Scheduler.E_write (c, v))
 let fence () = Effect.perform Scheduler.E_fence
 let now () = Effect.perform Scheduler.E_now
+
+(* Virtual time costs one tick to read either way; the coarse clock exists
+   for the real runtime, where [now] is a syscall. Lag bound: zero. *)
+let now_coarse () = now ()
 let self () = Effect.perform Scheduler.E_self
 let yield () = Effect.perform Scheduler.E_yield
 

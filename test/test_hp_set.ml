@@ -1,0 +1,214 @@
+(* Properties of the hot-path machinery introduced for allocation-free
+   retire/scan:
+
+   - the sorted-id membership set ([Hp_array.snapshot_into] /
+     [protects_set]) agrees with the list-based reference
+     ([snapshot] / [protects], kept precisely for this differential) on
+     random hazard-pointer assignments;
+   - [Vec.filter_in_place] / [Vec.Ts.filter_in_place] free exactly the
+     same elements, in the same order, as the seed's [List.filter] path;
+   - retire is allocation-free in steady state for all five schemes
+     (measured with [Gc.minor_words] on the real runtime, after a warm-up
+     that grows the limbo vectors to capacity). *)
+
+module R = Qs_real.Real_runtime
+
+type fake = { fid : int; mutable freed : int }
+
+module N = struct
+  type t = fake
+
+  let id n = n.fid
+end
+
+module Hp = Qs_smr.Hp_array.Make (R) (N)
+
+(* --- membership set vs list reference ------------------------------------ *)
+
+(* A random HP table: n x k slots, each either the dummy or a pool node
+   (duplicates across slots allowed). Both snapshot flavours are taken and
+   compared on every pool node. *)
+let prop_scan_set_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      triple (int_range 1 8) (int_range 1 8)
+        (list_size (int_range 0 80) (int_range (-1) 31)))
+  in
+  QCheck.Test.make ~name:"scan set agrees with list snapshot/protects"
+    ~count:500
+    (QCheck.make gen)
+    (fun (n, k, assignments) ->
+      let dummy = { fid = -42; freed = 0 } in
+      let pool = Array.init 32 (fun i -> { fid = 100 + i; freed = 0 }) in
+      let hp = Hp.create ~n ~k ~dummy in
+      List.iteri
+        (fun i choice ->
+          let pid = i mod n and slot = i / n mod k in
+          let node = if choice < 0 then dummy else pool.(choice) in
+          Hp.assign hp ~pid ~slot node)
+        assignments;
+      let reference = Hp.snapshot hp in
+      let set = Hp.scan_set hp in
+      Hp.snapshot_into hp set;
+      Array.for_all
+        (fun node -> Hp.protects reference node = Hp.protects_set set node)
+        pool
+      && not (Hp.protects_set set dummy))
+
+(* Clearing a process's row removes its nodes from the next snapshot. *)
+let prop_clear_removes_from_set =
+  QCheck.Test.make ~name:"scan set after clear drops the cleared row"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (n, k) ->
+      let dummy = { fid = -42; freed = 0 } in
+      let hp = Hp.create ~n ~k ~dummy in
+      let node = { fid = 7; freed = 0 } in
+      for pid = 0 to n - 1 do
+        for slot = 0 to k - 1 do
+          Hp.assign hp ~pid ~slot node
+        done
+      done;
+      for pid = 0 to n - 1 do
+        Hp.clear hp ~pid
+      done;
+      let set = Hp.scan_set hp in
+      Hp.snapshot_into hp set;
+      not (Hp.protects_set set node))
+
+(* --- Vec.filter_in_place vs List.filter ---------------------------------- *)
+
+let prop_vec_filter_matches_list_filter =
+  QCheck.Test.make
+    ~name:"Vec.filter_in_place = List.filter (same keeps, same order)"
+    ~count:500
+    QCheck.(pair (list small_int) (int_range 1 5))
+    (fun (xs, m) ->
+      let pred x = x mod m <> 0 in
+      let v = Qs_util.Vec.create 0 in
+      List.iter (Qs_util.Vec.push v) xs;
+      let visited = ref [] in
+      Qs_util.Vec.filter_in_place v (fun x ->
+          visited := x :: !visited;
+          pred x);
+      (* every element visited exactly once, in order *)
+      List.rev !visited = xs
+      && Qs_util.Vec.to_list v = List.filter pred xs)
+
+let prop_ts_filter_matches_list_filter =
+  QCheck.Test.make
+    ~name:"Vec.Ts.filter_in_place = List.filter over (elt, stamp) pairs"
+    ~count:500
+    QCheck.(pair (list (pair small_int small_int)) (int_range 1 5))
+    (fun (pairs, m) ->
+      let pred x ts = (x + ts) mod m <> 0 in
+      let v = Qs_util.Vec.Ts.create 0 in
+      List.iter (fun (x, ts) -> Qs_util.Vec.Ts.push v x ts) pairs;
+      Qs_util.Vec.Ts.filter_in_place v pred;
+      Qs_util.Vec.Ts.to_list v
+      = List.filter (fun (x, ts) -> pred x ts) pairs)
+
+(* The "frees exactly the same nodes" differential: drive a limbo-style
+   compaction where the dropped elements are freed as a side effect, and
+   check the freed multiset matches the List.filter complement. *)
+let prop_vec_filter_frees_complement =
+  QCheck.Test.make ~name:"filter_in_place frees exactly the dropped elements"
+    ~count:500
+    QCheck.(pair (list small_int) (int_range 1 5))
+    (fun (xs, m) ->
+      let keep x = x mod m <> 0 in
+      let v = Qs_util.Vec.create 0 in
+      List.iter (Qs_util.Vec.push v) xs;
+      let freed = ref [] in
+      Qs_util.Vec.filter_in_place v (fun x ->
+          if keep x then true
+          else begin
+            freed := x :: !freed;
+            false
+          end);
+      List.rev !freed = List.filter (fun x -> not (keep x)) xs)
+
+(* --- steady-state allocation-freedom of retire ---------------------------- *)
+
+module Hp_s = Qs_smr.Hazard_pointers.Make (R) (N)
+module Qsbr_s = Qs_smr.Qsbr.Make (R) (N)
+module Ebr_s = Qs_smr.Ebr.Make (R) (N)
+module Cadence_s = Qs_smr.Cadence.Make (R) (N)
+module Qsense_s = Qs_smr.Qsense.Make (R) (N)
+
+(* Thresholds far above the retire counts below: no scan, no epoch flip and
+   no fallback switch fires mid-measurement, so the measured loop is pure
+   retire hot path. *)
+let alloc_cfg =
+  { (Qs_smr.Smr_intf.default_config ~n_processes:2 ~hp_per_process:2) with
+    quiescence_threshold = 1_000_000;
+    scan_threshold = 1_000_000;
+    switch_threshold = 1_000_000;
+    rooster_interval = max_int;
+    epsilon = 0 }
+
+let warmup = 20_000
+let count = 10_000
+
+(* Words of minor-heap allocation during [count] retires, measured after a
+   warm-up that grows the limbo vector past [count] and a flush that keeps
+   the capacity. *)
+let measure_retire ~retire ~flush =
+  let node = { fid = 1; freed = 0 } in
+  for _ = 1 to warmup do
+    retire node
+  done;
+  flush ();
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  for _ = 1 to count do
+    retire node
+  done;
+  let after = Gc.minor_words () in
+  after -. before
+
+let check_alloc_free name words =
+  (* [Gc.minor_words] itself boxes its float result; anything under a few
+     hundred words across 10k retires means the loop body is
+     allocation-free. The seed's cons-per-retire would show >= 3 words per
+     retire (30k+). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: retire allocates (%.0f words / %d retires)" name
+       words count)
+    true (words < 1_000.)
+
+let test_retire_alloc_free () =
+  let dummy = { fid = -1; freed = 0 } in
+  let free n = n.freed <- n.freed + 1 in
+  (let t = Qsbr_s.create alloc_cfg ~dummy ~free in
+   let h = Qsbr_s.register t ~pid:0 in
+   check_alloc_free "qsbr"
+     (measure_retire ~retire:(Qsbr_s.retire h) ~flush:(fun () -> Qsbr_s.flush h)));
+  (let t = Ebr_s.create alloc_cfg ~dummy ~free in
+   let h = Ebr_s.register t ~pid:0 in
+   check_alloc_free "ebr"
+     (measure_retire ~retire:(Ebr_s.retire h) ~flush:(fun () -> Ebr_s.flush h)));
+  (let t = Hp_s.create alloc_cfg ~dummy ~free in
+   let h = Hp_s.register t ~pid:0 in
+   check_alloc_free "hp"
+     (measure_retire ~retire:(Hp_s.retire h) ~flush:(fun () -> Hp_s.flush h)));
+  (let t = Cadence_s.create alloc_cfg ~dummy ~free in
+   let h = Cadence_s.register t ~pid:0 in
+   check_alloc_free "cadence"
+     (measure_retire ~retire:(Cadence_s.retire h)
+        ~flush:(fun () -> Cadence_s.flush h)));
+  let t = Qsense_s.create alloc_cfg ~dummy ~free in
+  let h = Qsense_s.register t ~pid:0 in
+  check_alloc_free "qsense"
+    (measure_retire ~retire:(Qsense_s.retire h)
+       ~flush:(fun () -> Qsense_s.flush h))
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_scan_set_matches_reference;
+    QCheck_alcotest.to_alcotest prop_clear_removes_from_set;
+    QCheck_alcotest.to_alcotest prop_vec_filter_matches_list_filter;
+    QCheck_alcotest.to_alcotest prop_ts_filter_matches_list_filter;
+    QCheck_alcotest.to_alcotest prop_vec_filter_frees_complement;
+    Alcotest.test_case "retire is allocation-free in steady state" `Quick
+      test_retire_alloc_free
+  ]

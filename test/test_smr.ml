@@ -9,6 +9,8 @@ type fake = { id : int; mutable freed : int }
 
 module N = struct
   type t = fake
+
+  let id n = n.id
 end
 
 module Hp = Qs_smr.Hazard_pointers.Make (R) (N)
