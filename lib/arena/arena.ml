@@ -10,7 +10,18 @@ module type NODE = sig
 end
 
 module Make (N : NODE) = struct
-  type t = { capacity : int option; mutable handles : handle array }
+  type t = {
+    capacity : int option;
+    (* Shared outstanding counter, maintained by every [alloc]/[free].
+       The capacity check used to fold [allocations - frees] over ALL
+       per-process handles on every single allocation whenever a capacity
+       was configured — O(n_processes) of cross-process cache traffic on
+       the allocation hot path. One fetch-and-add per alloc/free keeps the
+       same value (allocs and real frees commute with the counter updates)
+       at O(1). *)
+    outstanding_now : int Atomic.t;
+    mutable handles : handle array;
+  }
 
   and handle = {
     owner : t;
@@ -23,7 +34,7 @@ module Make (N : NODE) = struct
   }
 
   let create ?capacity ~n_processes () =
-    let t = { capacity; handles = [||] } in
+    let t = { capacity; outstanding_now = Atomic.make 0; handles = [||] } in
     let mk _ =
       { owner = t;
         free_list = [];
@@ -40,13 +51,14 @@ module Make (N : NODE) = struct
 
   let sum t f = Array.fold_left (fun acc h -> acc + f h) 0 t.handles
 
-  let outstanding t = sum t (fun h -> h.allocations - h.frees)
+  let outstanding t = Atomic.get t.outstanding_now
 
   let alloc h =
     match h.free_list with
     | n :: rest ->
       h.free_list <- rest;
       h.allocations <- h.allocations + 1;
+      ignore (Atomic.fetch_and_add h.owner.outstanding_now 1);
       N.set_state n Node_state.Allocated;
       N.bump_birth n;
       n
@@ -57,6 +69,7 @@ module Make (N : NODE) = struct
       let n = N.create () in
       h.allocations <- h.allocations + 1;
       h.fresh <- h.fresh + 1;
+      ignore (Atomic.fetch_and_add h.owner.outstanding_now 1);
       N.set_state n Node_state.Allocated;
       N.bump_birth n;
       n
@@ -67,6 +80,7 @@ module Make (N : NODE) = struct
     else begin
       N.set_state n Node_state.Free;
       h.frees <- h.frees + 1;
+      ignore (Atomic.fetch_and_add h.owner.outstanding_now (-1));
       h.free_list <- n :: h.free_list
     end
 

@@ -55,7 +55,8 @@ module Make (N : NODE) : sig
       access is a use-after-free and increments the violation counter. *)
 
   val outstanding : t -> int
-  (** Allocated-but-not-freed nodes, across all processes. *)
+  (** Allocated-but-not-freed nodes, across all processes. O(1): a shared
+      counter maintained by [alloc]/[free], not a fold over handles. *)
 
   val allocations : t -> int
   val frees : t -> int
