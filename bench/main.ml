@@ -251,6 +251,9 @@ module Micro = struct
   let micro_cfg ~scan_threshold ~rooster_interval ~epsilon =
     { (Qs_smr.Smr_intf.default_config ~n_processes ~hp_per_process) with
       scan_threshold;
+      (* exact scan cadence: the scenarios are defined by scans firing at
+         precisely the configured threshold *)
+      scan_factor = 0.;
       rooster_interval;
       epsilon }
 

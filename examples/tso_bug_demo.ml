@@ -32,6 +32,7 @@ let run scheme =
                   { c with
                     quiescence_threshold = 4;
                     scan_threshold = 1;
+                    scan_factor = 0.; (* scan every retire: the bug window is per-scan *)
                     rooster_interval = 2_000;
                     epsilon = 300 });
               sched_tweak =

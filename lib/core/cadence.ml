@@ -33,6 +33,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   type t = {
     cfg : Smr_intf.config;
+    scan_threshold_eff : int; (* adaptive: max(R, ceil(scan_factor * N * K)) *)
     hp : Hp.t;
     free : node -> unit;
     dummy : node;
@@ -54,6 +55,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   let create (cfg : Smr_intf.config) ~dummy ~free =
     { cfg;
+      scan_threshold_eff = Smr_intf.effective_scan_threshold cfg;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
       dummy;
@@ -101,7 +103,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     h.retires <- h.retires + 1;
     let rcount = Qs_util.Vec.Ts.length h.rlist in
     if rcount > h.retired_peak then h.retired_peak <- rcount;
-    if h.retires mod h.owner.cfg.scan_threshold = 0 then scan h
+    if h.retires mod h.owner.scan_threshold_eff = 0 then scan h
 
   let flush h =
     Qs_util.Vec.Ts.iter
@@ -124,5 +126,6 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       frees = fold t (fun h -> h.frees);
       scans = fold t (fun h -> h.scans);
       retired_now = retired_count t;
-      retired_peak = fold t (fun h -> h.retired_peak) }
+      retired_peak = fold t (fun h -> h.retired_peak);
+      scan_threshold_eff = t.scan_threshold_eff }
 end

@@ -12,9 +12,14 @@
    referenced.
 
    Hot-path discipline: the removed list is a vector (allocation-free
-   [retire]); a scan snapshots the N×K hazard slots into a reusable sorted
-   id set (O(log N·K) membership, zero allocation) and compacts the removed
-   list in place. *)
+   [retire]); a scan snapshots the N×K hazard slots into a reusable id
+   hash set (expected-O(1) membership, zero allocation) and compacts the
+   removed list in place. The scan threshold adapts to the deployment:
+   effective R = max(cfg.scan_threshold, ceil(scan_factor * N * K)),
+   computed once at creation — a scan costs O(N·K + limbo) and keeps at
+   most N·K protected nodes, so every scan frees at least
+   (scan_factor - 1)·N·K nodes and scan work is amortised O(1) per retire
+   however many processes or hazard pointers the system runs. *)
 
 module type PARAMS = sig
   val scheme_name : string
@@ -32,6 +37,7 @@ struct
 
   type t = {
     cfg : Smr_intf.config;
+    scan_threshold_eff : int; (* adaptive: max(R, ceil(scan_factor * N * K)) *)
     hp : Hp.t;
     free : node -> unit;
     dummy : node;
@@ -53,6 +59,7 @@ struct
 
   let create (cfg : Smr_intf.config) ~dummy ~free =
     { cfg;
+      scan_threshold_eff = Smr_intf.effective_scan_threshold cfg;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
       dummy;
@@ -99,7 +106,7 @@ struct
     h.retires <- h.retires + 1;
     let rcount = Qs_util.Vec.length h.rlist in
     if rcount > h.retired_peak then h.retired_peak <- rcount;
-    if rcount >= h.owner.cfg.scan_threshold then scan h
+    if rcount >= h.owner.scan_threshold_eff then scan h
 
   let flush h =
     Qs_util.Vec.iter
@@ -122,7 +129,8 @@ struct
       frees = fold t (fun h -> h.frees);
       scans = fold t (fun h -> h.scans);
       retired_now = retired_count t;
-      retired_peak = fold t (fun h -> h.retired_peak) }
+      retired_peak = fold t (fun h -> h.retired_peak);
+      scan_threshold_eff = t.scan_threshold_eff }
 end
 
 module Make = Make_gen (struct

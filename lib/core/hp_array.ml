@@ -8,11 +8,15 @@
    on every traversal step.
 
    Scans use a reusable {e scan set}: the N×K slots are snapshotted into a
-   per-handle sorted [int] array of node ids ({!Smr_intf.NODE.id}), giving
-   O(log N·K) membership per retired node and zero allocation per scan. The
-   seed's list-based [snapshot]/[protects] ([List.memq], O(N·K) per node,
-   one cons per non-dummy slot) is kept as the reference implementation for
-   the differential property tests. *)
+   per-handle open-addressing hash set of node ids ({!Smr_intf.NODE.id},
+   {!Qs_util.Int_set}), giving expected-O(1) membership per retired node
+   and zero allocation per scan — Michael's original hash-set scan, which
+   together with the adaptive scan threshold makes scan work amortised O(1)
+   per retire. Two reference implementations survive for the differential
+   property tests: the seed's list-based [snapshot]/[protects]
+   ([List.memq], O(N·K) per node, one cons per non-dummy slot) and PR 1's
+   sorted-id array ([snapshot_into_sorted]/[protects_sorted], O(log N·K)
+   per node). *)
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type t = { slots : N.t R.plain array array; dummy : N.t; k : int }
@@ -50,11 +54,11 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   let protects snapshot n = List.memq n snapshot
 
-  (* --- the scan set: reusable sorted-id snapshot -------------------------- *)
+  (* --- reference implementation 2: reusable sorted-id snapshot ------------ *)
 
-  type scan_set = { mutable ids : int array; mutable len : int }
+  type sorted_set = { mutable ids : int array; mutable len : int }
 
-  let scan_set t =
+  let sorted_set t =
     { ids = Array.make (max 1 (Array.length t.slots * t.k)) 0; len = 0 }
 
   (* Insertion sort: the snapshot has at most N·K entries (tens), is nearly
@@ -74,7 +78,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
      the non-dummy slots, sorted. No allocation in steady state; the id
      array grows only if the set outlives a resize of the HP array (it
      cannot today — both are sized at creation). *)
-  let snapshot_into t s =
+  let snapshot_into_sorted t s =
     let cap = Array.length t.slots * t.k in
     if Array.length s.ids < cap then s.ids <- Array.make cap 0;
     let len = ref 0 in
@@ -106,5 +110,31 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   (* O(log N·K) membership by stable node identity. Conservative under id
      collisions (keeps the node), never frees a protected node. *)
-  let protects_set s n = mem_id s (N.id n)
+  let protects_sorted s n = mem_id s (N.id n)
+
+  (* --- the scan set: reusable id hash set (production path) --------------- *)
+
+  type scan_set = Qs_util.Int_set.t
+
+  (* Preallocated for the full N·K population: at steady state a snapshot
+     never triggers a rehash, so the scan path performs zero allocation. *)
+  let scan_set t = Qs_util.Int_set.create ~capacity:(Array.length t.slots * t.k) ()
+
+  (* Snapshot all N×K slots into the hash set (same raciness as
+     {!snapshot}). [Int_set.reset] is an O(1) generation bump, so the whole
+     snapshot is O(N·K) with no allocation. *)
+  let snapshot_into t s =
+    Qs_util.Int_set.reset s;
+    let dummy = t.dummy in
+    for pid = 0 to Array.length t.slots - 1 do
+      let row = t.slots.(pid) in
+      for i = 0 to t.k - 1 do
+        let n = R.read row.(i) in
+        if n != dummy then Qs_util.Int_set.add s (N.id n)
+      done
+    done
+
+  (* Expected-O(1) membership by stable node identity. Conservative under
+     id collisions (keeps the node), never frees a protected node. *)
+  let protects_set s n = Qs_util.Int_set.mem s (N.id n)
 end

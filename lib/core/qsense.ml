@@ -53,6 +53,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
   type t = {
     cfg : Smr_intf.config;
     c_threshold : int;
+    scan_threshold_eff : int; (* adaptive: max(R, ceil(scan_factor * N * K)) *)
     hp : Hp.t;
     free : node -> unit;
     global : int R.atomic;
@@ -95,6 +96,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     in
     { cfg;
       c_threshold = c;
+      scan_threshold_eff = Smr_intf.effective_scan_threshold cfg;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
       global = R.atomic_padded 0;
@@ -297,7 +299,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     let fallback = R.get t.fallback_flag = 1 in
     if fallback then begin
       h.fnl_count <- h.fnl_count + 1;
-      if h.fnl_count mod t.cfg.scan_threshold = 0 then scan_all h;
+      if h.fnl_count mod t.scan_threshold_eff = 0 then scan_all h;
       h.prev_fallback <- true
     end
     else if h.prev_fallback then begin
@@ -335,6 +337,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       evictions = fold t (fun h -> h.evictions);
       retired_now = retired_count t;
       retired_peak = fold t (fun h -> h.retired_peak);
+      scan_threshold_eff = t.scan_threshold_eff;
       mode = t.mode_shadow }
 end
 

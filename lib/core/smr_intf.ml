@@ -37,6 +37,19 @@ type config = {
   quiescence_threshold : int;
       (** Q — operations batched per declared quiescent state (§3.1) *)
   scan_threshold : int;  (** R — retires between hazard-pointer scans *)
+  scan_factor : float;
+      (** Adaptive scan scheduling: the {e effective} scan threshold of the
+          hazard-pointer schemes is
+          [max scan_threshold (ceil (scan_factor * N * K))], computed once
+          at registration ({!effective_scan_threshold}). A scan touches all
+          N·K slots and at most N·K retired nodes survive it (only
+          protected nodes are kept), so with [scan_factor > 1] every scan
+          frees at least [(scan_factor - 1) * N * K] nodes for O(N·K +
+          limbo) work — amortised O(1) per retire regardless of
+          process/HP count. [<= 0] disables the adaptation and uses
+          [scan_threshold] verbatim (the tests pinning exact scan timing
+          do this). Does not apply to the deferred schemes' age check,
+          only to when scans fire. *)
   rooster_interval : int;
       (** T — rooster sleep interval, in [RUNTIME.now] units. The runtime
           must actually run roosters at this interval (simulator config /
@@ -63,11 +76,25 @@ let default_config ~n_processes ~hp_per_process =
     hp_per_process;
     quiescence_threshold = 64;
     scan_threshold = 64;
+    scan_factor = 2.0;
     rooster_interval = 5_000;
     epsilon = 500;
     switch_threshold = 0;
     removes_per_op_max = 1;
     eviction_timeout = None }
+
+(** The effective scan threshold under adaptive scan scheduling:
+    [max scan_threshold (ceil (scan_factor * N * K))], or [scan_threshold]
+    verbatim when [scan_factor <= 0]. Computed once per scheme instance and
+    surfaced in {!stats.scan_threshold_eff}. *)
+let effective_scan_threshold cfg =
+  if cfg.scan_factor <= 0. then cfg.scan_threshold
+  else
+    max cfg.scan_threshold
+      (int_of_float
+         (Float.ceil
+            (cfg.scan_factor
+            *. float_of_int (cfg.n_processes * cfg.hp_per_process))))
 
 (** The smallest legal fallback-switch threshold per Property 4:
     [C > max (m*Q) (N*K + T) ((K + T + R) / 2)]. *)
@@ -92,6 +119,10 @@ type stats = {
   evictions : int;
   retired_now : int;  (** removed-but-unfreed nodes at this instant *)
   retired_peak : int;
+  scan_threshold_eff : int;
+      (** The effective scan threshold chosen at creation under adaptive
+          scan scheduling ({!effective_scan_threshold}); 0 for schemes
+          that never scan hazard pointers. *)
   mode : mode;
 }
 
@@ -105,6 +136,7 @@ let zero_stats =
     evictions = 0;
     retired_now = 0;
     retired_peak = 0;
+    scan_threshold_eff = 0;
     mode = Fast }
 
 module type S = sig

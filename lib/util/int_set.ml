@@ -1,0 +1,103 @@
+(* Open-addressing integer hash set for the reclamation hot paths.
+
+   Designed for the hazard-pointer scan set: a scan snapshots the N·K
+   hazard slots into one of these and then answers up to |limbo| membership
+   queries against it, so [add]/[mem] must be O(1) expected and — like
+   {!Vec} — allocation-free in steady state.
+
+   - Power-of-two capacity, linear probing, Fibonacci (multiplicative)
+     hashing. Load factor is kept <= 1/2, so probe sequences stay short.
+   - Occupancy is tracked with a parallel generation-stamp array: a slot is
+     live iff its stamp equals the set's current generation. {!reset} is
+     therefore O(1) — bump the generation — instead of O(capacity) refills,
+     and no key value has to be sacrificed as an "empty" sentinel (any
+     [int], including [min_int], is a valid member).
+   - The arrays grow (doubling, rehash) only when the load factor is
+     exceeded; a set created with capacity for its steady-state population
+     never allocates again. *)
+
+type t = {
+  mutable keys : int array;
+  mutable stamps : int array;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable len : int; (* live keys in the current generation *)
+  mutable gen : int; (* current generation; stamps start at 0, gen at 1 *)
+}
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+(* Smallest power-of-two capacity that keeps [n] keys under 1/2 load. *)
+let capacity_for n = next_pow2 (max 8 (2 * n)) 8
+
+let create ?(capacity = 8) () =
+  let cap = capacity_for capacity in
+  { keys = Array.make cap 0;
+    stamps = Array.make cap 0;
+    mask = cap - 1;
+    len = 0;
+    gen = 1 }
+
+let length t = t.len
+let capacity t = t.mask + 1
+
+let reset t =
+  t.len <- 0;
+  t.gen <- t.gen + 1
+
+(* Fibonacci hashing: multiply by an odd constant close to 2^62/phi and mix
+   the high bits down. Sequential ids (the common case: nodes stamped from
+   a counter) spread uniformly. *)
+let hash t k =
+  let h = k * 0x3F4A7C15F39CC60D in
+  (h lxor (h lsr 29)) land t.mask
+
+let mem t k =
+  let i = ref (hash t k) in
+  let found = ref false in
+  let live = ref (t.stamps.(!i) = t.gen) in
+  while !live && not !found do
+    if t.keys.(!i) = k then found := true
+    else begin
+      i := (!i + 1) land t.mask;
+      live := t.stamps.(!i) = t.gen
+    end
+  done;
+  !found
+
+let rec add t k =
+  if 2 * (t.len + 1) > t.mask + 1 then grow t;
+  let i = ref (hash t k) in
+  let dup = ref false in
+  let live = ref (t.stamps.(!i) = t.gen) in
+  while !live && not !dup do
+    if t.keys.(!i) = k then dup := true
+    else begin
+      i := (!i + 1) land t.mask;
+      live := t.stamps.(!i) = t.gen
+    end
+  done;
+  if not !dup then begin
+    t.keys.(!i) <- k;
+    t.stamps.(!i) <- t.gen;
+    t.len <- t.len + 1
+  end
+
+and grow t =
+  let old_keys = t.keys and old_stamps = t.stamps and old_gen = t.gen in
+  let cap = 2 * (t.mask + 1) in
+  t.keys <- Array.make cap 0;
+  t.stamps <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.len <- 0;
+  t.gen <- 1;
+  Array.iteri
+    (fun i s -> if s = old_gen then add t old_keys.(i))
+    old_stamps
+
+let iter f t =
+  Array.iteri (fun i s -> if s = t.gen then f t.keys.(i)) t.stamps
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k -> acc := k :: !acc) t;
+  List.sort compare !acc

@@ -1,0 +1,38 @@
+(** Open-addressing integer hash set for the reclamation hot paths
+    (hazard-pointer scan sets): O(1) expected [add]/[mem], O(1) [reset]
+    via generation stamps, zero allocation in steady state.
+
+    Power-of-two capacity with linear probing; the load factor is kept
+    at or below 1/2, growing (doubling + rehash) only when exceeded — a
+    set created with capacity for its steady-state population never
+    allocates again. Any [int] is a valid member (occupancy lives in a
+    parallel stamp array, not in a sentinel key). Single-owner: not
+    thread-safe. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] preallocates room for [capacity] keys at load
+    factor <= 1/2 (i.e. at least [2 * capacity] power-of-two slots). *)
+
+val length : t -> int
+(** Live keys in the current generation. *)
+
+val capacity : t -> int
+(** Allocated slots (>= 2x the keys it can hold without growing). *)
+
+val reset : t -> unit
+(** Empty the set in O(1) (generation bump; no array traffic). *)
+
+val add : t -> int -> unit
+(** Insert a key (idempotent). Expected O(1); allocates only if the load
+    factor would exceed 1/2. *)
+
+val mem : t -> int -> bool
+(** Expected-O(1) membership; allocation-free. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over live keys, in unspecified order. *)
+
+val to_list : t -> int list
+(** Sorted list of live keys. Debug/test helper (allocates). *)

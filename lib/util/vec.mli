@@ -20,6 +20,10 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** Raises [Invalid_argument] out of bounds. *)
 
+val pop : 'a t -> 'a
+(** Remove and return the last element (LIFO), blanking its slot.
+    Allocation-free. Raises [Invalid_argument] on an empty vector. *)
+
 val clear : 'a t -> unit
 (** Drops all elements (blanking slots); capacity is retained. *)
 

@@ -247,6 +247,7 @@ let naive_hybrid_run ~scheme ~seed =
           { c with
             quiescence_threshold = 4;
             scan_threshold = 1;
+            scan_factor = 0.; (* scan every fallback retire: maximise switch-window exposure *)
             (* short deferral so fast-path references outlive it *)
             rooster_interval = 500;
             epsilon = 100;
@@ -292,6 +293,7 @@ let dead_rooster_run ~seed ~kill =
           { c with
             quiescence_threshold = 4;
             scan_threshold = 1;
+            scan_factor = 0.; (* scan every retire: tightest exposure to dead roosters *)
             rooster_interval = 500;
             epsilon = 50 });
       sched_tweak =

@@ -28,6 +28,9 @@ let cfg ?(n = 2) ?(k = 2) ?(q = 4) ?(r = 4) ?(t = 1_000) ?(eps = 100) ?(c = 0)
     hp_per_process = k;
     quiescence_threshold = q;
     scan_threshold = r;
+    (* These unit tests pin exact scan timing (e.g. "retire #r scans and
+       frees"), so adaptive scan scheduling is disabled. *)
+    scan_factor = 0.;
     rooster_interval = t;
     epsilon = eps;
     switch_threshold = c;
