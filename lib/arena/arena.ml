@@ -20,12 +20,20 @@ module Make (N : NODE) = struct
        same value (allocs and real frees commute with the counter updates)
        at O(1). *)
     outstanding_now : int Atomic.t;
+    (* Blank slot for the free-list vectors: never handed out, only keeps
+       [Vec] from retaining dropped nodes. *)
+    dummy : N.t;
     mutable handles : handle array;
   }
 
   and handle = {
     owner : t;
-    mutable free_list : N.t list;
+    (* Vector, not a list: [free] used to cons a cell per freed node, so a
+       recycling workload allocated on every free even though the whole
+       point of the free list is to avoid allocation. [Vec.push]/[Vec.pop]
+       are allocation-free once the vector has reached steady-state
+       capacity. *)
+    free_list : N.t Qs_util.Vec.t;
     mutable allocations : int;
     mutable frees : int;
     mutable fresh : int;
@@ -34,10 +42,11 @@ module Make (N : NODE) = struct
   }
 
   let create ?capacity ~n_processes () =
-    let t = { capacity; outstanding_now = Atomic.make 0; handles = [||] } in
+    let dummy = N.create () in
+    let t = { capacity; outstanding_now = Atomic.make 0; dummy; handles = [||] } in
     let mk _ =
       { owner = t;
-        free_list = [];
+        free_list = Qs_util.Vec.create dummy;
         allocations = 0;
         frees = 0;
         fresh = 0;
@@ -54,25 +63,22 @@ module Make (N : NODE) = struct
   let outstanding t = Atomic.get t.outstanding_now
 
   let alloc h =
-    match h.free_list with
-    | n :: rest ->
-      h.free_list <- rest;
-      h.allocations <- h.allocations + 1;
-      ignore (Atomic.fetch_and_add h.owner.outstanding_now 1);
-      N.set_state n Node_state.Allocated;
-      N.bump_birth n;
-      n
-    | [] ->
-      (match h.owner.capacity with
-      | Some cap when outstanding h.owner >= cap -> raise Exhausted
-      | _ -> ());
-      let n = N.create () in
-      h.allocations <- h.allocations + 1;
-      h.fresh <- h.fresh + 1;
-      ignore (Atomic.fetch_and_add h.owner.outstanding_now 1);
-      N.set_state n Node_state.Allocated;
-      N.bump_birth n;
-      n
+    let n =
+      if not (Qs_util.Vec.is_empty h.free_list) then
+        Qs_util.Vec.pop h.free_list
+      else begin
+        (match h.owner.capacity with
+        | Some cap when outstanding h.owner >= cap -> raise Exhausted
+        | _ -> ());
+        h.fresh <- h.fresh + 1;
+        N.create ()
+      end
+    in
+    h.allocations <- h.allocations + 1;
+    ignore (Atomic.fetch_and_add h.owner.outstanding_now 1);
+    N.set_state n Node_state.Allocated;
+    N.bump_birth n;
+    n
 
   let free h n =
     if Node_state.equal (N.get_state n) Node_state.Free then
@@ -81,7 +87,7 @@ module Make (N : NODE) = struct
       N.set_state n Node_state.Free;
       h.frees <- h.frees + 1;
       ignore (Atomic.fetch_and_add h.owner.outstanding_now (-1));
-      h.free_list <- n :: h.free_list
+      Qs_util.Vec.push h.free_list n
     end
 
   let touch h n =
@@ -94,4 +100,9 @@ module Make (N : NODE) = struct
   let violations t = sum t (fun h -> h.violations)
   let double_frees t = sum t (fun h -> h.double_frees)
   let capacity t = t.capacity
+
+  let reuse_ratio t =
+    let a = allocations t in
+    if a = 0 then 0.
+    else float_of_int (a - fresh_nodes t) /. float_of_int a
 end

@@ -63,6 +63,12 @@ module Make (N : NODE) : sig
   val fresh_nodes : t -> int
   (** Nodes created anew (not recycled). *)
 
+  val reuse_ratio : t -> float
+  (** Fraction of allocations served by recycling a freed node instead of
+      creating a fresh one: [(allocations - fresh_nodes) / allocations],
+      or [0.] before the first allocation. A steady-state workload under a
+      working reclamation scheme approaches 1. *)
+
   val violations : t -> int
   (** Use-after-free accesses detected by [touch]. *)
 

@@ -197,6 +197,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
       allocations = Arena.allocations t.arena;
       frees = Arena.frees t.arena;
       outstanding = Arena.outstanding t.arena;
+      fresh_nodes = Arena.fresh_nodes t.arena;
       violations = Arena.violations t.arena;
       double_frees = Arena.double_frees t.arena }
 

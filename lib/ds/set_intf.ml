@@ -39,6 +39,9 @@ type report = {
   allocations : int;
   frees : int;
   outstanding : int;
+  fresh_nodes : int;
+  (** Arena allocations that created a new node rather than recycling a
+      freed one; [allocations - fresh_nodes] allocations were recycled. *)
   violations : int;
   double_frees : int;
 }
