@@ -425,32 +425,260 @@ module Micro = struct
     Qs_util.Table.print tbl;
     print_newline ()
 
-  let emit_json ~path ~quick results =
-    let oc = open_out path in
-    Printf.fprintf oc "{\n";
-    Printf.fprintf oc "  \"schema\": 1,\n";
-    Printf.fprintf oc "  \"quick\": %b,\n" quick;
-    Printf.fprintf oc "  \"n_processes\": %d,\n" n_processes;
-    Printf.fprintf oc "  \"hp_per_process\": %d,\n" hp_per_process;
-    Printf.fprintf oc "  \"retire_scan\": [\n";
-    let n = List.length results in
-    List.iteri
-      (fun i r ->
-        Printf.fprintf oc
-          "    {\"scenario\": \"%s\", \"limbo\": %d, \"list_ns_per_op\": %.2f, \
-           \"vec_ns_per_op\": %.2f, \"speedup\": %.3f}%s\n"
-          (scenario_name r.scenario) r.limbo r.list_ns r.vec_ns (speedup r)
-          (if i = n - 1 then "" else ","))
-      results;
-    Printf.fprintf oc "  ]\n}\n";
-    close_out oc;
-    Printf.printf "wrote %s\n%!" path
 end
+
+(* --- hazard-pointer membership micro-comparison --------------------------- *)
+
+(* Head-to-head of the production hash-set scan path
+   ([Hp_array.snapshot_into] + [protects_set], expected O(1) per probe)
+   against the PR 1 sorted-id reference ([snapshot_into_sorted] +
+   [protects_sorted], O(log N·K) per probe plus an insertion sort per
+   snapshot). Each timed round is one scan's worth of work: one snapshot of
+   the N×K slots followed by [probes] membership checks, half of which hit
+   (ids present in the slots) and half miss (odd ids; slots hold even ids
+   only). Best-round ns amortised per probe. *)
+module Membership = struct
+  module Hp = Qs_smr.Hp_array.Make (R) (Micro.FN)
+
+  type result = {
+    nk : int;
+    k : int;
+    sorted_ns : float;
+    hash_ns : float;
+  }
+
+  let speedup r = r.sorted_ns /. r.hash_ns
+  let probes = 4_096
+
+  let run_one ~nk ~rounds =
+    let k = 8 in
+    let n = nk / k in
+    let dummy = { Micro.id = -1; freed = 0 } in
+    let hp = Hp.create ~n ~k ~dummy in
+    let nodes = Array.init nk (fun i -> { Micro.id = 2 * i; freed = 0 }) in
+    for pid = 0 to n - 1 do
+      for slot = 0 to k - 1 do
+        Hp.assign hp ~pid ~slot nodes.((pid * k) + slot)
+      done
+    done;
+    let prng = Qs_util.Prng.create ~seed:13 in
+    let lookups =
+      Array.init probes (fun i ->
+          if i land 1 = 0 then nodes.(Qs_util.Prng.int prng nk) (* hit *)
+          else { Micro.id = (2 * Qs_util.Prng.int prng nk) + 1; freed = 0 }
+          (* miss *))
+    in
+    let hits = ref 0 in
+    let time_best f =
+      let best = ref max_float in
+      for _round = 1 to rounds do
+        let t0 = R.now () in
+        f ();
+        let dt = float_of_int (R.now () - t0) in
+        if dt < !best then best := dt
+      done;
+      !best /. float_of_int probes
+    in
+    let sset = Hp.sorted_set hp in
+    let sorted_ns =
+      time_best (fun () ->
+          Hp.snapshot_into_sorted hp sset;
+          for i = 0 to probes - 1 do
+            if Hp.protects_sorted sset lookups.(i) then incr hits
+          done)
+    in
+    let hset = Hp.scan_set hp in
+    let hash_ns =
+      time_best (fun () ->
+          Hp.snapshot_into hp hset;
+          for i = 0 to probes - 1 do
+            if Hp.protects_set hset lookups.(i) then incr hits
+          done)
+    in
+    if !hits = 0 then Printf.printf "(impossible: no membership hits)\n";
+    { nk; k; sorted_ns; hash_ns }
+
+  let run ~quick =
+    let rounds = if quick then 50 else 300 in
+    List.map (fun nk -> run_one ~nk ~rounds) [ 64; 256; 1_024 ]
+
+  let print_table results =
+    let tbl =
+      Qs_util.Table.create
+        [ "N*K"; "sorted ns/probe"; "hash ns/probe"; "speedup" ]
+    in
+    List.iter
+      (fun r ->
+        Qs_util.Table.add_row tbl
+          [ string_of_int r.nk;
+            Printf.sprintf "%.1f" r.sorted_ns;
+            Printf.sprintf "%.1f" r.hash_ns;
+            Printf.sprintf "%.2fx" (speedup r) ])
+      results;
+    Qs_util.Table.print tbl;
+    print_newline ()
+end
+
+(* --- end-to-end multicore sweep ------------------------------------------ *)
+
+(* The whole stack at once, on real OCaml 5 domains via {!Qs_harness.Real_exp}:
+   {qsbr, hp, cadence, qsense} × {list, hashtable} × domain counts. Where the
+   bechamel groups above time single operations on one core, this measures
+   aggregate throughput with reclamation actually feeding the allocator —
+   [reuse_ratio] close to 1 is the proof that retire → scan → free → alloc
+   recycles nodes at steady state, and [retired_peak] bounds the limbo
+   memory. On machines with fewer cores than domains the domains timeshare;
+   the numbers remain a valid safety/recycling check (violations = 0,
+   failed = false) even when the scalability shape flattens. *)
+module E2e = struct
+  type result = {
+    scheme : Qs_smr.Scheme.kind;
+    ds : Qs_harness.Cset.kind;
+    n_domains : int;
+    throughput_mops : float;
+    retired_peak : int;
+    reuse_ratio : float;
+    violations : int;
+    failed : bool;
+  }
+
+  let schemes =
+    [ Qs_smr.Scheme.Qsbr; Qs_smr.Scheme.Hp; Qs_smr.Scheme.Cadence;
+      Qs_smr.Scheme.Qsense ]
+
+  let structures = [ Qs_harness.Cset.List; Qs_harness.Cset.Hashtable ]
+
+  let domain_counts ~quick =
+    List.sort_uniq compare
+      (if quick then [ 1; 2 ]
+       else [ 1; 2; 4; Domain.recommended_domain_count () ])
+
+  let key_range = function
+    | Qs_harness.Cset.List -> 512
+    | _ -> 4_096
+
+  let run_one ~quick ~ds ~scheme ~n_domains =
+    let workload =
+      Qs_workload.Spec.make ~key_range:(key_range ds) ~update_pct:20
+    in
+    let setup =
+      { (Qs_harness.Real_exp.default_setup ~ds ~scheme ~n_domains ~workload) with
+        duration_ms = (if quick then 50 else 250);
+        seed = 42 }
+    in
+    let r = Qs_harness.Real_exp.run setup in
+    let reuse_ratio =
+      let a = r.report.allocations in
+      if a = 0 then 0.
+      else float_of_int (a - r.report.fresh_nodes) /. float_of_int a
+    in
+    { scheme;
+      ds;
+      n_domains;
+      throughput_mops = r.throughput_mops;
+      retired_peak = r.report.smr.retired_peak;
+      reuse_ratio;
+      violations = r.violations;
+      failed = r.failed }
+
+  let run ~quick =
+    List.concat_map
+      (fun ds ->
+        List.concat_map
+          (fun scheme ->
+            List.map
+              (fun n_domains ->
+                let r = run_one ~quick ~ds ~scheme ~n_domains in
+                Printf.printf "  %-9s %-9s %d domains: %6.2f Mops/s\n%!"
+                  (Qs_harness.Cset.kind_to_string ds)
+                  (Qs_smr.Scheme.to_string scheme)
+                  n_domains r.throughput_mops;
+                r)
+              (domain_counts ~quick))
+          schemes)
+      structures
+
+  let print_table results =
+    let tbl =
+      Qs_util.Table.create
+        [ "structure"; "scheme"; "domains"; "Mops/s"; "retired peak";
+          "reuse ratio"; "violations"; "failed" ]
+    in
+    List.iter
+      (fun r ->
+        Qs_util.Table.add_row tbl
+          [ Qs_harness.Cset.kind_to_string r.ds;
+            Qs_smr.Scheme.to_string r.scheme;
+            string_of_int r.n_domains;
+            Printf.sprintf "%.2f" r.throughput_mops;
+            string_of_int r.retired_peak;
+            Printf.sprintf "%.3f" r.reuse_ratio;
+            string_of_int r.violations;
+            string_of_bool r.failed ])
+      results;
+    Qs_util.Table.print tbl;
+    print_newline ()
+end
+
+(* --- JSON report (schema 2) ----------------------------------------------- *)
+
+(* Consumed by CI (regression guards) and by EXPERIMENTS.md readers.
+   Schema 2 = schema 1's "retire_scan" section plus "membership" (hash-set
+   vs sorted-set HP membership) and "e2e" (multicore sweep; [] unless the
+   bench ran with --e2e). *)
+let emit_json ~path ~quick ~retire_scan ~membership ~e2e =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": 2,\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"n_processes\": %d,\n" Micro.n_processes;
+  Printf.fprintf oc "  \"hp_per_process\": %d,\n" Micro.hp_per_process;
+  Printf.fprintf oc "  \"retire_scan\": [\n";
+  let n = List.length retire_scan in
+  List.iteri
+    (fun i (r : Micro.result) ->
+      Printf.fprintf oc
+        "    {\"scenario\": \"%s\", \"limbo\": %d, \"list_ns_per_op\": %.2f, \
+         \"vec_ns_per_op\": %.2f, \"speedup\": %.3f}%s\n"
+        (Micro.scenario_name r.scenario)
+        r.limbo r.list_ns r.vec_ns (Micro.speedup r)
+        (if i = n - 1 then "" else ","))
+    retire_scan;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"membership\": [\n";
+  let n = List.length membership in
+  List.iteri
+    (fun i (r : Membership.result) ->
+      Printf.fprintf oc
+        "    {\"nk\": %d, \"k\": %d, \"probes\": %d, \"sorted_ns_per_op\": \
+         %.2f, \"hash_ns_per_op\": %.2f, \"speedup\": %.3f}%s\n"
+        r.nk r.k Membership.probes r.sorted_ns r.hash_ns (Membership.speedup r)
+        (if i = n - 1 then "" else ","))
+    membership;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"e2e\": [\n";
+  let n = List.length e2e in
+  List.iteri
+    (fun i (r : E2e.result) ->
+      Printf.fprintf oc
+        "    {\"ds\": \"%s\", \"scheme\": \"%s\", \"domains\": %d, \
+         \"throughput_mops\": %.4f, \"retired_peak\": %d, \"reuse_ratio\": \
+         %.4f, \"violations\": %d, \"failed\": %b}%s\n"
+        (Qs_harness.Cset.kind_to_string r.ds)
+        (Qs_smr.Scheme.to_string r.scheme)
+        r.n_domains r.throughput_mops r.retired_peak r.reuse_ratio
+        r.violations r.failed
+        (if i = n - 1 then "" else ","))
+    e2e;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
 
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
   let micro_only = List.mem "--micro-only" argv in
+  let e2e = List.mem "--e2e" argv in
   R.register_self 0;
   (* roosters give Cadence/QSense their coarse clock and wake-up guarantee *)
   let roosters = Qs_real.Roosters.start ~interval_ns:2_000_000 ~n:1 in
@@ -474,12 +702,27 @@ let () =
     end
   end;
   Printf.printf
-    "== retire/scan microbenchmark (vec + sorted-id set vs seed list impl) ==\n%!";
+    "== retire/scan microbenchmark (vec + hash scan set vs seed list impl) ==\n%!";
   let sizes = if quick then [ 100; 1_000; 10_000 ] else [ 100; 1_000; 10_000; 100_000 ] in
   let target_ops = if quick then 200_000 else 2_000_000 in
   let results = Micro.run ~sizes ~target_ops in
   Micro.print_table results;
-  Micro.emit_json ~path:"BENCH_RESULTS.json" ~quick results;
+  Printf.printf
+    "== HP membership: hash scan set vs sorted-id reference (per probe, snapshot amortized) ==\n%!";
+  let membership = Membership.run ~quick in
+  Membership.print_table membership;
+  let e2e_results =
+    if e2e then begin
+      Printf.printf "== end-to-end sweep on real domains (%s) ==\n%!"
+        (if quick then "quick" else "full");
+      let rs = E2e.run ~quick in
+      E2e.print_table rs;
+      rs
+    end
+    else []
+  in
+  emit_json ~path:"BENCH_RESULTS.json" ~quick ~retire_scan:results
+    ~membership ~e2e:e2e_results;
   Qs_real.Roosters.stop roosters;
   (* The multi-core figures come from the simulator: *)
   print_endline "Scalability and robustness figures (multi-core) are produced by the";
