@@ -1,15 +1,18 @@
 (* Properties of the hot-path machinery introduced for allocation-free
    retire/scan:
 
-   - the sorted-id membership set ([Hp_array.snapshot_into] /
-     [protects_set]) agrees with the list-based reference
-     ([snapshot] / [protects], kept precisely for this differential) on
-     random hazard-pointer assignments;
+   - the production hash scan set ([Hp_array.snapshot_into] /
+     [protects_set]) agrees with BOTH references — the list-based
+     [snapshot]/[protects] and the sorted-id
+     [snapshot_into_sorted]/[protects_sorted], kept precisely for this
+     three-way differential — on random hazard-pointer assignments;
+   - [Qs_util.Int_set] agrees with a [Set.Make(Int)] model under random
+     add/mem/reset sequences, including negative keys and growth;
    - [Vec.filter_in_place] / [Vec.Ts.filter_in_place] free exactly the
      same elements, in the same order, as the seed's [List.filter] path;
-   - retire is allocation-free in steady state for all five schemes
-     (measured with [Gc.minor_words] on the real runtime, after a warm-up
-     that grows the limbo vectors to capacity). *)
+   - retire is allocation-free in steady state for all five schemes, and
+     so is the scan membership path (snapshot + probes), both measured
+     with [Gc.minor_words] on the real runtime after a warm-up. *)
 
 module R = Qs_real.Real_runtime
 
@@ -48,12 +51,18 @@ let prop_scan_set_matches_reference =
           Hp.assign hp ~pid ~slot node)
         assignments;
       let reference = Hp.snapshot hp in
+      let sorted = Hp.sorted_set hp in
+      Hp.snapshot_into_sorted hp sorted;
       let set = Hp.scan_set hp in
       Hp.snapshot_into hp set;
       Array.for_all
-        (fun node -> Hp.protects reference node = Hp.protects_set set node)
+        (fun node ->
+          let expected = Hp.protects reference node in
+          Hp.protects_set set node = expected
+          && Hp.protects_sorted sorted node = expected)
         pool
-      && not (Hp.protects_set set dummy))
+      && (not (Hp.protects_set set dummy))
+      && not (Hp.protects_sorted sorted dummy))
 
 (* Clearing a process's row removes its nodes from the next snapshot. *)
 let prop_clear_removes_from_set =
@@ -75,6 +84,55 @@ let prop_clear_removes_from_set =
       let set = Hp.scan_set hp in
       Hp.snapshot_into hp set;
       not (Hp.protects_set set node))
+
+(* --- Int_set vs a Set.Make(Int) model ------------------------------------ *)
+
+module IS = Set.Make (Int)
+
+(* Random command sequences over one reusable set: Add k, Mem k (checked
+   against the model), Reset. Keys span negatives and a range wide enough
+   to force growth past the initial capacity. *)
+let prop_int_set_matches_model =
+  let cmd_gen =
+    QCheck.Gen.(
+      frequency
+        [ (6, map (fun k -> `Add k) (int_range (-50) 200));
+          (6, map (fun k -> `Mem k) (int_range (-50) 200));
+          (1, return `Reset) ])
+  in
+  QCheck.Test.make ~name:"Int_set agrees with Set.Make(Int) model" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 300) cmd_gen))
+    (fun cmds ->
+      let s = Qs_util.Int_set.create ~capacity:4 () in
+      let model = ref IS.empty in
+      List.for_all
+        (fun cmd ->
+          match cmd with
+          | `Add k ->
+            Qs_util.Int_set.add s k;
+            model := IS.add k !model;
+            Qs_util.Int_set.length s = IS.cardinal !model
+          | `Mem k -> Qs_util.Int_set.mem s k = IS.mem k !model
+          | `Reset ->
+            Qs_util.Int_set.reset s;
+            model := IS.empty;
+            Qs_util.Int_set.length s = 0)
+        cmds
+      && Qs_util.Int_set.to_list s = IS.elements !model)
+
+(* Reset must actually forget: stale generations never resurface, even
+   after a growth rehash in a later generation. *)
+let prop_int_set_reset_forgets =
+  QCheck.Test.make ~name:"Int_set reset forgets across generations" ~count:200
+    QCheck.(pair (small_list small_int) (small_list small_int))
+    (fun (first, second) ->
+      let s = Qs_util.Int_set.create ~capacity:4 () in
+      List.iter (Qs_util.Int_set.add s) first;
+      Qs_util.Int_set.reset s;
+      List.iter (Qs_util.Int_set.add s) second;
+      List.for_all
+        (fun k -> List.mem k second || not (Qs_util.Int_set.mem s k))
+        first)
 
 (* --- Vec.filter_in_place vs List.filter ---------------------------------- *)
 
@@ -203,12 +261,54 @@ let test_retire_alloc_free () =
     (measure_retire ~retire:(Qsense_s.retire h)
        ~flush:(fun () -> Qsense_s.flush h))
 
+(* The scan membership path itself — snapshot the N×K slots into the hash
+   set, then probe it — performs zero allocation once the set exists. This
+   pins the Int_set fast path: [reset] is a generation bump, [add]/[mem]
+   probe preallocated arrays, and the preallocation covers the full N·K
+   population so no rehash can fire. *)
+let test_scan_set_alloc_free () =
+  let n = 8 and k = 8 in
+  let dummy = { fid = -1; freed = 0 } in
+  let hp = Hp.create ~n ~k ~dummy in
+  let nodes = Array.init (n * k) (fun i -> { fid = i; freed = 0 }) in
+  for pid = 0 to n - 1 do
+    for slot = 0 to k - 1 do
+      Hp.assign hp ~pid ~slot nodes.((pid * k) + slot)
+    done
+  done;
+  let set = Hp.scan_set hp in
+  let hits = ref 0 in
+  let round () =
+    Hp.snapshot_into hp set;
+    for i = 0 to Array.length nodes - 1 do
+      if Hp.protects_set set nodes.(i) then incr hits
+    done
+  in
+  round () (* warm-up *);
+  Gc.minor ();
+  let rounds = 1_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to rounds do
+    round ()
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "snapshot_into + protects_set allocates (%.0f words / %d rounds)"
+       words rounds)
+    true (words < 1_000.);
+  Alcotest.(check int) "every probe hits" (rounds + 1) (!hits / (n * k))
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_scan_set_matches_reference;
     QCheck_alcotest.to_alcotest prop_clear_removes_from_set;
+    QCheck_alcotest.to_alcotest prop_int_set_matches_model;
+    QCheck_alcotest.to_alcotest prop_int_set_reset_forgets;
     QCheck_alcotest.to_alcotest prop_vec_filter_matches_list_filter;
     QCheck_alcotest.to_alcotest prop_ts_filter_matches_list_filter;
     QCheck_alcotest.to_alcotest prop_vec_filter_frees_complement;
     Alcotest.test_case "retire is allocation-free in steady state" `Quick
-      test_retire_alloc_free
+      test_retire_alloc_free;
+    Alcotest.test_case "scan membership path is allocation-free" `Quick
+      test_scan_set_alloc_free
   ]

@@ -114,6 +114,39 @@ let test_arena_capacity () =
   Alcotest.(check bool) "recycled the freed node" true (n1 == n4);
   Alcotest.(check bool) "birth bumped on recycle" true (n4.b >= 2)
 
+(* Steady-state recycling: once a working set of nodes has been created,
+   alloc/free cycles are served entirely from the free list — [fresh_nodes]
+   stops growing, every free is allocation-free (vector push, no cons), the
+   reuse ratio climbs towards 1, and nothing is ever double-freed. *)
+let test_arena_recycling () =
+  let a = A.create ~n_processes:1 () in
+  let h = A.register a ~pid:0 in
+  let ws = 64 in
+  let live = Array.init ws (fun _ -> A.alloc h) in
+  let fresh_after_warmup = A.fresh_nodes a in
+  Alcotest.(check int) "warm-up creates the working set" ws fresh_after_warmup;
+  let cycles = 1_000 in
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  for i = 0 to cycles - 1 do
+    let slot = i mod ws in
+    A.free h live.(slot);
+    live.(slot) <- A.alloc h
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check int) "fresh_nodes stopped growing" fresh_after_warmup
+    (A.fresh_nodes a);
+  Alcotest.(check int) "no double frees" 0 (A.double_frees a);
+  Alcotest.(check int) "outstanding unchanged" ws (A.outstanding a);
+  Alcotest.(check bool)
+    (Printf.sprintf "reuse ratio > 0.9 (got %.3f)" (A.reuse_ratio a))
+    true
+    (A.reuse_ratio a > 0.9);
+  Alcotest.(check bool)
+    (Printf.sprintf "alloc/free cycles allocate (%.0f words / %d cycles)"
+       words cycles)
+    true (words < 1_000.)
+
 let test_node_state_transitions () =
   let open Qs_arena.Node_state in
   Alcotest.(check bool) "free->allocated" true (can_transition Free Allocated);
@@ -184,6 +217,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_arena_bookkeeping;
     QCheck_alcotest.to_alcotest prop_arena_detects_double_free;
     Alcotest.test_case "arena capacity + recycling" `Quick test_arena_capacity;
+    Alcotest.test_case "arena steady-state reuse is allocation-free" `Quick
+      test_arena_recycling;
     Alcotest.test_case "node state transitions" `Quick test_node_state_transitions;
     QCheck_alcotest.to_alcotest prop_sequential_histories_linearizable;
     QCheck_alcotest.to_alcotest prop_legal_threshold_dominates
