@@ -1,0 +1,194 @@
+(* Explorer CLI (see EXPERIMENTS.md, "Schedule exploration").
+
+   Subcommands:
+
+   - [smoke [--seeds N] [--repro-out PATH]] — the CI smoke budget: positive
+     controls (the explorer must find the planted unsafety in the leaky and
+     unsafe-hp baselines within N seeds), a clean sweep over hp / cadence /
+     qsense (fair, PCT and fault-plan schedules; any failure is shrunk and
+     saved to PATH), and the QSense fallback round-trip with its QSBR
+     differential. Exit 1 on any unexpected outcome.
+   - [corpus PATH [--repro-out OUT]] — replay a committed corpus of
+     known-clean cases; on failure, shrink and save a repro. Exit 1 if any
+     case fails.
+   - [replay PATH] — re-run the first case of a repro/corpus file and print
+     the verdict (exit 1 if it is not Pass, so a repro file "fails again"
+     visibly). This is the one-liner for reproducing a CI failure locally.
+
+   Everything is deterministic: equal case lines give equal verdicts. *)
+
+open Qs_harness
+module Scheme = Qs_smr.Scheme
+module Scheduler = Qs_sim.Scheduler
+
+let default_repro_out = "explorer_failure.repro"
+
+let usage () =
+  prerr_endline
+    "usage: explore.exe smoke [--seeds N] [--repro-out PATH]\n\
+    \       explore.exe corpus PATH [--repro-out OUT]\n\
+    \       explore.exe replay PATH";
+  exit 2
+
+let rec parse_flags seeds repro_out = function
+  | [] -> (seeds, repro_out)
+  | "--seeds" :: n :: rest -> parse_flags (int_of_string n) repro_out rest
+  | "--repro-out" :: p :: rest -> parse_flags seeds p rest
+  | arg :: _ ->
+    Printf.eprintf "unknown argument %S\n" arg;
+    usage ()
+
+let show_outcome (c : Explorer.case) (o : Explorer.outcome) =
+  Printf.printf "  %-10s %-9s strat=%-8s faults=%-2d seed=%-6d -> %s\n%!"
+    (Cset.kind_to_string c.ds)
+    (Scheme.to_string c.scheme)
+    (match c.strategy with
+    | Fair -> "fair"
+    | Pct { depth } -> Printf.sprintf "pct:%d" depth
+    | Targeted _ -> "targeted")
+    (List.length c.faults) c.seed
+    (Explorer.verdict_to_string o.verdict)
+
+(* Shrink a failing case and persist it; returns the file written. *)
+let persist_failure ~repro_out (c : Explorer.case) (o : Explorer.outcome) =
+  let small, spent = Explorer.shrink c o.verdict in
+  let o' = Explorer.run_one small in
+  Explorer.save_repro repro_out small o';
+  Printf.printf "  shrunk in %d extra runs; repro saved to %s\n" spent repro_out;
+  Printf.printf "  replay with: dune exec bench/explore.exe -- replay %s\n%!"
+    repro_out
+
+(* --- positive controls: the explorer must find planted bugs -------------- *)
+
+let unsafe_hp_case seed =
+  { (Explorer.default_case ~ds:Cset.List ~scheme:Scheme.Unsafe_hp ~seed) with
+    Explorer.key_range = 8;
+    ops_per_proc = 4_000;
+    duration = 10_000_000 }
+
+let leaky_case seed =
+  { (Explorer.default_case ~ds:Cset.List ~scheme:Scheme.None_ ~seed) with
+    Explorer.capacity = 256;
+    ops_per_proc = 4_000;
+    duration = 10_000_000 }
+
+let positive_control ~name ~mk ~seeds =
+  let cases = List.map mk (Explorer.seeds ~base:1 ~count:seeds) in
+  let failures = Explorer.explore cases in
+  List.iter (fun (c, o) -> show_outcome c o) failures;
+  if failures = [] then begin
+    Printf.printf "FAIL: %s yielded no violation within %d seeds\n%!" name seeds;
+    false
+  end
+  else begin
+    Printf.printf "ok: %s caught (%d/%d seeds)\n%!" name
+      (List.length failures) seeds;
+    true
+  end
+
+(* --- clean sweep: robust schemes must stay clean ------------------------- *)
+
+let clean_cases ~seeds =
+  List.concat_map
+    (fun scheme ->
+      List.concat_map
+        (fun seed ->
+          let dc = Explorer.default_case ~ds:Cset.List ~scheme ~seed in
+          [ dc;
+            { dc with Explorer.strategy = Pct { depth = 3 } };
+            { dc with
+              Explorer.faults =
+                Explorer.plan Explorer.Stalls ~n:dc.n_processes
+                  ~duration:dc.duration ~seed };
+            { dc with
+              Explorer.faults =
+                Explorer.plan Explorer.Chaos ~n:dc.n_processes
+                  ~duration:dc.duration ~seed } ])
+        (Explorer.seeds ~base:11 ~count:seeds))
+    [ Scheme.Hp; Scheme.Cadence; Scheme.Qsense ]
+
+let clean_sweep ~seeds ~repro_out =
+  let cases = clean_cases ~seeds in
+  let failures = Explorer.explore cases in
+  match failures with
+  | [] ->
+    Printf.printf "ok: %d clean-scheme cases pass\n%!" (List.length cases);
+    true
+  | (c, o) :: _ ->
+    List.iter (fun (c, o) -> show_outcome c o) failures;
+    Printf.printf "FAIL: %d/%d clean-scheme cases failed\n%!"
+      (List.length failures) (List.length cases);
+    persist_failure ~repro_out c o;
+    false
+
+(* --- QSense fallback round-trip under an injected stall ------------------ *)
+
+let stall_case ~scheme =
+  { (Explorer.default_case ~ds:Cset.List ~scheme ~seed:5) with
+    Explorer.ops_per_proc = 4_000;
+    duration = 2_500_000;
+    capacity = 300;
+    faults = [ Scheduler.Stall_at { pid = 3; at = 100_000; ticks = 1_500_000 } ] }
+
+let fallback_round_trip () =
+  let o = Explorer.run_one (stall_case ~scheme:Scheme.Qsense) in
+  let o' = Explorer.run_one (stall_case ~scheme:Scheme.Qsbr) in
+  let qsense_ok =
+    o.verdict = Explorer.Pass
+    && o.stats.fallback_entries >= 1
+    && o.stats.fallback_exits >= 1
+    && o.stats.fallback_ticks > 0
+  in
+  let qsbr_ok = match o'.verdict with Explorer.Oom _ -> true | _ -> false in
+  Printf.printf
+    "%s: qsense under stall: %s (fallback entries=%d exits=%d ticks=%d); \
+     qsbr differential: %s\n%!"
+    (if qsense_ok && qsbr_ok then "ok" else "FAIL")
+    (Explorer.verdict_to_string o.verdict)
+    o.stats.fallback_entries o.stats.fallback_exits o.stats.fallback_ticks
+    (Explorer.verdict_to_string o'.verdict);
+  qsense_ok && qsbr_ok
+
+(* --- subcommands --------------------------------------------------------- *)
+
+let smoke args =
+  let seeds, repro_out = parse_flags 3 default_repro_out args in
+  Printf.printf "== explorer smoke (seed budget %d) ==\n%!" seeds;
+  let ok_unsafe =
+    positive_control ~name:"unsafe-hp" ~mk:unsafe_hp_case ~seeds
+  in
+  let ok_leaky = positive_control ~name:"leaky" ~mk:leaky_case ~seeds in
+  let ok_clean = clean_sweep ~seeds ~repro_out in
+  let ok_fb = fallback_round_trip () in
+  if ok_unsafe && ok_leaky && ok_clean && ok_fb then begin
+    print_endline "explorer smoke: all checks passed";
+    0
+  end
+  else 1
+
+let corpus path args =
+  let _, repro_out = parse_flags 0 default_repro_out args in
+  let cases = Explorer.load_corpus path in
+  Printf.printf "== corpus replay: %d cases from %s ==\n%!"
+    (List.length cases) path;
+  match Explorer.explore cases with
+  | [] ->
+    print_endline "corpus clean";
+    0
+  | (c, o) :: _ as failures ->
+    List.iter (fun (c, o) -> show_outcome c o) failures;
+    persist_failure ~repro_out c o;
+    1
+
+let replay path =
+  let c = Explorer.load_repro path in
+  let o = Explorer.run_one c in
+  show_outcome c o;
+  match o.verdict with Explorer.Pass -> 0 | _ -> 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "smoke" :: args -> exit (smoke args)
+  | _ :: "corpus" :: path :: args -> exit (corpus path args)
+  | _ :: "replay" :: [ path ] -> exit (replay path)
+  | _ -> usage ()

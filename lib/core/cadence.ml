@@ -86,6 +86,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     now - ts >= t.cfg.rooster_interval + t.cfg.epsilon
 
   let scan h =
+    R.hook Qs_intf.Runtime_intf.Hook_scan;
     let t = h.owner in
     h.scans <- h.scans + 1;
     let now = R.now_coarse () in
@@ -99,6 +100,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
         else true)
 
   let retire h n =
+    R.hook Qs_intf.Runtime_intf.Hook_retire;
     Qs_util.Vec.Ts.push h.rlist n (R.now_coarse ());
     h.retires <- h.retires + 1;
     let rcount = Qs_util.Vec.Ts.length h.rlist in

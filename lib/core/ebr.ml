@@ -94,6 +94,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   (* Enter the critical region: pin the current global epoch; opportunistic
      epoch maintenance amortised over Q operations. *)
   let manage_state h =
+    R.hook Qs_intf.Runtime_intf.Hook_quiesce;
     let t = h.owner in
     let eg = R.get t.global in
     R.set t.locals.(h.pid) eg;
@@ -120,6 +121,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     + Qs_util.Vec.length h.limbo.(2)
 
   let retire h n =
+    R.hook Qs_intf.Runtime_intf.Hook_retire;
     let e =
       match R.get h.owner.locals.(h.pid) with
       | -1 -> R.get h.owner.global (* retire outside an operation *)

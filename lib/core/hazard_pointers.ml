@@ -90,6 +90,7 @@ struct
   (* Free every retired node not currently protected by any process's hazard
      pointers; keep the rest for a later scan. *)
   let scan h =
+    R.hook Qs_intf.Runtime_intf.Hook_scan;
     let t = h.owner in
     h.scans <- h.scans + 1;
     Hp.snapshot_into t.hp h.scan_set;
@@ -102,6 +103,7 @@ struct
         end)
 
   let retire h n =
+    R.hook Qs_intf.Runtime_intf.Hook_retire;
     Qs_util.Vec.push h.rlist n;
     h.retires <- h.retires + 1;
     let rcount = Qs_util.Vec.length h.rlist in

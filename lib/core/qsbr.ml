@@ -80,6 +80,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     go 0
 
   let quiescent_state h =
+    R.hook Qs_intf.Runtime_intf.Hook_quiesce;
     let t = h.owner in
     let eg = R.get t.global in
     if R.get t.locals.(h.pid) <> eg then begin
@@ -103,6 +104,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     + Qs_util.Vec.length h.limbo.(2)
 
   let retire h n =
+    R.hook Qs_intf.Runtime_intf.Hook_retire;
     let e = R.get h.owner.locals.(h.pid) in
     Qs_util.Vec.push h.limbo.(e) n;
     h.retires <- h.retires + 1;

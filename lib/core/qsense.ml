@@ -64,6 +64,9 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     evicted_count : int R.atomic;
     fallback_since : int R.atomic;
     mutable mode_shadow : Smr_intf.mode; (* effect-free mirror for stats *)
+    mutable fallback_ticks_acc : int;
+        (* total time spent in completed fallback episodes (stats only;
+           written by whichever process exits fallback) *)
     dummy : node;
     handles : handle option array;
   }
@@ -107,6 +110,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       evicted_count = R.atomic_padded 0;
       fallback_since = R.atomic_padded 0;
       mode_shadow = Smr_intf.Fast;
+      fallback_ticks_acc = 0;
       dummy;
       handles = Array.make cfg.n_processes None }
 
@@ -166,6 +170,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
 
   (* Algorithm 5 lines 45-47: in fallback mode all three epochs are scanned. *)
   let scan_all h =
+    R.hook Qs_intf.Runtime_intf.Hook_scan;
     h.scans <- h.scans + 1;
     let now = R.now_coarse () in
     Hp.snapshot_into h.owner.hp h.scan_set;
@@ -205,6 +210,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     go 0
 
   let quiescent_state h =
+    R.hook Qs_intf.Runtime_intf.Hook_quiesce;
     let t = h.owner in
     let eg = R.get t.global in
     if R.get t.locals.(h.pid) <> eg then begin
@@ -241,6 +247,8 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     let t = h.owner in
     R.set t.fallback_flag 0;
     t.mode_shadow <- Smr_intf.Fast;
+    t.fallback_ticks_acc <-
+      t.fallback_ticks_acc + max 0 (R.now () - R.get t.fallback_since);
     h.fastpath_switches <- h.fastpath_switches + 1;
     h.prev_fallback <- false;
     quiescent_state h
@@ -290,6 +298,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
   (* Algorithm 5, free_node_later. Allocation-free: a coarse-clock read and
      two array stores in steady state. *)
   let retire h n =
+    R.hook Qs_intf.Runtime_intf.Hook_retire;
     let t = h.owner in
     let e = R.get t.locals.(h.pid) in
     Qs_util.Vec.Ts.push h.limbo.(e) n (R.now_coarse ());
@@ -334,6 +343,9 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       epoch_advances = fold t (fun h -> h.epoch_advances);
       fallback_switches = fold t (fun h -> h.fallback_switches);
       fastpath_switches = fold t (fun h -> h.fastpath_switches);
+      fallback_entries = fold t (fun h -> h.fallback_switches);
+      fallback_exits = fold t (fun h -> h.fastpath_switches);
+      fallback_ticks = t.fallback_ticks_acc;
       evictions = fold t (fun h -> h.evictions);
       retired_now = retired_count t;
       retired_peak = fold t (fun h -> h.retired_peak);

@@ -116,6 +116,18 @@ type stats = {
   epoch_advances : int;  (** global-epoch increments (QSBR / QSense) *)
   fallback_switches : int;
   fastpath_switches : int;
+  fallback_entries : int;
+      (** Completed fast-path → fallback transitions (equals
+          [fallback_switches] for the hybrid schemes; 0 elsewhere). Exposed
+          separately so robustness tests assert mode round-trips directly
+          instead of inferring them from reclamation counts. *)
+  fallback_exits : int;
+      (** Completed fallback → fast-path transitions (presence flags
+          refilled, or eviction). *)
+  fallback_ticks : int;
+      (** Total [RUNTIME.now] time spent in fallback mode over completed
+          fallback episodes; an ongoing episode counts only once it exits.
+          Simulator: virtual ticks. Real runtime: nanoseconds. *)
   evictions : int;
   retired_now : int;  (** removed-but-unfreed nodes at this instant *)
   retired_peak : int;
@@ -133,6 +145,9 @@ let zero_stats =
     epoch_advances = 0;
     fallback_switches = 0;
     fastpath_switches = 0;
+    fallback_entries = 0;
+    fallback_exits = 0;
+    fallback_ticks = 0;
     evictions = 0;
     retired_now = 0;
     retired_peak = 0;

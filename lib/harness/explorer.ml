@@ -1,0 +1,537 @@
+(* Adversarial schedule exploration over the simulator.
+
+   One [case] fully determines one run: data structure, scheme, workload
+   shape, scheduling strategy, fault plan and seed. [run_one] executes it
+   and classifies the result with three oracles — the arena's node-state
+   oracle (use-after-free, double free), memory exhaustion, and per-key
+   linearizability of the recorded operation history. A failing case can be
+   [shrink]'d to a smaller one with the same verdict class and round-tripped
+   through a one-line repro file, so every CI failure is replayable from the
+   artifact alone. *)
+
+open Qs_sim
+module Spec = Qs_workload.Spec
+
+type strategy =
+  | Fair
+  | Pct of { depth : int }
+  | Targeted of {
+      victim : int;
+      hook : Qs_intf.Runtime_intf.hook;
+      skip : int;
+      stall : int;
+    }
+
+type case = {
+  ds : Cset.kind;
+  scheme : Qs_smr.Scheme.kind;
+  n_processes : int;
+  key_range : int;
+  update_pct : int;
+  ops_per_proc : int;  (** per-process operation budget *)
+  duration : int;  (** virtual-time budget; whichever bound hits first *)
+  capacity : int;  (** arena capacity; 0 = unbounded *)
+  switch : int;  (** QSense C; 0 = smallest legal (Property 4) *)
+  strategy : strategy;
+  faults : Scheduler.fault list;
+  seed : int;
+}
+
+let default_case ~ds ~scheme ~seed =
+  { ds;
+    scheme;
+    n_processes = 4;
+    key_range = 32;
+    update_pct = 50;
+    ops_per_proc = 150;
+    duration = 400_000;
+    capacity = 0;
+    switch = 48;
+    strategy = Fair;
+    faults = [];
+    seed }
+
+type verdict =
+  | Pass
+  | Uaf of int
+  | Double_free of int
+  | Oom of int
+  | Not_linearizable of int
+  | Worker_exn of string
+
+type lin_status =
+  | Lin_ok
+  | Lin_skipped_faults
+  | Lin_skipped_strategy
+  | Lin_skipped_oom
+  | Lin_too_large
+
+type outcome = {
+  verdict : verdict;
+  ops : int;
+  steps : int;
+  lin : lin_status;
+  stats : Qs_smr.Smr_intf.stats;
+  report : Qs_ds.Set_intf.report;
+}
+
+let verdict_class = function
+  | Pass -> 0
+  | Uaf _ -> 1
+  | Double_free _ -> 2
+  | Oom _ -> 3
+  | Not_linearizable _ -> 4
+  | Worker_exn _ -> 5
+
+let same_class a b = verdict_class a = verdict_class b
+
+let verdict_to_string = function
+  | Pass -> "pass"
+  | Uaf n -> Printf.sprintf "uaf:%d" n
+  | Double_free n -> Printf.sprintf "double-free:%d" n
+  | Oom t -> Printf.sprintf "oom:%d" t
+  | Not_linearizable k -> Printf.sprintf "not-linearizable:%d" k
+  | Worker_exn s -> "worker-exn:" ^ s
+
+(* --- serialization: one "k=v" line per case ----------------------------- *)
+
+let hook_to_string : Qs_intf.Runtime_intf.hook -> string = function
+  | Hook_retire -> "retire"
+  | Hook_scan -> "scan"
+  | Hook_quiesce -> "quiesce"
+
+let hook_of_string : string -> Qs_intf.Runtime_intf.hook option = function
+  | "retire" -> Some Hook_retire
+  | "scan" -> Some Hook_scan
+  | "quiesce" -> Some Hook_quiesce
+  | _ -> None
+
+let strategy_to_string = function
+  | Fair -> "fair"
+  | Pct { depth } -> Printf.sprintf "pct:%d" depth
+  | Targeted { victim; hook; skip; stall } ->
+    Printf.sprintf "tgt:%d:%s:%d:%d" victim (hook_to_string hook) skip stall
+
+let strategy_of_string s =
+  match String.split_on_char ':' s with
+  | [ "fair" ] -> Some Fair
+  | [ "pct"; d ] -> Option.map (fun depth -> Pct { depth }) (int_of_string_opt d)
+  | [ "tgt"; v; h; sk; st ] -> (
+    match (int_of_string_opt v, hook_of_string h, int_of_string_opt sk, int_of_string_opt st) with
+    | Some victim, Some hook, Some skip, Some stall ->
+      Some (Targeted { victim; hook; skip; stall })
+    | _ -> None)
+  | _ -> None
+
+let fault_to_string : Scheduler.fault -> string = function
+  | Stall_at { pid; at; ticks } -> Printf.sprintf "stall:%d:%d:%d" pid at ticks
+  | Crash_at { pid; at } -> Printf.sprintf "crash:%d:%d" pid at
+  | Oversleep_spike { pid; at; extra } -> Printf.sprintf "spike:%d:%d:%d" pid at extra
+  | Skew_burst { pid; at; until_; extra } ->
+    Printf.sprintf "skew:%d:%d:%d:%d" pid at until_ extra
+
+let fault_of_string s : Scheduler.fault option =
+  let i = int_of_string_opt in
+  match String.split_on_char ':' s with
+  | [ "stall"; p; a; t ] -> (
+    match (i p, i a, i t) with
+    | Some pid, Some at, Some ticks -> Some (Stall_at { pid; at; ticks })
+    | _ -> None)
+  | [ "crash"; p; a ] -> (
+    match (i p, i a) with
+    | Some pid, Some at -> Some (Crash_at { pid; at })
+    | _ -> None)
+  | [ "spike"; p; a; e ] -> (
+    match (i p, i a, i e) with
+    | Some pid, Some at, Some extra -> Some (Oversleep_spike { pid; at; extra })
+    | _ -> None)
+  | [ "skew"; p; a; u; e ] -> (
+    match (i p, i a, i u, i e) with
+    | Some pid, Some at, Some until_, Some extra ->
+      Some (Skew_burst { pid; at; until_; extra })
+    | _ -> None)
+  | _ -> None
+
+let faults_to_string = function
+  | [] -> "-"
+  | fs -> String.concat "," (List.map fault_to_string fs)
+
+let faults_of_string = function
+  | "-" -> Some []
+  | s ->
+    let parts = String.split_on_char ',' s in
+    let fs = List.filter_map fault_of_string parts in
+    if List.length fs = List.length parts then Some fs else None
+
+let to_string c =
+  Printf.sprintf
+    "ds=%s scheme=%s n=%d keys=%d upd=%d ops=%d dur=%d cap=%d switch=%d strat=%s faults=%s seed=%d"
+    (Cset.kind_to_string c.ds)
+    (Qs_smr.Scheme.to_string c.scheme)
+    c.n_processes c.key_range c.update_pct c.ops_per_proc c.duration c.capacity
+    c.switch
+    (strategy_to_string c.strategy)
+    (faults_to_string c.faults)
+    c.seed
+
+let of_string line : (case, string) result =
+  let fields =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | None -> None
+        | Some i ->
+          Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)))
+      (String.split_on_char ' ' (String.trim line))
+  in
+  let find k = List.assoc_opt k fields in
+  let int_field k = Option.bind (find k) int_of_string_opt in
+  match
+    ( Option.bind (find "ds") Cset.kind_of_string,
+      Option.bind (find "scheme") Qs_smr.Scheme.of_string,
+      Option.bind (find "strat") strategy_of_string,
+      Option.bind (find "faults") faults_of_string )
+  with
+  | Some ds, Some scheme, Some strategy, Some faults -> (
+    match
+      ( int_field "n",
+        int_field "keys",
+        int_field "upd",
+        int_field "ops",
+        int_field "dur",
+        int_field "cap",
+        int_field "switch",
+        int_field "seed" )
+    with
+    | ( Some n_processes,
+        Some key_range,
+        Some update_pct,
+        Some ops_per_proc,
+        Some duration,
+        Some capacity,
+        Some switch,
+        Some seed ) ->
+      Ok
+        { ds;
+          scheme;
+          n_processes;
+          key_range;
+          update_pct;
+          ops_per_proc;
+          duration;
+          capacity;
+          switch;
+          strategy;
+          faults;
+          seed }
+    | _ -> Error (Printf.sprintf "explorer case: bad numeric field in %S" line))
+  | _ -> Error (Printf.sprintf "explorer case: bad ds/scheme/strat/faults in %S" line)
+
+(* --- fault-plan generation ---------------------------------------------- *)
+
+type fault_level = No_faults | Stalls | Victim_stall | Chaos
+
+let fault_level_to_string = function
+  | No_faults -> "none"
+  | Stalls -> "stalls"
+  | Victim_stall -> "victim-stall"
+  | Chaos -> "chaos"
+
+(* A deterministic fault plan for the given level; everything is drawn from
+   [seed] so the plan is reproducible from the case line alone (the plan is
+   expanded into the case's explicit fault list, never re-derived). *)
+let plan level ~n ~duration ~seed : Scheduler.fault list =
+  let prng = Qs_util.Prng.create ~seed:(seed + 0x5EED) in
+  let pid () = Qs_util.Prng.int prng n in
+  let at () = duration / 10 + Qs_util.Prng.int prng (max 1 (duration / 2)) in
+  match level with
+  | No_faults -> []
+  | Stalls ->
+    List.init 3 (fun _ ->
+        Scheduler.Stall_at
+          { pid = pid (); at = at (); ticks = duration / 8 + Qs_util.Prng.int prng (duration / 4) })
+  | Victim_stall ->
+    (* the paper's robustness scenario: one process freezes early and for
+       (effectively) the rest of the run *)
+    [ Scheduler.Stall_at { pid = n - 1; at = duration / 8; ticks = 4 * duration } ]
+  | Chaos ->
+    [ Scheduler.Stall_at
+        { pid = pid (); at = at (); ticks = duration / 8 + Qs_util.Prng.int prng (duration / 4) };
+      Scheduler.Stall_at
+        { pid = pid (); at = at (); ticks = duration / 8 + Qs_util.Prng.int prng (duration / 4) };
+      Scheduler.Oversleep_spike { pid = pid (); at = at (); extra = 2_000 + Qs_util.Prng.int prng 4_000 };
+      Scheduler.Skew_burst
+        { pid = pid (); at = at (); until_ = duration; extra = 500 + Qs_util.Prng.int prng 1_000 };
+      Scheduler.Crash_at { pid = pid (); at = at () } ]
+
+(* --- the runner --------------------------------------------------------- *)
+
+let has_crash faults =
+  List.exists (function Scheduler.Crash_at _ -> true | _ -> false) faults
+
+let has_skew faults =
+  List.exists (function Scheduler.Skew_burst _ -> true | _ -> false) faults
+
+(* Scheme-appropriate operating point (mirrors Sim_exp): rooster-dependent
+   schemes get roosters at T with oversleep <= epsilon/2; the others get no
+   roosters and a vacuous age check, the adversarial setting under which
+   fenced HP must still be safe and unfenced HP is not. *)
+let t_rooster = 4_000
+let epsilon = 600
+
+let scheduler_strategy (c : case) : Scheduler.strategy =
+  match c.strategy with
+  | Fair -> Scheduler.Fair
+  | Pct { depth } ->
+    (* PCT gets its own stream derived from the case seed, so the same
+       memory-timing seed is explored under a schedule that varies with it *)
+    Scheduler.Pct { depth; seed = (c.seed * 7_919) + 13 }
+  | Targeted { victim; hook; skip; stall } ->
+    Scheduler.Targeted { victim; hook; skip; stall }
+
+let run_one (c : case) : outcome =
+  let module C = (val Sim_exp.cset_of c.ds) in
+  let n = c.n_processes in
+  let needs_roosters = Qs_smr.Scheme.needs_roosters c.scheme in
+  let sched_cfg =
+    { (Scheduler.default_config ~n_cores:n ~seed:c.seed) with
+      rooster_interval = (if needs_roosters then Some t_rooster else None);
+      rooster_oversleep = (if needs_roosters then epsilon / 2 else 0);
+      cost = { Scheduler.default_cost with stall_prob = 0.05; stall_max = 600 };
+      strategy = scheduler_strategy c }
+  in
+  let sched = Scheduler.create sched_cfg in
+  let smr =
+    { (Qs_smr.Smr_intf.default_config ~n_processes:n ~hp_per_process:2) with
+      quiescence_threshold = 8;
+      scan_threshold = 2;
+      scan_factor = 0.;
+      rooster_interval = (if needs_roosters then t_rooster else 0);
+      epsilon = (if needs_roosters then epsilon else 0);
+      switch_threshold = c.switch }
+  in
+  let set_cfg =
+    { Qs_ds.Set_intf.scheme = c.scheme;
+      smr;
+      capacity = (if c.capacity > 0 then Some c.capacity else None);
+      debug_checks = true }
+  in
+  let set = C.create set_cfg in
+  let ctxs = Array.init n (fun pid -> C.register set ~pid) in
+  let spec = Spec.make ~key_range:c.key_range ~update_pct:c.update_pct in
+  let initial = Spec.initial_keys spec in
+  Scheduler.exec sched ~pid:0 (fun () ->
+      let keys = Array.of_list initial in
+      Qs_util.Prng.shuffle (Qs_util.Prng.create ~seed:c.seed) keys;
+      Array.iter (fun k -> ignore (C.insert ctxs.(0) k)) keys);
+  Scheduler.reset_clocks sched;
+  Scheduler.inject sched c.faults;
+  let history = Qs_verify.History.create ~n in
+  let per_worker_ops = Array.make n 0 in
+  let failed_at = ref None in
+  let master = Qs_util.Prng.create ~seed:(c.seed + 7919) in
+  let prngs = Array.init n (fun _ -> Qs_util.Prng.split master) in
+  for pid = 0 to n - 1 do
+    Scheduler.spawn sched ~pid (fun () ->
+        let prng = prngs.(pid) and ctx = ctxs.(pid) in
+        let rec loop () =
+          let t = Sim_runtime.now () in
+          if per_worker_ops.(pid) < c.ops_per_proc && t < c.duration && !failed_at = None
+          then begin
+            (try
+               let op, key, result =
+                 match Spec.pick prng spec with
+                 | Search k -> (Qs_verify.History.Search, k, C.search ctx k)
+                 | Insert k -> (Qs_verify.History.Insert, k, C.insert ctx k)
+                 | Delete k -> (Qs_verify.History.Delete, k, C.delete ctx k)
+               in
+               let t' = Sim_runtime.now () in
+               Qs_verify.History.record history ~pid ~op ~key ~inv:t ~res:t' ~result;
+               per_worker_ops.(pid) <- per_worker_ops.(pid) + 1
+             with Qs_arena.Arena.Exhausted ->
+               if !failed_at = None then failed_at := Some t);
+            loop ()
+          end
+        in
+        loop ())
+  done;
+  Scheduler.run_all sched;
+  let ops = Array.fold_left ( + ) 0 per_worker_ops in
+  let report = C.report set in
+  let violations = C.violations set in
+  let worker_failures = Scheduler.failures sched in
+  let lin_blocked_by_faults = has_crash c.faults || has_skew c.faults in
+  (* PCT also blocks the check: priorities decouple execution order from
+     the per-process virtual clocks, so the recorded intervals no longer
+     approximate real-time order (a low-priority process runs late in the
+     schedule while its clock — and hence its recorded invocation times —
+     lag far behind the rest of the system). *)
+  let lin_blocked_by_strategy =
+    match c.strategy with Pct _ -> true | Fair | Targeted _ -> false
+  in
+  let lin =
+    ref (if lin_blocked_by_strategy then Lin_skipped_strategy else Lin_skipped_faults)
+  in
+  (* The memory-safety oracles outrank everything: a UAF explains any
+     downstream anomaly. The linearizability check runs only on complete,
+     skew-free histories (crashed workers leave half-done operations with
+     real effects; skew bursts break the real-time order the checker
+     assumes; exhaustion interrupts operations mid-flight). *)
+  let verdict =
+    if violations > 0 then Uaf violations
+    else if report.double_frees > 0 then Double_free report.double_frees
+    else
+      match worker_failures with
+      | (pid, e) :: _ ->
+        Worker_exn (Printf.sprintf "pid%d:%s" pid (Printexc.to_string e))
+      | [] -> (
+        match !failed_at with
+        | Some tm ->
+          lin := Lin_skipped_oom;
+          Oom tm
+        | None ->
+          if lin_blocked_by_faults || lin_blocked_by_strategy then Pass
+          else (
+            match
+              Qs_verify.Lin_check.check_set ~initial
+                (Qs_verify.History.entries history)
+            with
+            | Qs_verify.Lin_check.Ok ->
+              lin := Lin_ok;
+              Pass
+            | Qs_verify.Lin_check.Violation k ->
+              lin := Lin_ok;
+              Not_linearizable k
+            | Qs_verify.Lin_check.Too_large _ ->
+              lin := Lin_too_large;
+              Pass))
+  in
+  { verdict;
+    ops;
+    steps = Scheduler.steps sched;
+    lin = !lin;
+    stats = report.smr;
+    report }
+
+(* --- counterexample shrinking ------------------------------------------- *)
+
+(* Drop the parts of a case that stop making sense with fewer processes. *)
+let restrict_procs c n' =
+  let ok_pid p = p < n' in
+  let faults =
+    List.filter
+      (fun (f : Scheduler.fault) ->
+        match f with
+        | Stall_at { pid; _ } | Crash_at { pid; _ } | Oversleep_spike { pid; _ }
+        | Skew_burst { pid; _ } ->
+          ok_pid pid)
+      c.faults
+  in
+  let strategy =
+    match c.strategy with
+    | Targeted { victim; _ } when not (ok_pid victim) -> Fair
+    | s -> s
+  in
+  { c with n_processes = n'; faults; strategy }
+
+let shrink_candidates c =
+  let cands = ref [] in
+  let add c' = if c' <> c then cands := c' :: !cands in
+  if c.ops_per_proc > 20 then add { c with ops_per_proc = max 20 (c.ops_per_proc / 2) };
+  if c.ops_per_proc > 20 then add { c with ops_per_proc = max 20 (c.ops_per_proc * 3 / 4) };
+  if c.duration > 50_000 then add { c with duration = max 50_000 (c.duration / 2) };
+  if c.key_range > 4 then add { c with key_range = max 4 (c.key_range / 2) };
+  if c.n_processes > 2 then add (restrict_procs c (c.n_processes - 1));
+  (match c.faults with
+  | [] -> ()
+  | [ _ ] -> add { c with faults = [] }
+  | _ :: rest ->
+    add { c with faults = rest };
+    add { c with faults = [] });
+  (match c.strategy with
+  | Pct { depth } when depth > 1 -> add { c with strategy = Pct { depth = depth - 1 } }
+  | Pct _ -> add { c with strategy = Fair }
+  | _ -> ());
+  List.rev !cands
+
+(* Greedy shrink: accept any candidate that reproduces the same verdict
+   class, iterate to a fixpoint, spending at most [budget] runs. Returns the
+   smallest accepted case and the number of runs spent. *)
+let shrink ?(budget = 40) (c : case) (v : verdict) : case * int =
+  let spent = ref 0 in
+  let current = ref c in
+  let improved = ref true in
+  while !improved && !spent < budget do
+    improved := false;
+    let rec try_cands = function
+      | [] -> ()
+      | cand :: rest ->
+        if !spent < budget then begin
+          incr spent;
+          if same_class (run_one cand).verdict v then begin
+            current := cand;
+            improved := true
+          end
+          else try_cands rest
+        end
+    in
+    try_cands (shrink_candidates !current)
+  done;
+  (!current, !spent)
+
+(* --- exploration + repro/corpus files ----------------------------------- *)
+
+let seeds ~base ~count = List.init count (fun i -> base + (i * 131))
+
+let with_seeds c ss = List.map (fun seed -> { c with seed }) ss
+
+let explore cases =
+  List.filter_map
+    (fun c ->
+      let o = run_one c in
+      if same_class o.verdict Pass then None else Some (c, o))
+    cases
+
+let save_repro path (c : case) (o : outcome) =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "# explorer repro: replay with Explorer.run_one (load_repro %S)\n\
+     # verdict: %s  ops: %d  steps: %d\n\
+     %s\n"
+    path (verdict_to_string o.verdict) o.ops o.steps (to_string c);
+  close_out oc
+
+let parse_lines lines =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None
+      else
+        match of_string line with
+        | Ok c -> Some c
+        | Error msg -> failwith msg)
+    lines
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let load_corpus path = parse_lines (read_lines path)
+
+let load_repro path =
+  match load_corpus path with
+  | c :: _ -> c
+  | [] -> failwith (Printf.sprintf "explorer repro %s: no case line" path)
+
+let save_corpus path cases =
+  let oc = open_out path in
+  Printf.fprintf oc "# explorer seed corpus — replayed as a regression test\n";
+  List.iter (fun c -> Printf.fprintf oc "%s\n" (to_string c)) cases;
+  close_out oc

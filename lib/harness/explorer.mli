@@ -1,0 +1,137 @@
+(** Adversarial schedule exploration, fault injection and counterexample
+    shrinking over the simulator (see EXPERIMENTS.md, "Schedule
+    exploration").
+
+    A {!case} fully determines one run — structure, scheme, workload shape,
+    scheduling {!strategy}, fault plan and seed — and {!run_one} executes it
+    under three oracles:
+
+    - the arena's node-state oracle: use-after-free and double-free
+      counters;
+    - memory exhaustion against the case's arena capacity;
+    - per-key linearizability ({!Qs_verify.Lin_check}) of the recorded
+      operation history (skipped when the fault plan contains crashes or
+      clock-skew bursts, or the strategy is [Pct] — all of which invalidate
+      the completed-operations / real-time-order assumptions the checker
+      rests on).
+
+    Cases serialize to one-line ["k=v"] strings ({!to_string} /
+    {!of_string}); a failing case can be {!shrink}'d and written to a repro
+    file that replays by itself, and a committed corpus of known-clean cases
+    is replayed as a regression test. *)
+
+open Qs_sim
+
+(** Explorer-level strategy; mapped onto {!Scheduler.strategy} with
+    PCT/stall seeds derived from the case seed. *)
+type strategy =
+  | Fair
+  | Pct of { depth : int }
+  | Targeted of {
+      victim : int;
+      hook : Qs_intf.Runtime_intf.hook;
+      skip : int;
+      stall : int;
+    }
+
+type case = {
+  ds : Cset.kind;
+  scheme : Qs_smr.Scheme.kind;
+  n_processes : int;
+  key_range : int;
+  update_pct : int;
+  ops_per_proc : int;  (** per-process operation budget *)
+  duration : int;  (** virtual-time budget; whichever bound hits first *)
+  capacity : int;  (** arena capacity; 0 = unbounded *)
+  switch : int;  (** QSense C; 0 = smallest legal (Property 4) *)
+  strategy : strategy;
+  faults : Scheduler.fault list;
+  seed : int;
+}
+
+val default_case : ds:Cset.kind -> scheme:Qs_smr.Scheme.kind -> seed:int -> case
+(** 4 processes, 32 keys, 50% updates, 150 ops/process, 400k ticks,
+    unbounded arena, C = 48, [Fair], no faults. *)
+
+type verdict =
+  | Pass
+  | Uaf of int  (** use-after-free oracle violations *)
+  | Double_free of int
+  | Oom of int  (** virtual time of arena exhaustion *)
+  | Not_linearizable of int  (** offending key *)
+  | Worker_exn of string
+
+type lin_status =
+  | Lin_ok  (** the history was actually checked *)
+  | Lin_skipped_faults
+      (** not checked: crash / skew faults make it unsound, or a
+          memory-safety oracle already fired *)
+  | Lin_skipped_strategy
+      (** not checked: PCT priorities decouple execution order from the
+          per-process virtual clocks, so recorded intervals misstate the
+          real-time order the checker assumes *)
+  | Lin_skipped_oom  (** not checked: exhaustion interrupts operations *)
+  | Lin_too_large  (** a per-key sub-history exceeded the checker's limit *)
+
+type outcome = {
+  verdict : verdict;
+  ops : int;
+  steps : int;
+  lin : lin_status;
+  stats : Qs_smr.Smr_intf.stats;
+  report : Qs_ds.Set_intf.report;
+}
+
+val verdict_class : verdict -> int
+val same_class : verdict -> verdict -> bool
+val verdict_to_string : verdict -> string
+
+(** {1 Fault plans} *)
+
+type fault_level =
+  | No_faults
+  | Stalls  (** three random mid-run process stalls *)
+  | Victim_stall
+      (** the paper's robustness scenario: the last process freezes early
+          and for the rest of the run *)
+  | Chaos  (** stalls + oversleep spike + skew burst + one crash *)
+
+val fault_level_to_string : fault_level -> string
+
+val plan : fault_level -> n:int -> duration:int -> seed:int -> Scheduler.fault list
+(** Deterministically expand a level into an explicit fault list (stored in
+    the case, so repro files never need to re-derive it). *)
+
+(** {1 Running and shrinking} *)
+
+val run_one : case -> outcome
+(** Deterministic: equal cases give equal outcomes. *)
+
+val shrink : ?budget:int -> case -> verdict -> case * int
+(** [shrink case v] greedily minimises [case] (fewer ops, processes, keys,
+    faults; simpler strategy) while {!run_one} keeps returning a verdict of
+    the same class as [v], spending at most [budget] extra runs (default
+    40). Returns the smallest accepted case and the runs spent. *)
+
+val explore : case list -> (case * outcome) list
+(** Run every case; return the failing ones (non-[Pass] verdict class). *)
+
+val seeds : base:int -> count:int -> int list
+val with_seeds : case -> int list -> case list
+
+(** {1 Repro and corpus files} *)
+
+val to_string : case -> string
+val of_string : string -> (case, string) result
+
+val save_repro : string -> case -> outcome -> unit
+(** Write a replayable one-case repro file (with the verdict in comments). *)
+
+val load_repro : string -> case
+(** First case line of a repro file. Raises [Failure] on a malformed file. *)
+
+val save_corpus : string -> case list -> unit
+
+val load_corpus : string -> case list
+(** All case lines ('#' comments and blank lines ignored). Raises [Failure]
+    on a malformed line. *)

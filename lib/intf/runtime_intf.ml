@@ -26,6 +26,21 @@
       processes is delayed — bounded only by fences, context switches
       (rooster processes!) and buffer capacity. *)
 
+(** Labelled schedule points, performed by the SMR schemes at the
+    boundaries an adversarial scheduler wants to interleave around:
+
+    - [Hook_retire] — entry of [retire] (the paper's [free_node_later]);
+    - [Hook_scan] — start of a hazard-pointer scan;
+    - [Hook_quiesce] — a quiescent-state declaration / epoch adoption.
+
+    On the real runtime {!RUNTIME.hook} is a no-op. On the simulator it is
+    a zero-cost annotation that the {!Qs_sim.Scheduler}'s [Targeted]
+    strategy can turn into an injected stall ("pause this process right as
+    it is about to scan"), the schedule-exploration analogue of a
+    breakpoint. It deliberately costs no virtual time and is {e not} a
+    preemption point, so enabling hooks does not perturb schedules. *)
+type hook = Hook_retire | Hook_scan | Hook_quiesce
+
 module type RUNTIME = sig
   (** {1 Sequentially consistent atomics} *)
 
@@ -112,4 +127,9 @@ module type RUNTIME = sig
   val yield : unit -> unit
   (** Cooperation/backoff point. Simulator: a zero-cost preemption point.
       Real runtime: [Domain.cpu_relax]. *)
+
+  val hook : hook -> unit
+  (** Labelled schedule point (see {!type:hook}). Free: no time is charged,
+      no memory effect, no preemption — purely an annotation for targeted
+      schedule exploration. Real runtime: a no-op. *)
 end

@@ -57,6 +57,10 @@ let self () = Domain.DLS.get pid_key
 let now () = int_of_float (Unix.gettimeofday () *. 1e9)
 let yield () = Domain.cpu_relax ()
 
+(* Labelled schedule points only drive the simulator's targeted schedule
+   exploration; on real domains they are free. *)
+let hook (_ : Qs_intf.Runtime_intf.hook) = ()
+
 (* The coarse clock: an atomic cell refreshed by rooster domains
    ({!Qs_real.Roosters.start} calls {!publish_coarse} on every wake-up).
    Reading it is one atomic load — no syscall, no boxed-float allocation —

@@ -29,6 +29,45 @@ let default_cost =
     stall_prob = 0.002;
     stall_max = 400 }
 
+(* Scheduling strategies. [Fair] is the historical smallest-clock policy:
+   cores advance together in virtual time, modelling true parallelism.
+   [Pct] is probabilistic concurrency testing (Burckhardt et al.): each
+   process gets a random priority, the highest-priority runnable process
+   runs, and at [depth - 1] randomly chosen step counts the currently
+   running process is demoted below everything else. Any schedule with a
+   "bug depth" of [depth] is hit with probability >= 1/(n * steps^(depth-1))
+   — far better than uniform random for ordering bugs. [Targeted] keeps
+   Fair scheduling but stalls a chosen process the (skip+1)-th time it
+   performs a given labelled hook (retire / scan / quiesce boundary). *)
+type strategy =
+  | Fair
+  | Pct of { depth : int; seed : int }
+  | Targeted of {
+      victim : int;
+      hook : Qs_intf.Runtime_intf.hook;
+      skip : int;
+      stall : int;
+    }
+
+(* Injected faults, applied when the target process's clock first reaches
+   [at] (times are relative to the most recent {!reset_clocks}). All are
+   deterministic: an explorer derives a fault plan from its seed and hands
+   it to {!inject}. *)
+type fault =
+  | Stall_at of { pid : int; at : int; ticks : int }
+      (* the process freezes for [ticks] without draining its store buffer
+         (an in-core stall: cache miss storm, SMI, …); rooster wake-ups
+         crossed during the stall still fire, as for sleeping processes *)
+  | Crash_at of { pid : int; at : int }
+      (* the process never executes again. Its final descheduling is a
+         context switch, so its store buffer drains; its core stays up *)
+  | Oversleep_spike of { pid : int; at : int; extra : int }
+      (* the process's next rooster wake-up is delayed by [extra] ticks on
+         top of the configured oversleep — possibly far beyond epsilon *)
+  | Skew_burst of { pid : int; at : int; until_ : int; extra : int }
+      (* the process's [now] reads [extra] ticks ahead during
+         [at, until_) — a cross-core clock-skew burst *)
+
 type config = {
   n_cores : int;
   seed : int;
@@ -37,9 +76,12 @@ type config = {
   drain : drain_policy;
   rooster_interval : int option;
   rooster_oversleep : int;
+  rooster_oversleep_min : int;
   clock_skew : int;
   kill_roosters_at : int option;
   trace_capacity : int;
+  strategy : strategy;
+  pct_horizon : int;
 }
 
 type event =
@@ -54,6 +96,17 @@ type event =
   | Ev_stall of int
   | Ev_sleep of int
   | Ev_wake
+  | Ev_hook of Qs_intf.Runtime_intf.hook
+  | Ev_crash
+  | Ev_oversleep of int
+  | Ev_skew of int
+
+let pp_hook fmt (h : Qs_intf.Runtime_intf.hook) =
+  Format.pp_print_string fmt
+    (match h with
+    | Hook_retire -> "retire"
+    | Hook_scan -> "scan"
+    | Hook_quiesce -> "quiesce")
 
 let pp_event fmt = function
   | Ev_read -> Format.pp_print_string fmt "read"
@@ -67,6 +120,10 @@ let pp_event fmt = function
   | Ev_stall n -> Format.fprintf fmt "stall(%d)" n
   | Ev_sleep target -> Format.fprintf fmt "sleep(until %d)" target
   | Ev_wake -> Format.pp_print_string fmt "wake"
+  | Ev_hook h -> Format.fprintf fmt "hook(%a)" pp_hook h
+  | Ev_crash -> Format.pp_print_string fmt "crash"
+  | Ev_oversleep n -> Format.fprintf fmt "oversleep-spike(%d)" n
+  | Ev_skew n -> Format.fprintf fmt "skew-burst(%d)" n
 
 let default_config ~n_cores ~seed =
   { n_cores;
@@ -76,11 +133,14 @@ let default_config ~n_cores ~seed =
     drain = No_drain;
     rooster_interval = None;
     rooster_oversleep = 0;
+    rooster_oversleep_min = 0;
     clock_skew = 0;
     kill_roosters_at = None;
-    trace_capacity = 0 }
+    trace_capacity = 0;
+    strategy = Fair;
+    pct_horizon = 200_000 }
 
-type pstate = Idle | Ready | Sleeping of int | Done | Failed of exn
+type pstate = Idle | Ready | Sleeping of int | Done | Failed of exn | Crashed
 
 type proc = {
   pid : int;
@@ -92,12 +152,29 @@ type proc = {
   mutable next_rooster : int;
   prng : Qs_util.Prng.t;
   mutable flushes : int;
+  mutable extra_skew : int; (* skew-burst injection: active while ... *)
+  mutable extra_skew_until : int; (* ... clock < extra_skew_until *)
+  mutable pending_faults : fault list; (* sorted by trigger time *)
+  hook_counts : int array; (* per hook kind, for the Targeted strategy *)
+}
+
+(* PCT bookkeeping: [prio.(pid)] is the process's current priority (higher
+   runs first); [change_points] the remaining demotion step counts, sorted;
+   [demote_next] the next (ever lower) priority handed out by a demotion. *)
+type pct_state = {
+  prio : int array;
+  mutable change_points : int list;
+  mutable demote_next : int;
 }
 
 type t = {
   cfg : config;
   procs : proc array;
   prng : Qs_util.Prng.t;
+  pct : pct_state option;
+  mutable last_scheduled : int; (* pid of the last process stepped (PCT) *)
+  mutable armed_faults : fault list; (* master copy, re-armed by reset_clocks *)
+  mutable crashes : int;
   mutable rooster_fires : int;
   mutable steps : int;
   mutable failures : (int * exn) list;
@@ -119,6 +196,21 @@ type _ Effect.t +=
   | E_yield : unit Effect.t
   | E_sleep_until : int -> unit Effect.t
   | E_charge : int -> unit Effect.t
+  | E_hook : Qs_intf.Runtime_intf.hook -> unit Effect.t
+
+let hook_index : Qs_intf.Runtime_intf.hook -> int = function
+  | Hook_retire -> 0
+  | Hook_scan -> 1
+  | Hook_quiesce -> 2
+
+(* Rooster oversleep, uniform in [min, max]. Skips the PRNG draw entirely
+   when the bound is 0 so that pre-existing seeded schedules are bit-for-bit
+   unchanged. *)
+let draw_oversleep cfg prng =
+  if cfg.rooster_oversleep = 0 then cfg.rooster_oversleep_min
+  else
+    let lo = min cfg.rooster_oversleep_min cfg.rooster_oversleep in
+    lo + Qs_util.Prng.int prng (cfg.rooster_oversleep - lo + 1)
 
 let create cfg =
   let prng = Qs_util.Prng.create ~seed:cfg.seed in
@@ -128,9 +220,7 @@ let create cfg =
     let next_rooster =
       match cfg.rooster_interval with
       | None -> max_int
-      | Some iv ->
-        iv
-        + (if cfg.rooster_oversleep = 0 then 0 else Qs_util.Prng.int p_prng (cfg.rooster_oversleep + 1))
+      | Some iv -> iv + draw_oversleep cfg p_prng
     in
     { pid;
       clock = 0;
@@ -140,11 +230,35 @@ let create cfg =
       resume = None;
       next_rooster;
       prng = p_prng;
-      flushes = 0 }
+      flushes = 0;
+      extra_skew = 0;
+      extra_skew_until = 0;
+      pending_faults = [];
+      hook_counts = Array.make 3 0 }
+  in
+  let pct =
+    match cfg.strategy with
+    | Pct { depth; seed } ->
+      let pct_prng = Qs_util.Prng.create ~seed in
+      let prio = Array.init cfg.n_cores (fun i -> i) in
+      Qs_util.Prng.shuffle pct_prng prio;
+      let points =
+        List.init (max 0 (depth - 1)) (fun _ ->
+            Qs_util.Prng.int pct_prng (max 1 cfg.pct_horizon))
+      in
+      Some
+        { prio;
+          change_points = List.sort compare points;
+          demote_next = -1 }
+    | Fair | Targeted _ -> None
   in
   { cfg;
     procs = Array.init cfg.n_cores make_proc;
     prng;
+    pct;
+    last_scheduled = -1;
+    armed_faults = [];
+    crashes = 0;
     rooster_fires = 0;
     steps = 0;
     failures = [];
@@ -181,11 +295,7 @@ let rec advance_to (t : t) (p : proc) target =
     t.rooster_fires <- t.rooster_fires + 1;
     record t p Ev_rooster;
     p.clock <- p.clock + t.cfg.cost.ctx_switch;
-    let oversleep =
-      if t.cfg.rooster_oversleep = 0 then 0
-      else Qs_util.Prng.int p.prng (t.cfg.rooster_oversleep + 1)
-    in
-    p.next_rooster <- p.next_rooster + iv + oversleep;
+    p.next_rooster <- p.next_rooster + iv + draw_oversleep t.cfg p.prng;
     advance_to t p target
   | _ -> p.clock <- max p.clock target
 
@@ -313,7 +423,10 @@ let run_fiber (t : t) (p : proc) f =
                   Some
                     (fun () ->
                       account t p t.cfg.cost.plain_op;
-                      continue k (p.clock + p.skew)))
+                      let burst =
+                        if p.clock < p.extra_skew_until then p.extra_skew else 0
+                      in
+                      continue k (p.clock + p.skew + burst)))
           | E_self ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -336,6 +449,25 @@ let run_fiber (t : t) (p : proc) f =
                     (fun () ->
                       account t p n;
                       continue k ()))
+          | E_hook hk ->
+            (* Handled synchronously — no [p.resume], no [account], no PRNG
+               draw, no step: a hook is a free annotation and must not
+               perturb existing seeded schedules. The only observable action
+               is the [Targeted] stall, which advances the victim's clock in
+               place (as an injected in-core stall would). *)
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let i = hook_index hk in
+                p.hook_counts.(i) <- p.hook_counts.(i) + 1;
+                record t p (Ev_hook hk);
+                (match t.cfg.strategy with
+                | Targeted { victim; hook; skip; stall }
+                  when victim = p.pid && hook = hk && p.hook_counts.(i) = skip + 1
+                  ->
+                  record t p (Ev_stall stall);
+                  advance_to t p (p.clock + stall)
+                | _ -> ());
+                continue k ())
           | _ -> None) }
 
 (* A sleeping core advances in bounded quanta so that rooster wake-ups fire
@@ -349,8 +481,56 @@ let drain_maybe (t : t) (p : proc) =
     if (not (Queue.is_empty p.buffer)) && Qs_util.Prng.float p.prng 1.0 < prob then
       Cell.commit (Queue.pop p.buffer)
 
+let fault_pid = function
+  | Stall_at { pid; _ }
+  | Crash_at { pid; _ }
+  | Oversleep_spike { pid; _ }
+  | Skew_burst { pid; _ } ->
+    pid
+
+let fault_at = function
+  | Stall_at { at; _ }
+  | Crash_at { at; _ }
+  | Oversleep_spike { at; _ }
+  | Skew_burst { at; _ } ->
+    at
+
+(* Fire every pending fault whose trigger time has been reached. A stall is
+   an in-core freeze: the clock advances (roosters crossed on the way still
+   fire, as they do for sleeping processes) but the store buffer does NOT
+   drain. A crash is a final descheduling: the core context-switches away,
+   so the buffer DOES drain — modelling anything short of power loss, which
+   is the faithful x86 behaviour (a dead thread's store buffer does not
+   keep values hidden forever). *)
+let apply_faults (t : t) (p : proc) =
+  let rec loop () =
+    match p.pending_faults with
+    | f :: rest when fault_at f <= p.clock && p.state <> Crashed ->
+      p.pending_faults <- rest;
+      (match f with
+      | Stall_at { ticks; _ } ->
+        record t p (Ev_stall ticks);
+        advance_to t p (p.clock + ticks)
+      | Crash_at _ ->
+        flush_buffer p;
+        record t p Ev_crash;
+        t.crashes <- t.crashes + 1;
+        p.state <- Crashed
+      | Oversleep_spike { extra; _ } ->
+        record t p (Ev_oversleep extra);
+        if p.next_rooster <> max_int then p.next_rooster <- p.next_rooster + extra
+      | Skew_burst { until_; extra; _ } ->
+        record t p (Ev_skew extra);
+        p.extra_skew <- extra;
+        p.extra_skew_until <- until_);
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
 let step (t : t) (p : proc) =
   t.steps <- t.steps + 1;
+  if p.pending_faults <> [] then apply_faults t p;
   match p.state with
   | Sleeping target ->
     advance_to t p (min target (p.clock + sleep_quantum));
@@ -365,11 +545,13 @@ let step (t : t) (p : proc) =
       p.resume <- None;
       r ()
     | None -> p.state <- Done)
-  | Idle | Done | Failed _ -> ()
+  | Idle | Done | Failed _ | Crashed -> ()
 
 let active p = match p.state with Ready | Sleeping _ -> true | _ -> false
 
-let pick t =
+(* Historical smallest-clock policy: cores advance together in virtual
+   time, ties broken by a PRNG coin — true-parallelism modelling. *)
+let pick_fair t =
   let best = ref None in
   Array.iter
     (fun p ->
@@ -382,6 +564,33 @@ let pick t =
     t.procs;
   !best
 
+(* PCT: run the highest-priority runnable process; at each due change
+   point, demote it below every priority handed out so far. *)
+let pick_pct t (ps : pct_state) =
+  let argmax () =
+    let best = ref None in
+    Array.iter
+      (fun p ->
+        if active p then
+          match !best with
+          | None -> best := Some p
+          | Some b -> if ps.prio.(p.pid) > ps.prio.(b.pid) then best := Some p)
+      t.procs;
+    !best
+  in
+  (match ps.change_points with
+  | cp :: rest when t.steps >= cp -> (
+    ps.change_points <- rest;
+    match argmax () with
+    | Some p ->
+      ps.prio.(p.pid) <- ps.demote_next;
+      ps.demote_next <- ps.demote_next - 1
+    | None -> ())
+  | _ -> ());
+  argmax ()
+
+let pick t = match t.pct with Some ps -> pick_pct t ps | None -> pick_fair t
+
 let spawn t ~pid f =
   let p = t.procs.(pid) in
   p.state <- Ready;
@@ -389,10 +598,23 @@ let spawn t ~pid f =
   run_fiber t p f
 
 let run_all t =
+  let pct_mode = match t.pct with Some _ -> true | None -> false in
   let rec loop () =
     match pick t with
     | None -> ()
     | Some p ->
+      (* Under PCT the schedule is serialized: when control moves to a
+         different process, the one being descheduled takes a context
+         switch, which drains its store buffer. Without this flush a
+         deprioritized process's HP publication could stay invisible for
+         unbounded virtual time — a behaviour real hardware cannot
+         produce (context switches drain buffers), yielding false-positive
+         UAF reports against schemes whose safety argument (Cadence's!)
+         rests exactly on that drain. *)
+      if pct_mode && t.last_scheduled <> p.pid then begin
+        if t.last_scheduled >= 0 then flush_buffer t.procs.(t.last_scheduled);
+        t.last_scheduled <- p.pid
+      end;
       step t p;
       loop ()
   in
@@ -417,30 +639,63 @@ let exec t ~pid f =
     | Some r -> r
     | None -> failwith "Scheduler.exec: fiber did not complete")
 
+(* Distribute the armed master fault list to per-process pending queues,
+   sorted by trigger time. *)
+let rearm_faults t =
+  Array.iter (fun p -> p.pending_faults <- []) t.procs;
+  List.iter
+    (fun f ->
+      let pid = fault_pid f in
+      if pid >= 0 && pid < Array.length t.procs then begin
+        let p = t.procs.(pid) in
+        p.pending_faults <- f :: p.pending_faults
+      end)
+    t.armed_faults;
+  Array.iter
+    (fun p ->
+      p.pending_faults <-
+        List.stable_sort (fun a b -> compare (fault_at a) (fault_at b)) p.pending_faults)
+    t.procs
+
+let inject t faults =
+  t.armed_faults <- faults;
+  rearm_faults t
+
 (* Zero every core clock (e.g. after a single-process pre-fill phase, so
    that experiment time starts when the workers do). Store buffers are
-   drained first; rooster schedules restart. *)
+   drained first; rooster schedules restart; injected faults re-arm against
+   the fresh time base; hook counts restart (so a [Targeted] skip counts
+   from the worker phase, not the fill). *)
 let reset_clocks t =
   Array.iter
     (fun p ->
       flush_buffer p;
       p.clock <- 0;
+      p.extra_skew <- 0;
+      p.extra_skew_until <- 0;
+      Array.fill p.hook_counts 0 (Array.length p.hook_counts) 0;
       p.next_rooster <-
         (match t.cfg.rooster_interval with
         | None -> max_int
-        | Some iv ->
-          iv
-          + (if t.cfg.rooster_oversleep = 0 then 0
-             else Qs_util.Prng.int p.prng (t.cfg.rooster_oversleep + 1))))
-    t.procs
+        | Some iv -> iv + draw_oversleep t.cfg p.prng))
+    t.procs;
+  rearm_faults t
 
 let failures t = List.rev t.failures
 let clock_of t ~pid = t.procs.(pid).clock
-let skewed_now t ~pid = t.procs.(pid).clock + t.procs.(pid).skew
+
+let skewed_now t ~pid =
+  let p = t.procs.(pid) in
+  let burst = if p.clock < p.extra_skew_until then p.extra_skew else 0 in
+  p.clock + p.skew + burst
+
 let max_clock t = Array.fold_left (fun acc p -> max acc p.clock) 0 t.procs
 let flush_count t ~pid = t.procs.(pid).flushes
 let rooster_fires t = t.rooster_fires
 let steps t = t.steps
+let crashes t = t.crashes
+let crashed t ~pid = t.procs.(pid).state = Crashed
+let hook_count t ~pid h = t.procs.(pid).hook_counts.(hook_index h)
 
 (* Oldest-first contents of the event ring. *)
 let recent_events t =

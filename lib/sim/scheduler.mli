@@ -52,6 +52,64 @@ val default_cost : cost_model
     fence 60, remote 8, ctx switch 200, jitter 1, stall 0.002/400 —
     ratios in line with published x86 measurements. *)
 
+(** Scheduling strategies (see "Schedule exploration" in EXPERIMENTS.md).
+
+    - [Fair] — the historical smallest-clock policy: cores advance together
+      in virtual time, modelling true parallelism. This is the default and
+      is what every throughput experiment uses.
+    - [Pct {depth; seed}] — probabilistic concurrency testing (Burckhardt
+      et al., ASPLOS 2010). Each process gets a random priority; the
+      highest-priority runnable process runs; at [depth - 1] step counts
+      drawn uniformly from [\[0, pct_horizon)] the running process is
+      demoted below every priority handed out so far. Any bug of ordering
+      depth [d <= depth] is found with probability at least
+      [1/(n * horizon^(d-1))] per seed — far better than uniform random
+      interleaving for rare orderings such as "scan completes entirely
+      inside the window where a hazard-pointer publication is still
+      buffered". The PCT randomness is governed by the strategy's own
+      [seed], independent of {!config.seed}, so the same memory-timing seed
+      can be explored under many schedules. Because PCT serializes
+      execution, each deschedule of a process is treated as a context
+      switch and drains its store buffer (real hardware cannot keep a
+      descheduled thread's stores hidden).
+    - [Targeted] — keep [Fair] scheduling, but the [(skip+1)]-th time
+      process [victim] performs labelled hook [hook]
+      ({!Qs_intf.Runtime_intf.hook}: retire / scan / quiesce boundary) it
+      stalls in place for [stall] ticks without draining its store buffer.
+      This is the precision tool: "freeze this process right as it begins a
+      scan". *)
+type strategy =
+  | Fair
+  | Pct of { depth : int; seed : int }
+  | Targeted of {
+      victim : int;
+      hook : Qs_intf.Runtime_intf.hook;
+      skip : int;
+      stall : int;
+    }
+
+(** Injected faults. Each fires once, when the target process's core clock
+    first reaches [at] (relative to the most recent {!reset_clocks}; faults
+    re-arm on reset). All are deterministic given the fault list.
+
+    - [Stall_at] — the process freezes for [ticks] {e without} draining its
+      store buffer (an in-core stall: cache-miss storm, SMI). Rooster
+      wake-ups crossed during the stall still fire.
+    - [Crash_at] — the process never runs again. Its final descheduling is
+      a context switch, so its store buffer drains; its core (and rooster)
+      stay up. Histories of crashed runs contain incomplete operations, so
+      the explorer skips linearizability checking for them.
+    - [Oversleep_spike] — the process's next rooster wake-up is delayed by
+      [extra] ticks on top of the configured oversleep, possibly far beyond
+      the [epsilon] the SMR schemes assume.
+    - [Skew_burst] — the process's [now] reads [extra] ticks ahead during
+      [\[at, until_)] : a cross-core clock-skew burst. *)
+type fault =
+  | Stall_at of { pid : int; at : int; ticks : int }
+  | Crash_at of { pid : int; at : int }
+  | Oversleep_spike of { pid : int; at : int; extra : int }
+  | Skew_burst of { pid : int; at : int; until_ : int; extra : int }
+
 type config = {
   n_cores : int;
   seed : int;
@@ -59,12 +117,30 @@ type config = {
   store_buffer_capacity : int;  (** oldest store commits when full (hw ~64) *)
   drain : drain_policy;
   rooster_interval : int option;  (** [None]: no roosters *)
-  rooster_oversleep : int;  (** max extra sleep per wake-up, drawn per event *)
+  rooster_oversleep : int;
+      (** max extra sleep per rooster wake-up, drawn per event. The
+          effective oversleep is uniform in
+          [\[min rooster_oversleep_min rooster_oversleep, rooster_oversleep\]].
+          {b Default bound:} experiments configure this at most [epsilon/2]
+          (see [Qs_harness.Sim_exp]), keeping total rooster slack within the
+          [epsilon] that Cadence's age check [now - ts >= T + epsilon]
+          budgets for; oversleep beyond [epsilon] voids the safety argument
+          (that is what {!Oversleep_spike} and [rooster_oversleep_min] are
+          for — negative tests). *)
+  rooster_oversleep_min : int;
+      (** minimum extra sleep per wake-up (default 0). With
+          [rooster_oversleep = 0] the oversleep is exactly this constant and
+          no PRNG draw is consumed — set it above [epsilon] to prove the
+          age-check bound is load-bearing. *)
   clock_skew : int;  (** per-core constant offset in [0, clock_skew] *)
   kill_roosters_at : int option;
       (** stop firing roosters after this virtual time (fault injection) *)
   trace_capacity : int;
       (** keep the last N events in a ring for debugging; 0 disables *)
+  strategy : strategy;  (** scheduling policy; default [Fair] *)
+  pct_horizon : int;
+      (** PCT change points are drawn from [\[0, pct_horizon)] steps;
+          should be ≥ the expected step count of the run (default 200_000) *)
 }
 
 (** Events recorded in the debug trace ring (when [trace_capacity] > 0). *)
@@ -80,7 +156,12 @@ type event =
   | Ev_stall of int
   | Ev_sleep of int
   | Ev_wake
+  | Ev_hook of Qs_intf.Runtime_intf.hook
+  | Ev_crash
+  | Ev_oversleep of int
+  | Ev_skew of int
 
+val pp_hook : Format.formatter -> Qs_intf.Runtime_intf.hook -> unit
 val pp_event : Format.formatter -> event -> unit
 
 val default_config : n_cores:int -> seed:int -> config
@@ -104,6 +185,16 @@ type _ Effect.t +=
   | E_yield : unit Effect.t
   | E_sleep_until : int -> unit Effect.t
   | E_charge : int -> unit Effect.t
+  | E_hook : Qs_intf.Runtime_intf.hook -> unit Effect.t
+
+(** {1 Fault injection} *)
+
+val inject : t -> fault list -> unit
+(** Arm a fault plan. Faults fire during subsequent {!run_all} (or {!exec})
+    steps, each when its process's clock first reaches its [at];
+    {!reset_clocks} re-arms the full list against the new time base, so the
+    usual order is [inject; fill; reset_clocks; run_all]. Replaces any
+    previously armed plan. *)
 
 (** {1 Running processes} *)
 
@@ -144,6 +235,16 @@ val rooster_fires : t -> int
 
 val steps : t -> int
 (** Total effect-steps executed, across all processes. *)
+
+val crashes : t -> int
+(** Number of {!Crash_at} faults that have fired. *)
+
+val crashed : t -> pid:int -> bool
+(** Has this process been killed by a {!Crash_at} fault? *)
+
+val hook_count : t -> pid:int -> Qs_intf.Runtime_intf.hook -> int
+(** How many times this process has performed the given labelled hook since
+    the last {!reset_clocks} (or since creation). *)
 
 val recent_events : t -> (int * int * event) list
 (** The trace ring's contents, oldest first: (pid, core clock, event).

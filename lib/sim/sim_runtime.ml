@@ -28,6 +28,12 @@ let now_coarse () = now ()
 let self () = Effect.perform Scheduler.E_self
 let yield () = Effect.perform Scheduler.E_yield
 
+(* Zero-cost labelled schedule point: handled synchronously by the
+   scheduler (no preemption, no time, no PRNG), so schedules are identical
+   with or without hooks — except under the [Targeted] strategy, which may
+   turn one into an injected stall. *)
+let hook h = Effect.perform (Scheduler.E_hook h)
+
 (* Simulator extras, not part of RUNTIME. *)
 
 let sleep_until target = Effect.perform (Scheduler.E_sleep_until target)

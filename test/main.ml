@@ -12,6 +12,7 @@ let () =
       ("queue", Test_queue.suite);
       ("workload", Test_workload.suite);
       ("differential", Test_differential.suite);
+      ("explorer", Test_explorer.suite);
       ("properties", Test_properties.suite);
       ("real", Test_real.suite)
     ]

@@ -1,0 +1,249 @@
+(* The adversarial schedule explorer (lib/harness/explorer.ml):
+
+   - case serialization round-trips exactly, including fault plans and
+     non-trivial strategies, and rejects malformed lines;
+   - [run_one] is deterministic (the repro-file contract rests on it);
+   - positive controls: the explorer finds the planted unsafety in the
+     unsafe (fence-free) HP variant and the leak in the leaky baseline,
+     and every such failure shrinks to a smaller case of the same verdict
+     class and replays from its saved repro file alone;
+   - negative control: the committed corpus of known-clean cases (fair,
+     PCT and fault-plan schedules over hp/cadence/qsense) stays clean,
+     with linearizability actually checked on the fault-free cases;
+   - injected stalls drive QSense through a full fallback round-trip
+     (fallback_entries/exits/ticks) while QSBR OOMs under the identical
+     schedule. *)
+
+open Qs_harness
+module Scheme = Qs_smr.Scheme
+module Scheduler = Qs_sim.Scheduler
+
+let case : Explorer.case Alcotest.testable =
+  Alcotest.testable
+    (fun fmt c -> Format.pp_print_string fmt (Explorer.to_string c))
+    ( = )
+
+(* --- serialization ------------------------------------------------------- *)
+
+let round_trip c =
+  match Explorer.of_string (Explorer.to_string c) with
+  | Ok c' -> Alcotest.check case (Explorer.to_string c) c c'
+  | Error e -> Alcotest.failf "of_string failed: %s" e
+
+let test_serialization_round_trip () =
+  let base = Explorer.default_case ~ds:Cset.List ~scheme:Scheme.Qsense ~seed:42 in
+  round_trip base;
+  round_trip { base with ds = Cset.Hashtable; scheme = Scheme.Unsafe_hp };
+  round_trip { base with strategy = Pct { depth = 3 }; capacity = 256 };
+  round_trip
+    { base with
+      strategy =
+        Targeted
+          { victim = 2;
+            hook = Qs_intf.Runtime_intf.Hook_scan;
+            skip = 5;
+            stall = 10_000 } };
+  round_trip
+    { base with
+      faults =
+        [ Scheduler.Stall_at { pid = 3; at = 1_000; ticks = 50_000 };
+          Scheduler.Crash_at { pid = 1; at = 5_000 };
+          Scheduler.Oversleep_spike { pid = 0; at = 2_000; extra = 900 };
+          Scheduler.Skew_burst
+            { pid = 2; at = 3_000; until_ = 9_000; extra = 70 } ] };
+  (* a full fault-level expansion round-trips through the explicit list *)
+  round_trip
+    { base with
+      faults =
+        Explorer.plan Explorer.Chaos ~n:base.n_processes
+          ~duration:base.duration ~seed:base.seed }
+
+let test_serialization_rejects_malformed () =
+  let expect_error s =
+    match Explorer.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted malformed case %S" s
+  in
+  expect_error "";
+  expect_error "ds=list";
+  expect_error
+    "ds=nosuch scheme=hp n=4 keys=32 upd=50 ops=10 dur=1000 cap=0 switch=0 \
+     strat=fair faults=- seed=1";
+  expect_error
+    "ds=list scheme=hp n=4 keys=32 upd=50 ops=10 dur=1000 cap=0 switch=0 \
+     strat=pct faults=- seed=1";
+  expect_error
+    "ds=list scheme=hp n=4 keys=32 upd=50 ops=10 dur=1000 cap=0 switch=0 \
+     strat=fair faults=stall:9 seed=1"
+
+(* --- determinism --------------------------------------------------------- *)
+
+let test_run_one_deterministic () =
+  let c =
+    { (Explorer.default_case ~ds:Cset.List ~scheme:Scheme.Qsense ~seed:7) with
+      Explorer.faults =
+        Explorer.plan Explorer.Stalls ~n:4 ~duration:400_000 ~seed:7 }
+  in
+  let a = Explorer.run_one c and b = Explorer.run_one c in
+  Alcotest.(check string)
+    "same verdict"
+    (Explorer.verdict_to_string a.verdict)
+    (Explorer.verdict_to_string b.verdict);
+  Alcotest.(check int) "same ops" a.ops b.ops;
+  Alcotest.(check int) "same steps" a.steps b.steps;
+  Alcotest.(check int) "same frees" a.stats.frees b.stats.frees
+
+(* --- positive controls --------------------------------------------------- *)
+
+let unsafe_hp_case seed =
+  { (Explorer.default_case ~ds:Cset.List ~scheme:Scheme.Unsafe_hp ~seed) with
+    Explorer.key_range = 8;
+    ops_per_proc = 4_000;
+    duration = 10_000_000 }
+
+(* The fence in [assign_hp] is load-bearing: without it the explorer's
+   fair schedules catch reclamation of hazardously referenced nodes.
+   The failure then shrinks and replays from its repro file alone. *)
+let test_finds_unsafe_hp_and_shrinks () =
+  let failures =
+    Explorer.explore (List.map unsafe_hp_case [ 1; 2; 3 ])
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "unsafe-hp caught (%d/3 seeds)" (List.length failures))
+    true
+    (List.length failures >= 1);
+  let c, o = List.hd failures in
+  (match o.Explorer.verdict with
+  | Explorer.Uaf _ | Explorer.Double_free _ -> ()
+  | v -> Alcotest.failf "expected a memory-safety verdict, got %s"
+           (Explorer.verdict_to_string v));
+  (* shrink keeps the verdict class and never grows the case *)
+  let small, spent = Explorer.shrink ~budget:30 c o.verdict in
+  Alcotest.(check bool) "shrink spent within budget" true (spent <= 30);
+  Alcotest.(check bool) "shrunk ops <= original" true
+    (small.Explorer.ops_per_proc <= c.Explorer.ops_per_proc);
+  let o' = Explorer.run_one small in
+  Alcotest.(check bool) "shrunk case keeps the verdict class" true
+    (Explorer.same_class o.verdict o'.Explorer.verdict);
+  (* the saved repro file is self-sufficient *)
+  let path = Filename.temp_file "explorer" ".repro" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Explorer.save_repro path small o';
+      let replayed = Explorer.load_repro path in
+      Alcotest.check case "repro round-trips the case" small replayed;
+      let o'' = Explorer.run_one replayed in
+      Alcotest.(check bool) "repro replays the verdict class" true
+        (Explorer.same_class o'.Explorer.verdict o''.Explorer.verdict))
+
+let test_finds_leak () =
+  let c =
+    { (Explorer.default_case ~ds:Cset.List ~scheme:Scheme.None_ ~seed:1) with
+      Explorer.capacity = 256;
+      ops_per_proc = 4_000;
+      duration = 10_000_000 }
+  in
+  match (Explorer.run_one c).verdict with
+  | Explorer.Oom _ -> ()
+  | v ->
+      Alcotest.failf "leaky baseline should exhaust the arena, got %s"
+        (Explorer.verdict_to_string v)
+
+(* --- corpus replay (negative control) ------------------------------------ *)
+
+let test_corpus_clean () =
+  (* dune runtest runs in the test directory (the corpus is a declared
+     dep); a bare `dune exec test/main.exe` runs from the project root *)
+  let path =
+    if Sys.file_exists "explorer.corpus" then "explorer.corpus"
+    else "test/explorer.corpus"
+  in
+  let cases = Explorer.load_corpus path in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length cases >= 12);
+  let failures = Explorer.explore cases in
+  List.iter
+    (fun (c, o) ->
+      Alcotest.failf "corpus case failed: %s -> %s" (Explorer.to_string c)
+        (Explorer.verdict_to_string o.Explorer.verdict))
+    failures;
+  (* the fault-free cases really went through the linearizability check *)
+  let checked =
+    List.exists
+      (fun c ->
+        c.Explorer.faults = []
+        && (Explorer.run_one c).Explorer.lin = Explorer.Lin_ok)
+      cases
+  in
+  Alcotest.(check bool) "linearizability checked on fault-free cases" true
+    checked
+
+(* --- QSense fallback round-trip under injected stalls -------------------- *)
+
+let stall_case ~scheme ~seed =
+  { (Explorer.default_case ~ds:Cset.List ~scheme ~seed) with
+    Explorer.ops_per_proc = 4_000;
+    duration = 2_500_000;
+    capacity = 300;
+    faults = [ Scheduler.Stall_at { pid = 3; at = 100_000; ticks = 1_500_000 } ] }
+
+let test_qsense_fallback_round_trip () =
+  let o = Explorer.run_one (stall_case ~scheme:Scheme.Qsense ~seed:5) in
+  (match o.Explorer.verdict with
+  | Explorer.Pass -> ()
+  | v ->
+      Alcotest.failf "qsense should survive the stall, got %s"
+        (Explorer.verdict_to_string v));
+  Alcotest.(check bool) "entered fallback" true (o.stats.fallback_entries >= 1);
+  Alcotest.(check bool) "returned to the fast path" true
+    (o.stats.fallback_exits >= 1);
+  Alcotest.(check bool) "spent measurable time in fallback" true
+    (o.stats.fallback_ticks > 0);
+  Alcotest.(check bool) "ends on the fast path" true
+    (o.stats.mode = Qs_smr.Smr_intf.Fast);
+  Alcotest.(check bool) "kept reclaiming" true (o.stats.frees > 0)
+
+(* Differential: the identical schedule kills QSBR. *)
+let test_qsbr_ooms_on_same_schedule () =
+  let o = Explorer.run_one (stall_case ~scheme:Scheme.Qsbr ~seed:5) in
+  match o.Explorer.verdict with
+  | Explorer.Oom t ->
+      Alcotest.(check bool) "exhausted after the stall began" true (t >= 100_000)
+  | v ->
+      Alcotest.failf "qsbr should OOM under the stall, got %s"
+        (Explorer.verdict_to_string v)
+
+(* --- fault plans --------------------------------------------------------- *)
+
+let test_plan_deterministic () =
+  List.iter
+    (fun level ->
+      let p1 = Explorer.plan level ~n:4 ~duration:400_000 ~seed:9 in
+      let p2 = Explorer.plan level ~n:4 ~duration:400_000 ~seed:9 in
+      Alcotest.(check bool)
+        (Explorer.fault_level_to_string level ^ " plan deterministic")
+        true (p1 = p2))
+    [ Explorer.No_faults; Explorer.Stalls; Explorer.Victim_stall; Explorer.Chaos ];
+  Alcotest.(check bool) "chaos plan non-empty" true
+    (Explorer.plan Explorer.Chaos ~n:4 ~duration:400_000 ~seed:9 <> []);
+  Alcotest.(check int) "no_faults plan empty" 0
+    (List.length (Explorer.plan Explorer.No_faults ~n:4 ~duration:400_000 ~seed:9))
+
+let suite =
+  [ Alcotest.test_case "case serialization round-trips" `Quick
+      test_serialization_round_trip;
+    Alcotest.test_case "malformed cases rejected" `Quick
+      test_serialization_rejects_malformed;
+    Alcotest.test_case "run_one is deterministic" `Quick
+      test_run_one_deterministic;
+    Alcotest.test_case "finds unsafe-hp, shrinks, replays repro" `Quick
+      test_finds_unsafe_hp_and_shrinks;
+    Alcotest.test_case "finds the leaky baseline's leak" `Quick test_finds_leak;
+    Alcotest.test_case "committed corpus stays clean" `Quick test_corpus_clean;
+    Alcotest.test_case "stalls drive qsense through fallback and back" `Quick
+      test_qsense_fallback_round_trip;
+    Alcotest.test_case "qsbr OOMs on the same stall schedule" `Quick
+      test_qsbr_ooms_on_same_schedule;
+    Alcotest.test_case "fault plans are deterministic" `Quick
+      test_plan_deterministic
+  ]

@@ -324,6 +324,61 @@ let test_dead_roosters_break_cadence () =
   in
   Alcotest.(check int) "live roosters keep cadence safe" 0 control
 
+(* --- fault injection: oversleep beyond epsilon breaks the deferral ------- *)
+
+(* Cadence frees a node once it is [T + eps] old, on the assumption that
+   every rooster wake-up lands within [eps] of its deadline. A constant
+   scheduler-side oversleep beyond the [eps] the SMR config assumes means
+   hazard-pointer stores can stay buffered past the deferral window. *)
+let oversleep_run ~seed ~oversleep_min ~smr_epsilon =
+  Sim_exp.run
+    { (base ~scheme:Qs_smr.Scheme.Cadence) with
+      seed;
+      duration = 1_000_000;
+      workload = Spec.make ~key_range:16 ~update_pct:20;
+      smr_tweak =
+        (fun c ->
+          { c with
+            quiescence_threshold = 4;
+            scan_threshold = 1;
+            scan_factor = 0.;
+            rooster_interval = 500;
+            epsilon = smr_epsilon });
+      sched_tweak =
+        (fun c ->
+          { c with
+            rooster_interval = Some 500;
+            rooster_oversleep = 0;
+            (* every wake-up lands oversleep_min late, deterministically *)
+            rooster_oversleep_min = oversleep_min;
+            store_buffer_capacity = 100_000;
+            cost =
+              { Qs_sim.Scheduler.default_cost with
+                stall_prob = 0.005;
+                stall_max = 3_000 } }) }
+
+let test_oversleep_beyond_epsilon_breaks_cadence () =
+  let seeds = [ 1; 2; 3; 4 ] in
+  (* roosters oversleep 10k ticks; the SMR config still assumes eps = 50 *)
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        acc + (oversleep_run ~seed ~oversleep_min:10_000 ~smr_epsilon:50).violations)
+      0 seeds
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "use-after-free when oversleep exceeds epsilon (%d found)" total)
+    true (total > 0);
+  (* control: budgeting the oversleep into epsilon restores safety *)
+  let control =
+    List.fold_left
+      (fun acc seed ->
+        acc
+        + (oversleep_run ~seed ~oversleep_min:10_000 ~smr_epsilon:11_000).violations)
+      0 seeds
+  in
+  Alcotest.(check int) "epsilon >= oversleep keeps cadence safe" 0 control
+
 let suite =
   [ Alcotest.test_case "qsbr OOMs under a stalled process" `Quick test_qsbr_oom_under_delay;
     Alcotest.test_case "qsbr fine without delays" `Quick test_qsbr_fine_without_delay;
@@ -339,5 +394,7 @@ let suite =
     Alcotest.test_case "qsense 2NC bound (Property 4)" `Quick test_qsense_2nc_bound;
     Alcotest.test_case "qsbr backlog is unbounded" `Quick test_qsbr_unbounded_growth;
     Alcotest.test_case "naive hybrid unsafe at switch (§4.1)" `Quick test_naive_hybrid_unsafe;
-    Alcotest.test_case "dead roosters break cadence" `Quick test_dead_roosters_break_cadence
+    Alcotest.test_case "dead roosters break cadence" `Quick test_dead_roosters_break_cadence;
+    Alcotest.test_case "oversleep beyond epsilon breaks cadence" `Quick
+      test_oversleep_beyond_epsilon_breaks_cadence
   ]

@@ -353,6 +353,210 @@ let test_trace_ring () =
   Alcotest.(check (list reject)) "disabled: empty" []
     (List.map (fun _ -> ()) (Scheduler.recent_events s2))
 
+(* --- fault injection ----------------------------------------------------- *)
+
+(* Stall_at freezes the victim's clock forward WITHOUT draining its store
+   buffer (an in-core stall); other processes are unaffected. *)
+let test_inject_stall () =
+  let s = Scheduler.create (cfg ~n_cores:2 ()) in
+  Scheduler.inject s [ Scheduler.Stall_at { pid = 1; at = 500; ticks = 100_000 } ];
+  let x = R.plain 0 in
+  let stale = ref (-1) in
+  Scheduler.spawn s ~pid:1 (fun () ->
+      R.write x 1;
+      for _ = 1 to 40 do
+        R.charge 50
+      done);
+  Scheduler.spawn s ~pid:0 (fun () ->
+      while R.now () < 2_000 do
+        R.charge 50
+      done;
+      stale := R.read x);
+  Scheduler.run_all s;
+  Alcotest.(check (list (pair int reject))) "no failures" [] (Scheduler.failures s);
+  Alcotest.(check bool) "victim clock jumped past the stall" true
+    (Scheduler.clock_of s ~pid:1 >= 100_500);
+  Alcotest.(check bool) "other process unaffected" true
+    (Scheduler.clock_of s ~pid:0 < 50_000);
+  Alcotest.(check int) "stall did not drain the buffer" 0 !stale
+
+(* Crash_at: the victim never runs again, but its final descheduling is a
+   context switch, so its buffered stores become visible. *)
+let test_inject_crash () =
+  let s = Scheduler.create (cfg ~n_cores:2 ()) in
+  Scheduler.inject s [ Scheduler.Crash_at { pid = 1; at = 500 } ];
+  let x = R.plain 0 in
+  let progress = ref 0 in
+  Scheduler.spawn s ~pid:1 (fun () ->
+      R.write x 7;
+      for _ = 1 to 1_000 do
+        R.charge 50;
+        incr progress
+      done);
+  Scheduler.spawn s ~pid:0 (fun () -> R.charge 5_000);
+  Scheduler.run_all s;
+  Alcotest.(check int) "one crash fired" 1 (Scheduler.crashes s);
+  Alcotest.(check bool) "victim crashed" true (Scheduler.crashed s ~pid:1);
+  Alcotest.(check bool) "other process alive" false (Scheduler.crashed s ~pid:0);
+  Alcotest.(check int) "buffer drained at crash" 7 (Cell.read_committed x);
+  Alcotest.(check bool)
+    (Printf.sprintf "victim stopped early (%d/1000 iterations)" !progress)
+    true
+    (!progress < 1_000)
+
+(* Oversleep_spike pushes the next rooster wake-up far beyond T. *)
+let test_oversleep_spike () =
+  let s = Scheduler.create (cfg ~n_cores:1 ~rooster_interval:100 ()) in
+  Scheduler.inject s [ Scheduler.Oversleep_spike { pid = 0; at = 0; extra = 10_000 } ];
+  let x = R.plain 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.write x 5;
+      R.charge 500);
+  Alcotest.(check int) "wake-up delayed past the run" 0 (Scheduler.rooster_fires s);
+  Alcotest.(check int) "nothing flushed" 0 (Cell.read_committed x)
+
+(* Skew_burst: [now] reads ahead inside the window, normal outside it. *)
+let test_skew_burst () =
+  let s = Scheduler.create (cfg ~n_cores:1 ()) in
+  Scheduler.inject s
+    [ Scheduler.Skew_burst { pid = 0; at = 100; until_ = 1_000; extra = 5_000 } ];
+  let inside = ref 0 and after = ref 0 in
+  Scheduler.exec s ~pid:0 (fun () ->
+      R.charge 200;
+      R.charge 10;
+      (* a step after the burst began: the fault has fired *)
+      inside := R.now ();
+      R.charge 2_000;
+      R.charge 10;
+      after := R.now ());
+  Alcotest.(check bool)
+    (Printf.sprintf "now jumps ahead inside the burst (%d)" !inside)
+    true (!inside >= 5_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "skew gone after the burst (%d)" !after)
+    true (!after < 5_000)
+
+(* Faults re-arm on reset_clocks: a second filling sees the same stall. *)
+let test_faults_rearm_on_reset () =
+  let s = Scheduler.create (cfg ~n_cores:1 ()) in
+  Scheduler.inject s [ Scheduler.Stall_at { pid = 0; at = 100; ticks = 50_000 } ];
+  Scheduler.exec s ~pid:0 (fun () -> for _ = 1 to 10 do R.charge 50 done);
+  Alcotest.(check bool) "first run stalled" true (Scheduler.clock_of s ~pid:0 >= 50_000);
+  Scheduler.reset_clocks s;
+  Alcotest.(check int) "clock reset" 0 (Scheduler.clock_of s ~pid:0);
+  Scheduler.exec s ~pid:0 (fun () -> for _ = 1 to 10 do R.charge 50 done);
+  Alcotest.(check bool) "stall fired again after reset" true
+    (Scheduler.clock_of s ~pid:0 >= 50_000)
+
+(* --- scheduling strategies ----------------------------------------------- *)
+
+(* Targeted: the (skip+1)-th labelled hook on the victim stalls in place;
+   hooks are counted per process either way. *)
+let test_targeted_hook_stall () =
+  let s =
+    Scheduler.create
+      { (cfg ~n_cores:2 ()) with
+        strategy =
+          Scheduler.Targeted
+            { victim = 1;
+              hook = Qs_intf.Runtime_intf.Hook_retire;
+              skip = 2;
+              stall = 50_000 } }
+  in
+  for pid = 0 to 1 do
+    Scheduler.spawn s ~pid (fun () ->
+        for _ = 1 to 5 do
+          R.hook Qs_intf.Runtime_intf.Hook_retire;
+          R.charge 50
+        done)
+  done;
+  Scheduler.run_all s;
+  Alcotest.(check int) "victim hooks counted" 5
+    (Scheduler.hook_count s ~pid:1 Qs_intf.Runtime_intf.Hook_retire);
+  Alcotest.(check int) "other hooks counted" 5
+    (Scheduler.hook_count s ~pid:0 Qs_intf.Runtime_intf.Hook_retire);
+  Alcotest.(check int) "unrelated hook untouched" 0
+    (Scheduler.hook_count s ~pid:1 Qs_intf.Runtime_intf.Hook_scan);
+  Alcotest.(check bool) "victim stalled at its third retire" true
+    (Scheduler.clock_of s ~pid:1 >= 50_000);
+  Alcotest.(check bool) "non-victim unaffected" true
+    (Scheduler.clock_of s ~pid:0 < 10_000)
+
+(* PCT is deterministic per (seed, strategy seed) and explores orderings the
+   fair schedule cannot produce. *)
+let pct_completion_order strategy =
+  let s = Scheduler.create { (cfg ~n_cores:4 ~seed:2 ()) with strategy } in
+  let out = ref [] in
+  for pid = 0 to 3 do
+    Scheduler.spawn s ~pid (fun () ->
+        for _ = 1 to 50 do
+          R.charge 10;
+          R.yield ()
+        done;
+        out := pid :: !out)
+  done;
+  Scheduler.run_all s;
+  List.rev !out
+
+let test_pct_deterministic_and_differs () =
+  let fair = pct_completion_order Scheduler.Fair in
+  let pct = pct_completion_order (Scheduler.Pct { depth = 3; seed = 123 }) in
+  let pct' = pct_completion_order (Scheduler.Pct { depth = 3; seed = 123 }) in
+  Alcotest.(check (list int)) "pct deterministic" pct pct';
+  Alcotest.(check bool) "pct explores a different ordering" true (pct <> fair);
+  let pct2 = pct_completion_order (Scheduler.Pct { depth = 3; seed = 124 }) in
+  Alcotest.(check bool) "different pct seeds explore differently" true
+    (pct <> pct2 || fair <> pct2)
+
+(* PCT soundness: descheduling a process is a context switch, so its
+   buffered stores become visible without any fence (real hardware cannot
+   keep a descheduled thread's stores hidden). *)
+let test_pct_flushes_on_deschedule () =
+  let s =
+    Scheduler.create
+      { (cfg ~n_cores:2 ()) with strategy = Scheduler.Pct { depth = 2; seed = 7 } }
+  in
+  let x = R.plain 0 in
+  let seen = ref (-1) in
+  Scheduler.spawn s ~pid:0 (fun () ->
+      R.write x 1;
+      for _ = 1 to 100 do
+        R.charge 5;
+        R.yield ()
+      done);
+  Scheduler.spawn s ~pid:1 (fun () ->
+      (* no fence anywhere: only a context-switch flush can make x visible *)
+      while R.read x = 0 do
+        R.charge 5
+      done;
+      seen := R.read x);
+  Scheduler.run_all s;
+  Alcotest.(check (list (pair int reject))) "no failures" [] (Scheduler.failures s);
+  Alcotest.(check int) "descheduling drained the buffer" 1 !seen
+
+(* rooster_oversleep_min with rooster_oversleep = 0: a constant, non-random
+   oversleep (used to push wake-ups beyond the epsilon an SMR scheme
+   assumes, without perturbing the schedule's PRNG draws). *)
+let test_oversleep_min_constant () =
+  let run min_ =
+    let s =
+      Scheduler.create
+        { (cfg ~n_cores:1 ~rooster_interval:100 ()) with
+          rooster_oversleep_min = min_ }
+    in
+    let x = R.plain 0 in
+    Scheduler.exec s ~pid:0 (fun () ->
+        R.write x 5;
+        R.charge 249);
+    (Scheduler.rooster_fires s, Cell.read_committed x)
+  in
+  let fires0, x0 = run 0 in
+  Alcotest.(check bool) "baseline wakes within T" true (fires0 > 0);
+  Alcotest.(check int) "baseline flushed" 5 x0;
+  let fires1, x1 = run 250 in
+  Alcotest.(check int) "min oversleep delays every wake-up" 0 fires1;
+  Alcotest.(check int) "nothing flushed under the oversleep" 0 x1
+
 let suite =
   [ Alcotest.test_case "tso staleness until fence" `Quick test_tso_staleness;
     Alcotest.test_case "store-to-load forwarding" `Quick test_store_to_load_forwarding;
@@ -375,5 +579,15 @@ let suite =
     Alcotest.test_case "reset clocks" `Quick test_reset_clocks;
     Alcotest.test_case "step/flush counters" `Quick test_counters;
     Alcotest.test_case "atomic load cost model" `Quick test_atomic_load_cost;
-    Alcotest.test_case "event trace ring" `Quick test_trace_ring
+    Alcotest.test_case "event trace ring" `Quick test_trace_ring;
+    Alcotest.test_case "inject: stall freezes without draining" `Quick test_inject_stall;
+    Alcotest.test_case "inject: crash stops and drains" `Quick test_inject_crash;
+    Alcotest.test_case "inject: oversleep spike delays wake-up" `Quick test_oversleep_spike;
+    Alcotest.test_case "inject: skew burst bends now" `Quick test_skew_burst;
+    Alcotest.test_case "inject: faults re-arm on reset" `Quick test_faults_rearm_on_reset;
+    Alcotest.test_case "targeted hook stall" `Quick test_targeted_hook_stall;
+    Alcotest.test_case "pct deterministic, differs from fair" `Quick
+      test_pct_deterministic_and_differs;
+    Alcotest.test_case "pct flushes on deschedule" `Quick test_pct_flushes_on_deschedule;
+    Alcotest.test_case "constant minimum oversleep" `Quick test_oversleep_min_constant
   ]
