@@ -11,9 +11,14 @@
    - [corpus PATH [--repro-out OUT]] — replay a committed corpus of
      known-clean cases; on failure, shrink and save a repro. Exit 1 if any
      case fails.
-   - [replay PATH] — re-run the first case of a repro/corpus file and print
-     the verdict (exit 1 if it is not Pass, so a repro file "fails again"
-     visibly). This is the one-liner for reproducing a CI failure locally.
+   - [replay PATH [--trace OUT]] — re-run the first case of a repro/corpus
+     file and print the verdict (exit 1 if it is not Pass, so a repro file
+     "fails again" visibly). This is the one-liner for reproducing a CI
+     failure locally. With [--trace OUT], the replay runs with a trace sink
+     installed and writes the Chrome trace-event timeline (Perfetto) of the
+     run to OUT — trace emission is schedule-neutral, so the verdict is the
+     same traced or not (see DESIGN.md §9), making this the way to look
+     inside a failure.
 
    Everything is deterministic: equal case lines give equal verdicts. *)
 
@@ -27,7 +32,7 @@ let usage () =
   prerr_endline
     "usage: explore.exe smoke [--seeds N] [--repro-out PATH]\n\
     \       explore.exe corpus PATH [--repro-out OUT]\n\
-    \       explore.exe replay PATH";
+    \       explore.exe replay PATH [--trace OUT]";
   exit 2
 
 let rec parse_flags seeds repro_out = function
@@ -180,9 +185,31 @@ let corpus path args =
     persist_failure ~repro_out c o;
     1
 
-let replay path =
+let replay path args =
+  let trace_out =
+    match args with
+    | [] -> None
+    | [ "--trace"; out ] -> Some out
+    | _ -> usage ()
+  in
   let c = Explorer.load_repro path in
-  let o = Explorer.run_one c in
+  let o =
+    match trace_out with
+    | None -> Explorer.run_one c
+    | Some out ->
+      let tracer =
+        Qs_obs.Tracer.create ~n_processes:c.Explorer.n_processes
+          ~capacity:(1 lsl 16) ()
+      in
+      let o = Explorer.run_one ~sink:(Qs_obs.Tracer.sink tracer) c in
+      Qs_obs.Export.save_chrome tracer out;
+      Printf.printf
+        "  trace: %d events (%d dropped) -> %s (load in ui.perfetto.dev)\n%!"
+        (Qs_obs.Tracer.total tracer)
+        (Qs_obs.Tracer.total_dropped tracer)
+        out;
+      o
+  in
   show_outcome c o;
   match o.verdict with Explorer.Pass -> 0 | _ -> 1
 
@@ -190,5 +217,5 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: "smoke" :: args -> exit (smoke args)
   | _ :: "corpus" :: path :: args -> exit (corpus path args)
-  | _ :: "replay" :: [ path ] -> exit (replay path)
+  | _ :: "replay" :: path :: args -> exit (replay path args)
   | _ -> usage ()

@@ -620,16 +620,230 @@ module E2e = struct
     print_newline ()
 end
 
-(* --- JSON report (schema 2) ----------------------------------------------- *)
+(* --- reclamation observatory (--trace) ------------------------------------ *)
+
+(* The tracing subsystem exercised end to end (see DESIGN.md §9 and
+   EXPERIMENTS.md, "Reclamation observatory"):
+
+   - a traced Cadence run on the simulator, rendering the age-at-free
+     histogram whose minimum exhibits the paper's [T + epsilon] floor, plus
+     per-process limbo-depth sparklines — and exporting the trace as Chrome
+     trace-event JSON (Perfetto) and CSV;
+   - a traced QSense run with a stalled victim, rendering the fallback
+     round-trip (enter → dwell → exit) as a timeline;
+   - the overhead A/B the zero-cost claim rests on: minor words allocated
+     per recorded event (disabled and enabled tracer — both must be 0) and
+     real-runtime throughput with the sink off vs on. The off/on numbers
+     land in the JSON report's "trace" section so CI can watch them. *)
+module Observatory = struct
+  open Qs_intf.Runtime_intf
+
+  let t_plus_eps =
+    Qs_harness.Sim_exp.default_rooster_interval
+    + Qs_harness.Sim_exp.default_epsilon
+
+  let traced_sim ~ds ~scheme ~n_processes ~duration ~delays ~key_range
+      ~smr_tweak () =
+    let tracer =
+      Qs_obs.Tracer.create ~n_processes ~capacity:(1 lsl 16) ()
+    in
+    let workload = Qs_workload.Spec.make ~key_range ~update_pct:50 in
+    let setup =
+      { (Qs_harness.Sim_exp.default_setup ~ds ~scheme ~n_processes ~workload) with
+        duration;
+        seed = 11;
+        delays;
+        smr_tweak;
+        sink = Some (Qs_obs.Tracer.sink tracer) }
+    in
+    let r = Qs_harness.Sim_exp.run setup in
+    (tracer, r)
+
+  (* Compress a [(time, depth)] series to [n] evenly spaced depth samples. *)
+  let resample series n =
+    let len = Array.length series in
+    if len = 0 then [||]
+    else
+      Array.init n (fun i ->
+          let j = i * (len - 1) / max 1 (n - 1) in
+          float_of_int (snd series.(j)))
+
+  let cadence_age () =
+    Printf.printf
+      "-- cadence: age at free (sim; floor T+eps = %d ticks) --\n%!" t_plus_eps;
+    let tracer, r =
+      traced_sim ~ds:Qs_harness.Cset.List ~scheme:Qs_smr.Scheme.Cadence
+        ~n_processes:4 ~duration:800_000 ~delays:None ~key_range:64
+        (* scans must actually fire within the run for frees to appear:
+           drop the adaptive scan threshold to every 16 retires *)
+        ~smr_tweak:(fun c ->
+          { c with Qs_smr.Smr_intf.scan_threshold = 16; scan_factor = 0. })
+        ()
+    in
+    let entries = Qs_obs.Tracer.to_array tracer in
+    let ages = Qs_obs.Metrics.ages_at_free entries in
+    Printf.printf "events retained %d (dropped %d), retires %d, frees %d\n"
+      (Qs_obs.Tracer.total tracer)
+      (Qs_obs.Tracer.total_dropped tracer)
+      (Qs_obs.Metrics.retires_total entries)
+      (Qs_obs.Metrics.frees_total entries);
+    if Array.length ages = 0 then
+      Printf.printf "no frees recorded (run too short?)\n"
+    else begin
+      let min_age = Array.fold_left min max_int ages in
+      Printf.printf "min age at free: %d ticks vs floor %d  [%s]\n" min_age
+        t_plus_eps
+        (if min_age >= t_plus_eps then "ok" else "VIOLATED");
+      match Qs_obs.Metrics.age_histogram ~buckets:12 entries with
+      | None -> ()
+      | Some h -> print_string (Qs_util.Histogram.to_ascii h ~width:40)
+    end;
+    for pid = 0 to 3 do
+      let series = Qs_obs.Metrics.limbo_series entries ~pid in
+      Printf.printf "limbo depth p%d: %s (max %d)\n" pid
+        (Qs_util.Histogram.sparkline (resample series 48))
+        (Qs_obs.Metrics.max_limbo entries ~pid)
+    done;
+    ignore r.Qs_harness.Sim_exp.ops_total;
+    Qs_obs.Export.save_chrome tracer "cadence_age.trace.json";
+    Qs_obs.Export.save_csv tracer "cadence_age.csv";
+    Printf.printf "wrote cadence_age.trace.json, cadence_age.csv\n\n%!"
+
+  let qsense_fallback () =
+    Printf.printf
+      "-- qsense: fallback round-trip under a stalled victim (sim) --\n%!";
+    let tracer, r =
+      traced_sim ~ds:Qs_harness.Cset.List ~scheme:Qs_smr.Scheme.Qsense
+        ~n_processes:4 ~duration:2_500_000
+        ~delays:
+          (Some
+             { Qs_harness.Sim_exp.victim = 3;
+               windows = [ (100_000, 1_600_000) ] })
+        ~key_range:32
+        (* C = 48: the explorer's fallback round-trip configuration — small
+           enough that the stalled victim's pinned epoch pushes the limbo
+           over it well inside the window *)
+        ~smr_tweak:(fun c -> { c with Qs_smr.Smr_intf.switch_threshold = 48 })
+        ()
+    in
+    let entries = Qs_obs.Tracer.to_array tracer in
+    let episodes = Qs_obs.Metrics.fallback_episodes entries in
+    Printf.printf "fallback/fast switches: %d/%d; episodes seen in trace: %d\n"
+      r.Qs_harness.Sim_exp.report.smr.fallback_switches
+      r.Qs_harness.Sim_exp.report.smr.fastpath_switches
+      (List.length episodes);
+    List.iter
+      (fun (e : Qs_obs.Metrics.episode) ->
+        match e.exit_time, e.dwell with
+        | Some t1, Some d ->
+          Printf.printf
+            "  p%d: enter @%d (limbo %d) -> exit @%d (dwell %d ticks)\n"
+            e.ep_pid e.enter_time e.limbo_at_enter t1 d
+        | _ ->
+          Printf.printf "  p%d: enter @%d (limbo %d) -> still in fallback\n"
+            e.ep_pid e.enter_time e.limbo_at_enter)
+      episodes;
+    let lags = Qs_obs.Metrics.epoch_lags entries in
+    if Array.length lags > 0 then begin
+      let fl = Array.map float_of_int lags in
+      Printf.printf "epoch lag (ticks): p50 %.0f, p99 %.0f, max %.0f\n"
+        (Qs_util.Stats.percentile fl 50.)
+        (Qs_util.Stats.percentile fl 99.)
+        (Qs_util.Stats.percentile fl 100.)
+    end;
+    Qs_obs.Export.save_chrome tracer "qsense_fallback.trace.json";
+    Printf.printf "wrote qsense_fallback.trace.json\n\n%!"
+
+  (* Minor words allocated per recorded event, measured through the sink
+     exactly as the runtimes use it. Must be 0.0 enabled or disabled; the
+     matching hard guard lives in test/test_obs.ml. *)
+  let alloc_per_event ~enabled =
+    let tracer = Qs_obs.Tracer.create ~enabled ~n_processes:1 ~capacity:1024 () in
+    let s = Qs_obs.Tracer.sink tracer in
+    let n = 100_000 in
+    for i = 1 to 64 do
+      s.record ~pid:0 ~time:i ~ev:Ev_retire ~a:i ~b:i
+    done;
+    let w0 = Gc.minor_words () in
+    for i = 1 to n do
+      s.record ~pid:0 ~time:i ~ev:Ev_retire ~a:i ~b:i
+    done;
+    let w1 = Gc.minor_words () in
+    (w1 -. w0) /. float_of_int n
+
+  type overhead = {
+    alloc_disabled : float;
+    alloc_enabled : float;
+    mops_sink_off : float;
+    mops_sink_on : float;
+    events_on : int;
+  }
+
+  (* Same real-runtime run with and without a sink installed: the off run
+     is the product configuration, the on run bounds what full tracing
+     costs. *)
+  let throughput_ab ~quick =
+    let ds = Qs_harness.Cset.List and scheme = Qs_smr.Scheme.Cadence in
+    let workload = Qs_workload.Spec.make ~key_range:512 ~update_pct:50 in
+    let duration_ms = if quick then 50 else 200 in
+    let base =
+      { (Qs_harness.Real_exp.default_setup ~ds ~scheme ~n_domains:2 ~workload) with
+        duration_ms;
+        seed = 42 }
+    in
+    let off = Qs_harness.Real_exp.run base in
+    let tracer = Qs_obs.Tracer.create ~n_processes:2 ~capacity:(1 lsl 16) () in
+    let on =
+      Qs_harness.Real_exp.run
+        { base with sink = Some (Qs_obs.Tracer.sink tracer) }
+    in
+    ( off.Qs_harness.Real_exp.throughput_mops,
+      on.Qs_harness.Real_exp.throughput_mops,
+      Qs_obs.Tracer.total tracer + Qs_obs.Tracer.total_dropped tracer )
+
+  let overhead ~quick =
+    let alloc_disabled = alloc_per_event ~enabled:false in
+    let alloc_enabled = alloc_per_event ~enabled:true in
+    let mops_sink_off, mops_sink_on, events_on = throughput_ab ~quick in
+    { alloc_disabled; alloc_enabled; mops_sink_off; mops_sink_on; events_on }
+
+  let print_overhead o =
+    let tbl = Qs_util.Table.create [ "metric"; "value" ] in
+    Qs_util.Table.add_row tbl
+      [ "minor words/event (tracer disabled)";
+        Printf.sprintf "%.4f" o.alloc_disabled ];
+    Qs_util.Table.add_row tbl
+      [ "minor words/event (tracer enabled)";
+        Printf.sprintf "%.4f" o.alloc_enabled ];
+    Qs_util.Table.add_row tbl
+      [ "real cadence/list Mops/s (sink off)";
+        Printf.sprintf "%.2f" o.mops_sink_off ];
+    Qs_util.Table.add_row tbl
+      [ "real cadence/list Mops/s (sink on)";
+        Printf.sprintf "%.2f" o.mops_sink_on ];
+    Qs_util.Table.add_row tbl
+      [ "events recorded (sink on)"; string_of_int o.events_on ];
+    Qs_util.Table.print tbl;
+    print_newline ()
+
+  let dashboard () =
+    Printf.printf "== reclamation observatory (--trace) ==\n%!";
+    cadence_age ();
+    qsense_fallback ()
+end
+
+(* --- JSON report (schema 3) ----------------------------------------------- *)
 
 (* Consumed by CI (regression guards) and by EXPERIMENTS.md readers.
-   Schema 2 = schema 1's "retire_scan" section plus "membership" (hash-set
-   vs sorted-set HP membership) and "e2e" (multicore sweep; [] unless the
-   bench ran with --e2e). *)
-let emit_json ~path ~quick ~retire_scan ~membership ~e2e =
+   Schema 3 = schema 2's sections ("retire_scan", "membership", "e2e") plus
+   "trace": the observatory overhead A/B — minor words allocated per
+   recorded event (must be 0 with the tracer disabled or enabled) and
+   real-runtime throughput with the trace sink off vs on. *)
+let emit_json ~path ~quick ~retire_scan ~membership ~e2e
+    ~(trace : Observatory.overhead) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 2,\n";
+  Printf.fprintf oc "  \"schema\": 3,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"n_processes\": %d,\n" Micro.n_processes;
   Printf.fprintf oc "  \"hp_per_process\": %d,\n" Micro.hp_per_process;
@@ -670,7 +884,19 @@ let emit_json ~path ~quick ~retire_scan ~membership ~e2e =
         r.violations r.failed
         (if i = n - 1 then "" else ","))
     e2e;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"trace\": {\n";
+  Printf.fprintf oc "    \"alloc_words_per_event_disabled\": %.4f,\n"
+    trace.Observatory.alloc_disabled;
+  Printf.fprintf oc "    \"alloc_words_per_event_enabled\": %.4f,\n"
+    trace.Observatory.alloc_enabled;
+  Printf.fprintf oc "    \"real_mops_sink_off\": %.4f,\n"
+    trace.Observatory.mops_sink_off;
+  Printf.fprintf oc "    \"real_mops_sink_on\": %.4f,\n"
+    trace.Observatory.mops_sink_on;
+  Printf.fprintf oc "    \"events_recorded_sink_on\": %d\n"
+    trace.Observatory.events_on;
+  Printf.fprintf oc "  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
@@ -679,6 +905,7 @@ let () =
   let quick = List.mem "--quick" argv in
   let micro_only = List.mem "--micro-only" argv in
   let e2e = List.mem "--e2e" argv in
+  let trace = List.mem "--trace" argv in
   R.register_self 0;
   (* roosters give Cadence/QSense their coarse clock and wake-up guarantee *)
   let roosters = Qs_real.Roosters.start ~interval_ns:2_000_000 ~n:1 in
@@ -721,8 +948,12 @@ let () =
     end
     else []
   in
+  if trace then Observatory.dashboard ();
+  Printf.printf "== tracing overhead (sink off vs on, alloc per event) ==\n%!";
+  let trace_overhead = Observatory.overhead ~quick in
+  Observatory.print_overhead trace_overhead;
   emit_json ~path:"BENCH_RESULTS.json" ~quick ~retire_scan:results
-    ~membership ~e2e:e2e_results;
+    ~membership ~e2e:e2e_results ~trace:trace_overhead;
   Qs_real.Roosters.stop roosters;
   (* The multi-core figures come from the simulator: *)
   print_endline "Scalability and robustness figures (multi-core) are produced by the";

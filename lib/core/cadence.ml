@@ -89,15 +89,23 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     R.hook Qs_intf.Runtime_intf.Hook_scan;
     let t = h.owner in
     h.scans <- h.scans + 1;
+    let before = Qs_util.Vec.Ts.length h.rlist in
+    R.emit Qs_intf.Runtime_intf.Ev_scan_begin before (-1);
     let now = R.now_coarse () in
     Hp.snapshot_into t.hp h.scan_set;
     Qs_util.Vec.Ts.filter_in_place h.rlist (fun n ts ->
         if is_old_enough t ~now ts && not (Hp.protects_set h.scan_set n) then begin
           t.free n;
           h.frees <- h.frees + 1;
+          (* [now - ts] is the exact quantity the age check passed on —
+             Ev_free.b is the node's age at free, the paper's T + epsilon
+             floor observed empirically. *)
+          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (now - ts);
           false
         end
-        else true)
+        else true);
+    let kept = Qs_util.Vec.Ts.length h.rlist in
+    R.emit Qs_intf.Runtime_intf.Ev_scan_end (before - kept) kept
 
   let retire h n =
     R.hook Qs_intf.Runtime_intf.Hook_retire;
@@ -105,6 +113,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     h.retires <- h.retires + 1;
     let rcount = Qs_util.Vec.Ts.length h.rlist in
     if rcount > h.retired_peak then h.retired_peak <- rcount;
+    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) rcount;
     if h.retires mod h.owner.scan_threshold_eff = 0 then scan h
 
   let flush h =

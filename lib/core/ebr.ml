@@ -71,12 +71,15 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     t.handles.(pid) <- Some h;
     h
 
-  let free_epoch h e =
+  (* [emit = false] on the teardown path ([flush]), which may run outside
+     process context where performing the emit effect is illegal. *)
+  let free_epoch ?(emit = true) h e =
     let v = h.limbo.(e) in
     Qs_util.Vec.iter
       (fun n ->
         h.owner.free n;
-        h.frees <- h.frees + 1)
+        h.frees <- h.frees + 1;
+        if emit then R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1))
       v;
     Qs_util.Vec.clear v
 
@@ -103,12 +106,15 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
          holds nodes retired a full cycle ago, separated from the present by
          a grace period (every process has unpinned or repinned since) *)
       h.last_epoch <- eg;
+      R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 1;
       free_epoch h eg
     end;
     h.ops <- h.ops + 1;
     if h.ops mod t.cfg.quiescence_threshold = 0 && all_on t eg then
-      if R.cas t.global eg ((eg + 1) mod 3) then
-        h.epoch_advances <- h.epoch_advances + 1
+      if R.cas t.global eg ((eg + 1) mod 3) then begin
+        h.epoch_advances <- h.epoch_advances + 1;
+        R.emit Qs_intf.Runtime_intf.Ev_epoch_advance ((eg + 1) mod 3) (-1)
+      end
 
   (* Leave the critical region (called where HP schemes drop protection). *)
   let clear_hps h = R.set h.owner.locals.(h.pid) (-1)
@@ -130,11 +136,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     Qs_util.Vec.push h.limbo.(e) n;
     h.retires <- h.retires + 1;
     let total = total_limbo h in
-    if total > h.retired_peak then h.retired_peak <- total
+    if total > h.retired_peak then h.retired_peak <- total;
+    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total
 
   let flush h =
     for e = 0 to 2 do
-      free_epoch h e
+      free_epoch ~emit:false h e
     done
 
   let fold t f =

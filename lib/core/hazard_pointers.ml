@@ -93,14 +93,21 @@ struct
     R.hook Qs_intf.Runtime_intf.Hook_scan;
     let t = h.owner in
     h.scans <- h.scans + 1;
+    let before = Qs_util.Vec.length h.rlist in
+    R.emit Qs_intf.Runtime_intf.Ev_scan_begin before (-1);
     Hp.snapshot_into t.hp h.scan_set;
     Qs_util.Vec.filter_in_place h.rlist (fun n ->
         if Hp.protects_set h.scan_set n then true
         else begin
           t.free n;
           h.frees <- h.frees + 1;
+          (* classic HP has no timestamps: age recovered offline by
+             joining against the node's Ev_retire *)
+          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1);
           false
-        end)
+        end);
+    let kept = Qs_util.Vec.length h.rlist in
+    R.emit Qs_intf.Runtime_intf.Ev_scan_end (before - kept) kept
 
   let retire h n =
     R.hook Qs_intf.Runtime_intf.Hook_retire;
@@ -108,6 +115,7 @@ struct
     h.retires <- h.retires + 1;
     let rcount = Qs_util.Vec.length h.rlist in
     if rcount > h.retired_peak then h.retired_peak <- rcount;
+    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) rcount;
     if rcount >= h.owner.scan_threshold_eff then scan h
 
   let flush h =

@@ -20,7 +20,11 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   let manage_state _ = ()
   let assign_hp _ ~slot:_ _ = ()
   let clear_hps _ = ()
-  let retire h _ = h.retires <- h.retires + 1
+  let retire h n =
+    h.retires <- h.retires + 1;
+    (* b = current leak count: the limbo "depth" of a scheme that never
+       frees, so a traced leaky run plots its unbounded growth *)
+    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) h.retires
   let flush _ = ()
 
   let retired_count t =

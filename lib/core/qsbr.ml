@@ -65,12 +65,18 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     t.handles.(pid) <- Some h;
     h
 
-  let free_epoch h e =
+  (* [emit = false] on the teardown path ([flush]): teardown may run
+     outside process context, where performing the emit effect is illegal
+     on the simulator — and teardown frees are not reclamation events. *)
+  let free_epoch ?(emit = true) h e =
     let v = h.limbo.(e) in
     Qs_util.Vec.iter
       (fun n ->
         h.owner.free n;
-        h.frees <- h.frees + 1)
+        h.frees <- h.frees + 1;
+        if emit then
+          (* no timestamps in QSBR: age recovered offline from Ev_retire *)
+          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1))
       v;
     Qs_util.Vec.clear v
 
@@ -85,11 +91,17 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     let eg = R.get t.global in
     if R.get t.locals.(h.pid) <> eg then begin
       R.set t.locals.(h.pid) eg;
+      R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 1;
       free_epoch h eg
     end
-    else if all_current t eg then
-      if R.cas t.global eg ((eg + 1) mod 3) then
-        h.epoch_advances <- h.epoch_advances + 1
+    else begin
+      R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 0;
+      if all_current t eg then
+        if R.cas t.global eg ((eg + 1) mod 3) then begin
+          h.epoch_advances <- h.epoch_advances + 1;
+          R.emit Qs_intf.Runtime_intf.Ev_epoch_advance ((eg + 1) mod 3) (-1)
+        end
+    end
 
   let manage_state h =
     h.ops <- h.ops + 1;
@@ -109,11 +121,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     Qs_util.Vec.push h.limbo.(e) n;
     h.retires <- h.retires + 1;
     let total = total_limbo h in
-    if total > h.retired_peak then h.retired_peak <- total
+    if total > h.retired_peak then h.retired_peak <- total;
+    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total
 
   let flush h =
     for e = 0 to 2 do
-      free_epoch h e
+      free_epoch ~emit:false h e
     done
 
   let fold t f =

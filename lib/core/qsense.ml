@@ -64,6 +64,9 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     evicted_count : int R.atomic;
     fallback_since : int R.atomic;
     mutable mode_shadow : Smr_intf.mode; (* effect-free mirror for stats *)
+    mutable fallback_since_shadow : int;
+        (* effect-free mirror of [fallback_since] for stats — [stats] runs
+           outside process context, where runtime effects are illegal *)
     mutable fallback_ticks_acc : int;
         (* total time spent in completed fallback episodes (stats only;
            written by whichever process exits fallback) *)
@@ -110,6 +113,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       evicted_count = R.atomic_padded 0;
       fallback_since = R.atomic_padded 0;
       mode_shadow = Smr_intf.Fast;
+      fallback_since_shadow = 0;
       fallback_ticks_acc = 0;
       dummy;
       handles = Array.make cfg.n_processes None }
@@ -164,6 +168,8 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
         if is_old_enough t ~now ts && not (Hp.protects_set h.scan_set n) then begin
           t.free n;
           h.frees <- h.frees + 1;
+          (* the exact [now - ts] the age check passed on *)
+          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (now - ts);
           false
         end
         else true)
@@ -172,11 +178,15 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
   let scan_all h =
     R.hook Qs_intf.Runtime_intf.Hook_scan;
     h.scans <- h.scans + 1;
+    let before = total_limbo h in
+    R.emit Qs_intf.Runtime_intf.Ev_scan_begin before (-1);
     let now = R.now_coarse () in
     Hp.snapshot_into h.owner.hp h.scan_set;
     for e = 0 to 2 do
       scan_epoch h ~now e
-    done
+    done;
+    let kept = total_limbo h in
+    R.emit Qs_intf.Runtime_intf.Ev_scan_end (before - kept) kept
 
   (* Free an adopted epoch's limbo list. Unconditional in the common case
      (grace period passed, Lemma 3); filtered through the HP + age check
@@ -196,7 +206,11 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       Qs_util.Vec.Ts.iter
         (fun n _ts ->
           t.free n;
-          h.frees <- h.frees + 1)
+          h.frees <- h.frees + 1;
+          (* no clock read on the unconditional path (reading it would
+             charge virtual time and perturb seeded schedules): the age is
+             recovered offline from the node's Ev_retire *)
+          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1))
         v;
       Qs_util.Vec.Ts.clear v
     end
@@ -215,11 +229,17 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     let eg = R.get t.global in
     if R.get t.locals.(h.pid) <> eg then begin
       R.set t.locals.(h.pid) eg;
+      R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 1;
       free_adopted_epoch h eg
     end
-    else if all_current t eg then
-      if R.cas t.global eg ((eg + 1) mod 3) then
-        h.epoch_advances <- h.epoch_advances + 1
+    else begin
+      R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 0;
+      if all_current t eg then
+        if R.cas t.global eg ((eg + 1) mod 3) then begin
+          h.epoch_advances <- h.epoch_advances + 1;
+          R.emit Qs_intf.Runtime_intf.Ev_epoch_advance ((eg + 1) mod 3) (-1)
+        end
+    end
 
   let all_active t =
     let n = Array.length t.presence in
@@ -236,7 +256,13 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     let t = h.owner in
     R.set t.fallback_flag 1;
     t.mode_shadow <- Smr_intf.Fallback;
-    R.set t.fallback_since (R.now ());
+    (* [let now] preserves the effect order of the original
+       [R.set t.fallback_since (R.now ())] — flag store, clock read,
+       since store — so seeded schedules are unchanged. *)
+    let now = R.now () in
+    R.set t.fallback_since now;
+    t.fallback_since_shadow <- now;
+    R.emit Qs_intf.Runtime_intf.Ev_fallback_enter (total_limbo h) (-1);
     reset_presence t;
     R.set t.presence.(h.pid) 1;
     h.fallback_switches <- h.fallback_switches + 1;
@@ -247,8 +273,11 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     let t = h.owner in
     R.set t.fallback_flag 0;
     t.mode_shadow <- Smr_intf.Fast;
-    t.fallback_ticks_acc <-
-      t.fallback_ticks_acc + max 0 (R.now () - R.get t.fallback_since);
+    (* [-] evaluates right-to-left, matching the original get-then-now
+       effect order *)
+    let dwell = max 0 (R.now () - R.get t.fallback_since) in
+    t.fallback_ticks_acc <- t.fallback_ticks_acc + dwell;
+    R.emit Qs_intf.Runtime_intf.Ev_fallback_exit dwell (-1);
     h.fastpath_switches <- h.fastpath_switches + 1;
     h.prev_fallback <- false;
     quiescent_state h
@@ -263,7 +292,8 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
           (fun pid' p ->
             if pid' <> h.pid && R.get p = 0 && R.cas t.evicted.(pid') 0 1 then begin
               ignore (R.fetch_and_add t.evicted_count 1);
-              h.evictions <- h.evictions + 1
+              h.evictions <- h.evictions + 1;
+              R.emit Qs_intf.Runtime_intf.Ev_evict pid' (-1)
             end)
           t.presence
 
@@ -305,6 +335,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     h.retires <- h.retires + 1;
     let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total;
+    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total;
     let fallback = R.get t.fallback_flag = 1 in
     if fallback then begin
       h.fnl_count <- h.fnl_count + 1;
@@ -346,6 +377,10 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       fallback_entries = fold t (fun h -> h.fallback_switches);
       fallback_exits = fold t (fun h -> h.fastpath_switches);
       fallback_ticks = t.fallback_ticks_acc;
+      fallback_since =
+        (match t.mode_shadow with
+        | Smr_intf.Fallback -> Some t.fallback_since_shadow
+        | Smr_intf.Fast -> None);
       evictions = fold t (fun h -> h.evictions);
       retired_now = retired_count t;
       retired_peak = fold t (fun h -> h.retired_peak);

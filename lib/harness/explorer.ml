@@ -289,7 +289,7 @@ let scheduler_strategy (c : case) : Scheduler.strategy =
   | Targeted { victim; hook; skip; stall } ->
     Scheduler.Targeted { victim; hook; skip; stall }
 
-let run_one (c : case) : outcome =
+let run_one ?sink (c : case) : outcome =
   let module C = (val Sim_exp.cset_of c.ds) in
   let n = c.n_processes in
   let needs_roosters = Qs_smr.Scheme.needs_roosters c.scheme in
@@ -326,6 +326,9 @@ let run_one (c : case) : outcome =
       Array.iter (fun k -> ignore (C.insert ctxs.(0) k)) keys);
   Scheduler.reset_clocks sched;
   Scheduler.inject sched c.faults;
+  (* Tracing (if requested) covers the worker phase only; emission is
+     schedule-neutral, so a traced replay reproduces the verdict exactly. *)
+  Scheduler.set_sink sched sink;
   let history = Qs_verify.History.create ~n in
   let per_worker_ops = Array.make n 0 in
   let failed_at = ref None in

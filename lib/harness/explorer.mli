@@ -104,8 +104,11 @@ val plan : fault_level -> n:int -> duration:int -> seed:int -> Scheduler.fault l
 
 (** {1 Running and shrinking} *)
 
-val run_one : case -> outcome
-(** Deterministic: equal cases give equal outcomes. *)
+val run_one : ?sink:Qs_intf.Runtime_intf.sink -> case -> outcome
+(** Deterministic: equal cases give equal outcomes — with or without a
+    [sink] (trace emission is schedule-neutral), so a traced replay of a
+    repro file reproduces its verdict while producing a full timeline of
+    the failure. The sink covers the worker phase only (not the fill). *)
 
 val shrink : ?budget:int -> case -> verdict -> case * int
 (** [shrink case v] greedily minimises [case] (fewer ops, processes, keys,

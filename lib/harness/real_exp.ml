@@ -19,6 +19,9 @@ type setup = {
   stall_victim_after_ms : int option;
       (** victim = highest pid; it stops working (but never quiesces) after
           this instant and resumes 2x later *)
+  sink : Qs_intf.Runtime_intf.sink option;
+      (** trace sink (e.g. [Qs_obs.Tracer.sink]), installed for the worker
+          phase (after the fill) and removed before return *)
   smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
 }
 
@@ -31,6 +34,7 @@ let default_setup ~ds ~scheme ~n_domains ~workload =
     seed = 1;
     capacity = None;
     stall_victim_after_ms = None;
+    sink = None;
     smr_tweak = Fun.id }
 
 type result = {
@@ -68,6 +72,9 @@ let run (setup : setup) : result =
   let keys = Array.of_list (Qs_workload.Spec.initial_keys setup.workload) in
   Qs_util.Prng.shuffle (Qs_util.Prng.create ~seed:setup.seed) keys;
   Array.iter (fun k -> ignore (C.insert ctxs.(0) k)) keys;
+  (* Install the trace sink only for the worker phase: the fill above is
+     setup, not measured behaviour. *)
+  Qs_real.Real_runtime.set_sink setup.sink;
   let roosters =
     if Qs_smr.Scheme.needs_roosters setup.scheme then
       Some (Qs_real.Roosters.start ~interval_ns:rooster_interval_ns ~n:1)
@@ -124,6 +131,9 @@ let run (setup : setup) : result =
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   (match roosters with Some r -> Qs_real.Roosters.stop r | None -> ());
+  (* The sink is a global on the real runtime: remove it so later runs in
+     the same process do not keep feeding this experiment's tracer. *)
+  Qs_real.Real_runtime.set_sink None;
   let report = C.report set in
   let ops_total = Array.fold_left ( + ) 0 ops in
   { ops_total;

@@ -16,6 +16,10 @@ type setup = {
   stall_victim_after_ms : int option;
       (** the highest-pid domain stops working (without quiescing) at this
           instant and resumes at twice it *)
+  sink : Qs_intf.Runtime_intf.sink option;
+      (** trace sink (e.g. [Qs_obs.Tracer.sink]) installed for the worker
+          phase and removed before return; [None] = tracing off. Event
+          timestamps are coarse-clock nanoseconds. *)
   smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
 }
 

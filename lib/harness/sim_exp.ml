@@ -23,6 +23,9 @@ type setup = {
   delays : delays option;
   sample_every : int;  (** bucket width of the throughput series; 0 = none *)
   record_latency : bool;  (** collect per-operation latencies (in ticks) *)
+  sink : Qs_intf.Runtime_intf.sink option;
+      (** trace sink (e.g. [Qs_obs.Tracer.sink]), installed after the fill
+          so the trace covers measured time only; [None] = tracing off *)
   smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
   sched_tweak : Scheduler.config -> Scheduler.config;
 }
@@ -38,6 +41,7 @@ let default_setup ~ds ~scheme ~n_processes ~workload =
     delays = None;
     sample_every = 0;
     record_latency = false;
+    sink = None;
     smr_tweak = Fun.id;
     sched_tweak = Fun.id }
 
@@ -104,6 +108,9 @@ let run (setup : setup) : result =
       Array.iter (fun k -> ignore (C.insert ctxs.(0) k)) keys);
   (* measured time starts now, not after the fill *)
   Scheduler.reset_clocks sched;
+  (* install the trace sink only now, so traces cover measured time only
+     (fill-phase timestamps would precede the clock reset) *)
+  Scheduler.set_sink sched setup.sink;
   let n_buckets =
     if setup.sample_every > 0 then (setup.duration / setup.sample_every) + 1 else 0
   in

@@ -28,6 +28,11 @@ type setup = {
   delays : delays option;
   sample_every : int;  (** bucket width of the throughput series; 0 = none *)
   record_latency : bool;  (** collect per-operation latencies (in ticks) *)
+  sink : Qs_intf.Runtime_intf.sink option;
+      (** trace sink (e.g. [Qs_obs.Tracer.sink]); installed after the fill
+          so the trace covers measured time only. [None] = tracing off —
+          the default, and guaranteed not to change seeded schedules
+          either way (see DESIGN.md §9). *)
   smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
   sched_tweak : Scheduler.config -> Scheduler.config;
 }

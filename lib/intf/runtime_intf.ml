@@ -41,6 +41,95 @@
     preemption point, so enabling hooks does not perturb schedules. *)
 type hook = Hook_retire | Hook_scan | Hook_quiesce
 
+(** Trace events, emitted by the SMR schemes at the state transitions the
+    paper's claims quantify over. Each event carries two integer payloads
+    [a] and [b]; the per-event conventions (unused slots carry [-1]):
+
+    - [Ev_retire] — a node entered a limbo list. [a] = node id, [b] = limbo
+      depth of the retiring process after the push.
+    - [Ev_free] — a node left limbo and was recycled. [a] = node id, [b] =
+      age at free in clock units when the scheme's reclamation test already
+      had both timestamps in hand (Cadence's [now - ts]), else [-1] (the
+      age is then recovered offline by joining against the node's
+      [Ev_retire]).
+    - [Ev_scan_begin] — a hazard-pointer scan started. [a] = limbo size
+      about to be scanned.
+    - [Ev_scan_end] — the scan finished. [a] = nodes freed, [b] = nodes
+      kept.
+    - [Ev_epoch_advance] — the global epoch moved. [a] = new epoch.
+    - [Ev_quiesce] — a quiescent-state declaration. [a] = the global epoch
+      observed, [b] = 1 if the process adopted a new epoch (and freed its
+      oldest limbo list), 0 if it only re-announced.
+    - [Ev_fallback_enter] — QSense switched this process to the fallback
+      (hazard-pointer) path. [a] = total nodes in the process's limbo
+      lists at the switch.
+    - [Ev_fallback_exit] — back on the fast path. [a] = dwell time in
+      clock units.
+    - [Ev_evict] — a delayed process's epoch was evicted/forced. [a] = pid
+      of the evicted process.
+    - [Ev_rooster_wake] — a rooster fired: it published a fresh coarse
+      timestamp and signalled its companions. Emitted with the rooster's
+      own identity (simulator) or pid [-1] (real runtime, where roosters
+      are unregistered domains). *)
+type event =
+  | Ev_retire
+  | Ev_free
+  | Ev_scan_begin
+  | Ev_scan_end
+  | Ev_epoch_advance
+  | Ev_quiesce
+  | Ev_fallback_enter
+  | Ev_fallback_exit
+  | Ev_evict
+  | Ev_rooster_wake
+
+let event_index = function
+  | Ev_retire -> 0
+  | Ev_free -> 1
+  | Ev_scan_begin -> 2
+  | Ev_scan_end -> 3
+  | Ev_epoch_advance -> 4
+  | Ev_quiesce -> 5
+  | Ev_fallback_enter -> 6
+  | Ev_fallback_exit -> 7
+  | Ev_evict -> 8
+  | Ev_rooster_wake -> 9
+
+let event_of_index = function
+  | 0 -> Some Ev_retire
+  | 1 -> Some Ev_free
+  | 2 -> Some Ev_scan_begin
+  | 3 -> Some Ev_scan_end
+  | 4 -> Some Ev_epoch_advance
+  | 5 -> Some Ev_quiesce
+  | 6 -> Some Ev_fallback_enter
+  | 7 -> Some Ev_fallback_exit
+  | 8 -> Some Ev_evict
+  | 9 -> Some Ev_rooster_wake
+  | _ -> None
+
+let event_name = function
+  | Ev_retire -> "retire"
+  | Ev_free -> "free"
+  | Ev_scan_begin -> "scan_begin"
+  | Ev_scan_end -> "scan_end"
+  | Ev_epoch_advance -> "epoch_advance"
+  | Ev_quiesce -> "quiesce"
+  | Ev_fallback_enter -> "fallback_enter"
+  | Ev_fallback_exit -> "fallback_exit"
+  | Ev_evict -> "evict"
+  | Ev_rooster_wake -> "rooster_wake"
+
+(** A trace sink: where {!RUNTIME.emit} delivers events when tracing is
+    installed. The runtime supplies the emitter's [pid] and a timestamp;
+    payloads pass through unchanged. All arguments are immediate (ints and
+    an immediate variant), so a call allocates nothing — the sink itself is
+    responsible for staying allocation-free per record (see
+    {!Qs_obs.Tracer}). *)
+type sink = {
+  record : pid:int -> time:int -> ev:event -> a:int -> b:int -> unit;
+}
+
 module type RUNTIME = sig
   (** {1 Sequentially consistent atomics} *)
 
@@ -132,4 +221,15 @@ module type RUNTIME = sig
   (** Labelled schedule point (see {!type:hook}). Free: no time is charged,
       no memory effect, no preemption — purely an annotation for targeted
       schedule exploration. Real runtime: a no-op. *)
+
+  val emit : event -> int -> int -> unit
+  (** [emit ev a b] delivers a trace event (see {!type:event} for the
+      payload conventions) to the installed {!type:sink}, stamped with the
+      caller's identity and a timestamp. With no sink installed this is a
+      single load and branch; it never allocates on either runtime, and on
+      the simulator it — like {!hook} — costs no virtual time, performs no
+      memory effect and is not a preemption point, so enabling tracing
+      cannot perturb a seeded schedule. Timestamps come from the cheap
+      clock ({!now_coarse} on the real runtime; the virtual clock on the
+      simulator), keeping the disabled and enabled paths allocation-free. *)
 end

@@ -1,0 +1,138 @@
+module RI = Qs_intf.Runtime_intf
+
+(* Chrome trace-event format, "JSON Object Format" flavour:
+   {"traceEvents": [...], "displayTimeUnit": "ms"}. Every event carries
+   name/ph/ts/pid/tid; we put every worker under pid 0 with tid = process
+   id (tid n_processes = the system/rooster lane) so one Perfetto track
+   group shows the whole run. *)
+
+let add_common buf ~name ~ph ~ts ~tid =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%d,\"pid\":0,\"tid\":%d"
+       name ph ts tid)
+
+let add_instant buf ~name ~ts ~tid ~a ~b =
+  add_common buf ~name ~ph:"i" ~ts ~tid;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"s\":\"t\",\"args\":{\"a\":%d,\"b\":%d}}" a b)
+
+let add_begin buf ~name ~ts ~tid ~a =
+  add_common buf ~name ~ph:"B" ~ts ~tid;
+  Buffer.add_string buf (Printf.sprintf ",\"args\":{\"a\":%d}}" a)
+
+let add_end buf ~name ~ts ~tid ~a ~b =
+  add_common buf ~name ~ph:"E" ~ts ~tid;
+  Buffer.add_string buf (Printf.sprintf ",\"args\":{\"a\":%d,\"b\":%d}}" a b)
+
+let add_counter buf ~name ~ts ~tid ~value =
+  add_common buf ~name ~ph:"C" ~ts ~tid;
+  Buffer.add_string buf (Printf.sprintf ",\"args\":{\"limbo\":%d}}" value)
+
+let chrome_to_buffer ?(ts_div = 1) tracer buf =
+  let ts_div = max 1 ts_div in
+  let es = Tracer.to_array tracer in
+  let n = Tracer.n_processes tracer in
+  (* Open-span state, to keep B/E strictly matched even on ring-truncated
+     traces: an E without a B is dropped, unmatched Bs are closed at trace
+     end. Scans are per-lane; fallback mode is global to the scheme (the
+     exiting process need not be the entering one — see
+     {!Metrics.fallback_episodes}), so its span is drawn once on the
+     system lane (tid [n]) with the entering/exiting pid in [args]. *)
+  let scan_open = Array.make (n + 1) false in
+  let fb_open = ref false in
+  let last_ts = ref 0 in
+  let first = ref true in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',' in
+  Array.iter
+    (fun (e : Tracer.entry) ->
+      let ts = e.Tracer.time / ts_div in
+      let tid = e.Tracer.pid in
+      if ts > !last_ts then last_ts := ts;
+      match e.Tracer.ev with
+      | RI.Ev_scan_begin ->
+        if not scan_open.(tid) then begin
+          sep ();
+          add_begin buf ~name:"scan" ~ts ~tid ~a:e.Tracer.a;
+          scan_open.(tid) <- true
+        end
+      | RI.Ev_scan_end ->
+        if scan_open.(tid) then begin
+          sep ();
+          add_end buf ~name:"scan" ~ts ~tid ~a:e.Tracer.a ~b:e.Tracer.b;
+          scan_open.(tid) <- false
+        end
+      | RI.Ev_fallback_enter ->
+        if not !fb_open then begin
+          sep ();
+          add_begin buf ~name:"fallback" ~ts ~tid:n ~a:e.Tracer.a;
+          fb_open := true
+        end
+      | RI.Ev_fallback_exit ->
+        if !fb_open then begin
+          sep ();
+          add_end buf ~name:"fallback" ~ts ~tid:n ~a:e.Tracer.a ~b:e.Tracer.b;
+          fb_open := false
+        end
+      | RI.Ev_retire ->
+        sep ();
+        add_instant buf ~name:"retire" ~ts ~tid ~a:e.Tracer.a ~b:e.Tracer.b;
+        if e.Tracer.b >= 0 then begin
+          sep ();
+          add_counter buf ~name:(Printf.sprintf "limbo/p%d" tid) ~ts ~tid
+            ~value:e.Tracer.b
+        end
+      | (RI.Ev_free | RI.Ev_epoch_advance | RI.Ev_quiesce | RI.Ev_evict
+        | RI.Ev_rooster_wake) as ev ->
+        sep ();
+        add_instant buf ~name:(RI.event_name ev) ~ts ~tid ~a:e.Tracer.a
+          ~b:e.Tracer.b)
+    es;
+  (* Close any span left open so the file always validates. *)
+  for tid = 0 to n do
+    if scan_open.(tid) then begin
+      sep ();
+      add_end buf ~name:"scan" ~ts:!last_ts ~tid ~a:(-1) ~b:(-1)
+    end
+  done;
+  if !fb_open then begin
+    sep ();
+    add_end buf ~name:"fallback" ~ts:!last_ts ~tid:n ~a:(-1) ~b:(-1)
+  end;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}"
+
+let chrome ?ts_div tracer =
+  let buf = Buffer.create 4096 in
+  chrome_to_buffer ?ts_div tracer buf;
+  Buffer.contents buf
+
+let save_to_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let save_chrome ?ts_div tracer path =
+  save_to_file path (fun oc ->
+      let buf = Buffer.create 4096 in
+      chrome_to_buffer ?ts_div tracer buf;
+      Buffer.output_buffer oc buf)
+
+let csv_to_buffer tracer buf =
+  Buffer.add_string buf "time,pid,event,a,b\n";
+  Array.iter
+    (fun (e : Tracer.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%s,%d,%d\n" e.Tracer.time e.Tracer.pid
+           (RI.event_name e.Tracer.ev) e.Tracer.a e.Tracer.b))
+    (Tracer.to_array tracer)
+
+let csv tracer =
+  let buf = Buffer.create 4096 in
+  csv_to_buffer tracer buf;
+  Buffer.contents buf
+
+let save_csv tracer path =
+  save_to_file path (fun oc ->
+      let buf = Buffer.create 4096 in
+      csv_to_buffer tracer buf;
+      Buffer.output_buffer oc buf)

@@ -1,0 +1,175 @@
+module RI = Qs_intf.Runtime_intf
+
+type entry = Tracer.entry
+
+let count (es : entry array) ev =
+  Array.fold_left (fun acc (e : entry) -> if e.Tracer.ev = ev then acc + 1 else acc) 0 es
+
+let frees_total es = count es RI.Ev_free
+let retires_total es = count es RI.Ev_retire
+
+let ages_at_free (es : entry array) =
+  (* Join free events against the most recent retire of the same node id,
+     in timeline order; ids recycle (the arena reuses nodes), so "most
+     recent" is the correct join. Exact ages carried in Ev_free.b win. *)
+  let retire_time : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let out = ref [] in
+  let n_out = ref 0 in
+  Array.iter
+    (fun (e : entry) ->
+      match e.Tracer.ev with
+      | RI.Ev_retire -> Hashtbl.replace retire_time e.Tracer.a e.Tracer.time
+      | RI.Ev_free ->
+        let age =
+          if e.Tracer.b >= 0 then Some e.Tracer.b
+          else
+            match Hashtbl.find_opt retire_time e.Tracer.a with
+            | Some t0 when e.Tracer.time >= t0 -> Some (e.Tracer.time - t0)
+            | _ -> None (* retire fell out of the ring *)
+        in
+        (match age with
+        | Some a ->
+          out := a :: !out;
+          incr n_out;
+          Hashtbl.remove retire_time e.Tracer.a
+        | None -> ())
+      | _ -> ())
+    es;
+  let arr = Array.make !n_out 0 in
+  let i = ref (!n_out - 1) in
+  List.iter
+    (fun a ->
+      arr.(!i) <- a;
+      decr i)
+    !out;
+  arr
+
+let age_histogram ?(buckets = 20) es =
+  let ages = ages_at_free es in
+  if Array.length ages = 0 then None
+  else begin
+    let lo = Array.fold_left min ages.(0) ages in
+    let hi = Array.fold_left max ages.(0) ages in
+    let lo = float_of_int lo and hi = float_of_int hi in
+    let hi = if hi <= lo then lo +. 1. else hi +. 1e-9 in
+    let h = Qs_util.Histogram.create ~lo ~hi ~buckets in
+    Array.iter (fun a -> Qs_util.Histogram.add h (float_of_int a)) ages;
+    Some h
+  end
+
+let limbo_series (es : entry array) ~pid =
+  let out = ref [] and n = ref 0 in
+  let depth = ref 0 in
+  Array.iter
+    (fun (e : entry) ->
+      if e.Tracer.pid = pid then begin
+        let sample =
+          match e.Tracer.ev with
+          | RI.Ev_retire ->
+            (* resync to the scheme's own depth-after-push when carried *)
+            if e.Tracer.b >= 0 then depth := e.Tracer.b else incr depth;
+            true
+          | RI.Ev_free ->
+            depth := max 0 (!depth - 1);
+            true
+          | _ -> false
+        in
+        if sample then begin
+          out := (e.Tracer.time, !depth) :: !out;
+          incr n
+        end
+      end)
+    es;
+  let arr = Array.make !n (0, 0) in
+  let i = ref (!n - 1) in
+  List.iter
+    (fun s ->
+      arr.(!i) <- s;
+      decr i)
+    !out;
+  arr
+
+let max_limbo es ~pid =
+  Array.fold_left (fun acc (_, d) -> max acc d) 0 (limbo_series es ~pid)
+
+type episode = {
+  ep_pid : int;
+  enter_time : int;
+  exit_time : int option;
+  limbo_at_enter : int;
+  dwell : int option;
+}
+
+let fallback_episodes (es : entry array) =
+  (* The hybrid schemes' mode is global to the scheme instance: the process
+     that notices the limbo overflow emits the enter, and whichever process
+     notices the return condition emits the exit — so enters and exits pair
+     globally in timeline order, not per pid. [ep_pid] records the entering
+     process. A second enter while one is open (only possible through ring
+     truncation losing the exit) keeps the first. *)
+  let open_ep : (int * int * int) option ref = ref None in
+  let out = ref [] in
+  Array.iter
+    (fun (e : entry) ->
+      match e.Tracer.ev with
+      | RI.Ev_fallback_enter ->
+        if !open_ep = None then
+          open_ep := Some (e.Tracer.pid, e.Tracer.time, e.Tracer.a)
+      | RI.Ev_fallback_exit ->
+        (match !open_ep with
+        | Some (pid, t0, limbo) ->
+          open_ep := None;
+          out :=
+            { ep_pid = pid;
+              enter_time = t0;
+              exit_time = Some e.Tracer.time;
+              limbo_at_enter = limbo;
+              dwell = (if e.Tracer.a >= 0 then Some e.Tracer.a else None) }
+            :: !out
+        | None -> () (* enter fell out of the ring *))
+      | _ -> ())
+    es;
+  let still_open =
+    match !open_ep with
+    | None -> []
+    | Some (pid, t0, limbo) ->
+      [ { ep_pid = pid;
+          enter_time = t0;
+          exit_time = None;
+          limbo_at_enter = limbo;
+          dwell = None } ]
+  in
+  List.sort
+    (fun a b -> compare (a.enter_time, a.ep_pid) (b.enter_time, b.ep_pid))
+    (still_open @ !out)
+
+let epoch_lags (es : entry array) =
+  (* For each epoch advance, collect the first adopting quiesce of each
+     process before the next advance. *)
+  let lags = ref [] and n = ref 0 in
+  let advance_time = ref (-1) in
+  let adopted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (e : entry) ->
+      match e.Tracer.ev with
+      | RI.Ev_epoch_advance ->
+        advance_time := e.Tracer.time;
+        Hashtbl.reset adopted
+      | RI.Ev_quiesce when e.Tracer.b = 1 && !advance_time >= 0 ->
+        if not (Hashtbl.mem adopted e.Tracer.pid) then begin
+          Hashtbl.replace adopted e.Tracer.pid ();
+          if e.Tracer.time >= !advance_time then begin
+            lags := (e.Tracer.time - !advance_time) :: !lags;
+            incr n
+          end
+        end
+      | _ -> ())
+    es;
+  let arr = Array.make !n 0 in
+  let i = ref (!n - 1) in
+  List.iter
+    (fun l ->
+      arr.(!i) <- l;
+      decr i)
+    !lags;
+  arr

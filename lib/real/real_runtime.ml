@@ -72,3 +72,22 @@ let coarse_clock = Atomic.make (now ())
 
 let publish_coarse t = Atomic.set coarse_clock t
 let now_coarse () = Atomic.get coarse_clock
+
+(* Trace emission. The sink lives in a plain atomic; with tracing off,
+   [emit] is one atomic load and a branch. Timestamps come from the coarse
+   clock — [now] boxes a float via [gettimeofday], which would put an
+   allocation on every traced hot-path event; the coarse clock is a single
+   atomic load, and its lag (<= one rooster period, and roosters are
+   running whenever the timestamped schemes are) is fine for timelines.
+   [emit_pid] exists for rooster domains, which never [register_self]:
+   they emit with pid [-1] and the tracer routes them to its system ring. *)
+let sink : Qs_intf.Runtime_intf.sink option Atomic.t = Atomic.make None
+
+let set_sink s = Atomic.set sink s
+
+let emit_pid pid ev a b =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s -> s.Qs_intf.Runtime_intf.record ~pid ~time:(now_coarse ()) ~ev ~a ~b
+
+let emit ev a b = emit_pid (self ()) ev a b

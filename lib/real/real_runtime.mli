@@ -15,3 +15,14 @@ val publish_coarse : int -> unit
 (** Refresh the coarse clock read by {!now_coarse}. Called by
     {!Qs_real.Roosters} on every rooster wake-up; tests may call it
     directly. Monotonicity is the publisher's responsibility. *)
+
+val set_sink : Qs_intf.Runtime_intf.sink option -> unit
+(** Install (or remove) the global trace sink fed by {!emit}. With no sink
+    installed, {!emit} is one atomic load and a branch. Event timestamps
+    come from the coarse clock ({!now_coarse}) so that traced events never
+    allocate; run roosters for freshness. *)
+
+val emit_pid : int -> Qs_intf.Runtime_intf.event -> int -> int -> unit
+(** Like {!emit}, but with an explicit emitter id — used by rooster
+    domains, which are not registered worker processes and emit with pid
+    [-1] (routed to the tracer's system ring). *)

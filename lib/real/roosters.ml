@@ -33,7 +33,10 @@ let start ~interval_ns ~n =
       (* feed the runtime-wide coarse clock consumed by
          [Real_runtime.now_coarse] — the allocation-free retire timestamp *)
       Real_runtime.publish_coarse t;
-      Atomic.incr wakeups
+      Atomic.incr wakeups;
+      (* Rooster domains are not registered workers: emit with pid -1, which
+         the tracer routes to its system ring. *)
+      Real_runtime.emit_pid (-1) Qs_intf.Runtime_intf.Ev_rooster_wake (-1) (-1)
     done
   in
   let domains = List.init (max 1 n) (fun _ -> Domain.spawn body) in

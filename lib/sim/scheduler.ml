@@ -181,6 +181,8 @@ type t = {
   trace : (int * int * event) array; (* ring: (pid, clock, event) *)
   mutable trace_pos : int;
   mutable trace_len : int;
+  mutable sink : Qs_intf.Runtime_intf.sink option;
+      (* trace sink for E_emit / rooster wake-ups; None = tracing off *)
 }
 
 type _ Effect.t +=
@@ -197,6 +199,7 @@ type _ Effect.t +=
   | E_sleep_until : int -> unit Effect.t
   | E_charge : int -> unit Effect.t
   | E_hook : Qs_intf.Runtime_intf.hook -> unit Effect.t
+  | E_emit : Qs_intf.Runtime_intf.event * int * int -> unit Effect.t
 
 let hook_index : Qs_intf.Runtime_intf.hook -> int = function
   | Hook_retire -> 0
@@ -264,7 +267,19 @@ let create cfg =
     failures = [];
     trace = Array.make (max cfg.trace_capacity 1) (0, 0, Ev_read);
     trace_pos = 0;
-    trace_len = 0 }
+    trace_len = 0;
+    sink = None }
+
+let set_sink t s = t.sink <- s
+
+(* Forward a trace event to the installed sink. Stamped with the process's
+   raw core clock (no skew): trace timelines should be comparable across
+   processes, and skew is a property of [now] reads, not of when things
+   happened. *)
+let emit_to_sink (t : t) (p : proc) ev a b =
+  match t.sink with
+  | None -> ()
+  | Some s -> s.record ~pid:p.pid ~time:p.clock ~ev ~a ~b
 
 let record (t : t) (p : proc) ev =
   if t.cfg.trace_capacity > 0 then begin
@@ -294,6 +309,7 @@ let rec advance_to (t : t) (p : proc) target =
     flush_buffer p;
     t.rooster_fires <- t.rooster_fires + 1;
     record t p Ev_rooster;
+    emit_to_sink t p Qs_intf.Runtime_intf.Ev_rooster_wake (-1) (-1);
     p.clock <- p.clock + t.cfg.cost.ctx_switch;
     p.next_rooster <- p.next_rooster + iv + draw_oversleep t.cfg p.prng;
     advance_to t p target
@@ -467,6 +483,15 @@ let run_fiber (t : t) (p : proc) f =
                   record t p (Ev_stall stall);
                   advance_to t p (p.clock + stall)
                 | _ -> ());
+                continue k ())
+          | E_emit (ev, pa, pb) ->
+            (* Handled synchronously, exactly like [E_hook]: no [p.resume],
+               no [account], no PRNG draw, no step. Emitting a trace event
+               costs no virtual time and is not a preemption point, so
+               enabling tracing cannot perturb a seeded schedule. *)
+            Some
+              (fun (k : (a, unit) continuation) ->
+                emit_to_sink t p ev pa pb;
                 continue k ())
           | _ -> None) }
 

@@ -186,8 +186,17 @@ type _ Effect.t +=
   | E_sleep_until : int -> unit Effect.t
   | E_charge : int -> unit Effect.t
   | E_hook : Qs_intf.Runtime_intf.hook -> unit Effect.t
+  | E_emit : Qs_intf.Runtime_intf.event * int * int -> unit Effect.t
 
-(** {1 Fault injection} *)
+(** {1 Trace sink} *)
+
+val set_sink : t -> Qs_intf.Runtime_intf.sink option -> unit
+(** Install (or remove) the trace sink that receives
+    {!Qs_intf.Runtime_intf.RUNTIME.emit} events and rooster wake-ups.
+    Events are stamped with the emitting process's raw core clock (no
+    skew), so timelines are comparable across processes. Like hooks,
+    emission is handled synchronously — no virtual time, no PRNG draw, no
+    preemption — so installing a sink cannot perturb a seeded schedule. *)
 
 val inject : t -> fault list -> unit
 (** Arm a fault plan. Faults fire during subsequent {!run_all} (or {!exec})

@@ -34,6 +34,12 @@ let yield () = Effect.perform Scheduler.E_yield
    turn one into an injected stall. *)
 let hook h = Effect.perform (Scheduler.E_hook h)
 
+(* Trace emission, handled synchronously like [hook]: with no sink
+   installed it is a branch inside the scheduler; either way it costs no
+   virtual time, performs no memory effect and is not a preemption point,
+   so traced and untraced runs of the same seed are identical. *)
+let emit ev a b = Effect.perform (Scheduler.E_emit (ev, a, b))
+
 (* Simulator extras, not part of RUNTIME. *)
 
 let sleep_until target = Effect.perform (Scheduler.E_sleep_until target)

@@ -15,7 +15,12 @@ val count : t -> int
 val bucket_counts : t -> int array
 
 val to_ascii : t -> width:int -> string
-(** Horizontal bar chart, one line per bucket, bars scaled to [width]. *)
+(** Horizontal bar chart, one line per bucket, bars scaled to [width].
+    Bucket-edge labels are right-aligned to a common width and rendered
+    with the fewest decimals (from the significant digits of the bucket
+    step, at most 9) that keep all adjacent edges distinct — so narrow
+    ranges do not collapse to identical labels and wide ranges are not
+    padded with noise digits. *)
 
 val sparkline : float array -> string
 (** Renders a series as a one-line unicode sparkline — used for the

@@ -1,0 +1,28 @@
+(** A minimal JSON reader, used to validate the observatory's exporters
+    (Chrome trace-event files, [BENCH_RESULTS.json]) without adding a
+    dependency. It accepts standard JSON (RFC 8259): objects, arrays,
+    strings with the usual escapes ([\uXXXX] included, decoded to UTF-8),
+    numbers, booleans and null. It is a validator-grade parser — good
+    enough for round-trip tests and CI guards, not a streaming API. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** fields in source order; duplicates kept *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    The error string carries a character offset. *)
+
+val parse_exn : string -> t
+(** Like {!parse}. Raises [Failure] with the error message. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first field named [k]; [None] on
+    missing keys and non-objects. *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [\[\]] on anything else. *)

@@ -19,8 +19,9 @@ let min_max xs =
     xs
 
 let percentile xs p =
-  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  if Array.length xs = 0 then 0.
+  else
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let n = Array.length sorted in

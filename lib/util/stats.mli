@@ -11,9 +11,12 @@ val min_max : float array -> float * float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
-    closest ranks. Does not mutate the input. *)
+    closest ranks. Does not mutate the input. Total: returns [0.] on the
+    empty array (so dashboards over possibly-empty traces never raise);
+    still raises [Invalid_argument] when [p] is out of range. *)
 
 val median : float array -> float
+(** [percentile xs 50.]; [0.] on the empty array. *)
 
 val total : float array -> float
 

@@ -13,6 +13,7 @@ let () =
       ("workload", Test_workload.suite);
       ("differential", Test_differential.suite);
       ("explorer", Test_explorer.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
       ("real", Test_real.suite)
     ]

@@ -71,6 +71,15 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p25 interpolated" 20. (Stats.percentile xs 25.);
   Alcotest.(check (float 1e-9)) "median" 30. (Stats.median xs)
 
+let test_stats_percentile_empty () =
+  (* Total on the empty array (0., like [mean]) rather than raising: every
+     caller was guarding [Array.length > 0] by hand or crashing. *)
+  Alcotest.(check (float 1e-9)) "empty p50" 0. (Stats.percentile [||] 50.);
+  Alcotest.(check (float 1e-9)) "empty median" 0. (Stats.median [||]);
+  Alcotest.check_raises "p out of range still rejected"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [||] 101.))
+
 let test_stats_minmax_overhead () =
   let lo, hi = Stats.min_max [| 3.; 1.; 2. |] in
   Alcotest.(check (float 1e-9)) "min" 1. lo;
@@ -141,6 +150,55 @@ let test_histogram_basic () =
   Alcotest.(check int) "bucket1" 2 counts.(1);
   Alcotest.(check int) "bucket9 (incl. overflow)" 2 counts.(9)
 
+let test_histogram_edge_labels () =
+  (* Narrow range: the old fixed "%10.2f" collapsed adjacent edges of a
+     [0, 0.01) histogram to the same label. Labels must stay pairwise
+     distinct and right-aligned to one common width. *)
+  let h = Histogram.create ~lo:0. ~hi:0.01 ~buckets:4 in
+  List.iter (Histogram.add h) [ 0.001; 0.004; 0.009 ];
+  let s = Histogram.to_ascii h ~width:10 in
+  let labels =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line '|' with
+        | Some i -> Some (String.sub line 0 i)
+        | None -> None)
+      (String.split_on_char '\n' (String.trim s))
+  in
+  Alcotest.(check int) "one label per bucket" 4 (List.length labels);
+  Alcotest.(check int) "labels distinct" 4
+    (List.length (List.sort_uniq compare labels));
+  let w = String.length (List.hd labels) in
+  Alcotest.(check bool) "labels aligned" true
+    (List.for_all (fun l -> String.length l = w) labels);
+  (* Wide integer-stepped range: no noise decimals. *)
+  let h2 = Histogram.create ~lo:0. ~hi:4000. ~buckets:4 in
+  Histogram.add h2 1.;
+  let s2 = Histogram.to_ascii h2 ~width:10 in
+  Alcotest.(check bool) "integer edges carry no decimal point" true
+    (not (String.contains s2 '.'))
+
+let test_json_parse () =
+  let open Qs_util.Json in
+  (match parse {|{"a": [1, 2.5, "x\n", true, null], "b": {"c": -3e2}}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+    (match member "a" v with
+    | Some (Arr [ Num 1.; Num 2.5; Str "x\n"; Bool true; Null ]) -> ()
+    | _ -> Alcotest.fail "member a mismatch");
+    (match Option.bind (member "b" v) (member "c") with
+    | Some (Num n) -> Alcotest.(check (float 1e-9)) "-3e2" (-300.) n
+    | _ -> Alcotest.fail "member b.c mismatch"));
+  (match parse {|"é😀"|} with
+  | Ok (Str s) -> Alcotest.(check string) "unicode escapes" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "unicode parse failed");
+  (match parse "{\"a\": 1,}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing comma accepted");
+  (match parse "[1] tail" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted")
+
 let test_sparkline () =
   Alcotest.(check string) "empty" "" (Histogram.sparkline [||]);
   let s = Histogram.sparkline [| 0.; 1. |] in
@@ -173,6 +231,7 @@ let suite =
     Alcotest.test_case "prng shuffle permutation" `Quick test_prng_shuffle_permutation;
     Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percentile empty" `Quick test_stats_percentile_empty;
     Alcotest.test_case "stats min/max/overhead" `Quick test_stats_minmax_overhead;
     Alcotest.test_case "table ascii" `Quick test_table_ascii;
     Alcotest.test_case "table width mismatch" `Quick test_table_width_mismatch;
@@ -181,6 +240,8 @@ let suite =
     Alcotest.test_case "table csv file" `Quick test_table_save_csv;
     Alcotest.test_case "histogram ascii" `Quick test_histogram_ascii;
     Alcotest.test_case "histogram invalid args" `Quick test_histogram_invalid;
+    Alcotest.test_case "histogram edge labels" `Quick test_histogram_edge_labels;
+    Alcotest.test_case "json parse" `Quick test_json_parse;
     Alcotest.test_case "sparkline" `Quick test_sparkline;
     QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
     QCheck_alcotest.to_alcotest qcheck_prng_int_range
