@@ -6,8 +6,10 @@
      controls (the explorer must find the planted unsafety in the leaky and
      unsafe-hp baselines within N seeds), a clean sweep over hp / cadence /
      qsense (fair, PCT and fault-plan schedules; any failure is shrunk and
-     saved to PATH), and the QSense fallback round-trip with its QSBR
-     differential. Exit 1 on any unexpected outcome.
+     saved to PATH), a churn sweep over the sound schemes (the [Churn]
+     fault level: leave/rejoin + orphan adoption under a stall), and the
+     QSense fallback round-trip with its QSBR differential. Exit 1 on any
+     unexpected outcome.
    - [corpus PATH [--repro-out OUT]] — replay a committed corpus of
      known-clean cases; on failure, shrink and save a repro. Exit 1 if any
      case fails.
@@ -126,6 +128,41 @@ let clean_sweep ~seeds ~repro_out =
     persist_failure ~repro_out c o;
     false
 
+(* --- churn sweep: dynamic membership must stay safe ---------------------- *)
+
+(* Every sound scheme under the [Churn] fault level: two processes leave
+   and rejoin mid-run (donating their limbo lists to the orphan pool) while
+   a third stalls. The failure class being hunted is the adopted-node UAF —
+   an adopter freeing an orphan a still-running (evicted or stalled)
+   process protects. *)
+let churn_cases ~seeds =
+  List.concat_map
+    (fun scheme ->
+      List.map
+        (fun seed ->
+          let dc = Explorer.default_case ~ds:Cset.List ~scheme ~seed in
+          { dc with
+            Explorer.faults =
+              Explorer.plan Explorer.Churn ~n:dc.n_processes
+                ~duration:dc.duration ~seed })
+        (Explorer.seeds ~base:29 ~count:seeds))
+    [ Scheme.Qsbr; Scheme.Ebr; Scheme.Hp; Scheme.Cadence; Scheme.Qsense ]
+
+let churn_sweep ~seeds ~repro_out =
+  let cases = churn_cases ~seeds in
+  let failures = Explorer.explore cases in
+  match failures with
+  | [] ->
+    Printf.printf "ok: %d churn cases pass (leave/rejoin + orphan adoption)\n%!"
+      (List.length cases);
+    true
+  | (c, o) :: _ ->
+    List.iter (fun (c, o) -> show_outcome c o) failures;
+    Printf.printf "FAIL: %d/%d churn cases failed\n%!"
+      (List.length failures) (List.length cases);
+    persist_failure ~repro_out c o;
+    false
+
 (* --- QSense fallback round-trip under an injected stall ------------------ *)
 
 let stall_case ~scheme =
@@ -164,8 +201,9 @@ let smoke args =
   in
   let ok_leaky = positive_control ~name:"leaky" ~mk:leaky_case ~seeds in
   let ok_clean = clean_sweep ~seeds ~repro_out in
+  let ok_churn = churn_sweep ~seeds ~repro_out in
   let ok_fb = fallback_round_trip () in
-  if ok_unsafe && ok_leaky && ok_clean && ok_fb then begin
+  if ok_unsafe && ok_leaky && ok_clean && ok_churn && ok_fb then begin
     print_endline "explorer smoke: all checks passed";
     0
   end

@@ -540,6 +540,7 @@ module E2e = struct
     reuse_ratio : float;
     violations : int;
     failed : bool;
+    churn_events : int;
   }
 
   let schemes =
@@ -557,13 +558,21 @@ module E2e = struct
     | Qs_harness.Cset.List -> 512
     | _ -> 4_096
 
-  let run_one ~quick ~ds ~scheme ~n_domains =
+  let run_one ~quick ~churn ~ds ~scheme ~n_domains =
     let workload =
       Qs_workload.Spec.make ~key_range:(key_range ds) ~update_pct:20
     in
     let setup =
       { (Qs_harness.Real_exp.default_setup ~ds ~scheme ~n_domains ~workload) with
         duration_ms = (if quick then 50 else 250);
+        (* --churn: three worker generations per pid slot, each handing its
+           limbo lists to the orphan pool for the survivors to adopt *)
+        churn =
+          (if churn then
+             Some
+               { Qs_harness.Real_exp.generations = 3;
+                 downtime_ms = (if quick then 2 else 10) }
+           else None);
         seed = 42 }
     in
     let r = Qs_harness.Real_exp.run setup in
@@ -579,20 +588,24 @@ module E2e = struct
       retired_peak = r.report.smr.retired_peak;
       reuse_ratio;
       violations = r.violations;
-      failed = r.failed }
+      failed = r.failed;
+      churn_events = r.churn_events }
 
-  let run ~quick =
+  let run ~quick ~churn =
     List.concat_map
       (fun ds ->
         List.concat_map
           (fun scheme ->
             List.map
               (fun n_domains ->
-                let r = run_one ~quick ~ds ~scheme ~n_domains in
-                Printf.printf "  %-9s %-9s %d domains: %6.2f Mops/s\n%!"
+                let r = run_one ~quick ~churn ~ds ~scheme ~n_domains in
+                Printf.printf "  %-9s %-9s %d domains: %6.2f Mops/s%s\n%!"
                   (Qs_harness.Cset.kind_to_string ds)
                   (Qs_smr.Scheme.to_string scheme)
-                  n_domains r.throughput_mops;
+                  n_domains r.throughput_mops
+                  (if churn then
+                     Printf.sprintf " (%d churn events)" r.churn_events
+                   else "");
                 r)
               (domain_counts ~quick))
           schemes)
@@ -602,7 +615,7 @@ module E2e = struct
     let tbl =
       Qs_util.Table.create
         [ "structure"; "scheme"; "domains"; "Mops/s"; "retired peak";
-          "reuse ratio"; "violations"; "failed" ]
+          "reuse ratio"; "violations"; "failed"; "churn" ]
     in
     List.iter
       (fun r ->
@@ -614,7 +627,8 @@ module E2e = struct
             string_of_int r.retired_peak;
             Printf.sprintf "%.3f" r.reuse_ratio;
             string_of_int r.violations;
-            string_of_bool r.failed ])
+            string_of_bool r.failed;
+            string_of_int r.churn_events ])
       results;
     Qs_util.Table.print tbl;
     print_newline ()
@@ -832,19 +846,21 @@ module Observatory = struct
     qsense_fallback ()
 end
 
-(* --- JSON report (schema 3) ----------------------------------------------- *)
+(* --- JSON report (schema 4) ----------------------------------------------- *)
 
 (* Consumed by CI (regression guards) and by EXPERIMENTS.md readers.
-   Schema 3 = schema 2's sections ("retire_scan", "membership", "e2e") plus
-   "trace": the observatory overhead A/B — minor words allocated per
-   recorded event (must be 0 with the tracer disabled or enabled) and
-   real-runtime throughput with the trace sink off vs on. *)
-let emit_json ~path ~quick ~retire_scan ~membership ~e2e
+   Schema 4 = schema 3's sections ("retire_scan", "membership", "e2e",
+   "trace") plus worker churn: a top-level "churn" flag (--churn) and a
+   per-e2e-row "churn_events" count of completed leave/rejoin cycles —
+   non-zero under --churn proves the dynamic-membership path (unregister,
+   orphan donation, adoption, slot reuse) ran inside the measured sweep. *)
+let emit_json ~path ~quick ~churn ~retire_scan ~membership ~e2e
     ~(trace : Observatory.overhead) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 3,\n";
+  Printf.fprintf oc "  \"schema\": 4,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"churn\": %b,\n" churn;
   Printf.fprintf oc "  \"n_processes\": %d,\n" Micro.n_processes;
   Printf.fprintf oc "  \"hp_per_process\": %d,\n" Micro.hp_per_process;
   Printf.fprintf oc "  \"retire_scan\": [\n";
@@ -877,11 +893,11 @@ let emit_json ~path ~quick ~retire_scan ~membership ~e2e
       Printf.fprintf oc
         "    {\"ds\": \"%s\", \"scheme\": \"%s\", \"domains\": %d, \
          \"throughput_mops\": %.4f, \"retired_peak\": %d, \"reuse_ratio\": \
-         %.4f, \"violations\": %d, \"failed\": %b}%s\n"
+         %.4f, \"violations\": %d, \"failed\": %b, \"churn_events\": %d}%s\n"
         (Qs_harness.Cset.kind_to_string r.ds)
         (Qs_smr.Scheme.to_string r.scheme)
         r.n_domains r.throughput_mops r.retired_peak r.reuse_ratio
-        r.violations r.failed
+        r.violations r.failed r.churn_events
         (if i = n - 1 then "" else ","))
     e2e;
   Printf.fprintf oc "  ],\n";
@@ -905,6 +921,7 @@ let () =
   let quick = List.mem "--quick" argv in
   let micro_only = List.mem "--micro-only" argv in
   let e2e = List.mem "--e2e" argv in
+  let churn = List.mem "--churn" argv in
   let trace = List.mem "--trace" argv in
   R.register_self 0;
   (* roosters give Cadence/QSense their coarse clock and wake-up guarantee *)
@@ -940,9 +957,10 @@ let () =
   Membership.print_table membership;
   let e2e_results =
     if e2e then begin
-      Printf.printf "== end-to-end sweep on real domains (%s) ==\n%!"
-        (if quick then "quick" else "full");
-      let rs = E2e.run ~quick in
+      Printf.printf "== end-to-end sweep on real domains (%s%s) ==\n%!"
+        (if quick then "quick" else "full")
+        (if churn then ", with worker churn" else "");
+      let rs = E2e.run ~quick ~churn in
       E2e.print_table rs;
       rs
     end
@@ -952,7 +970,7 @@ let () =
   Printf.printf "== tracing overhead (sink off vs on, alloc per event) ==\n%!";
   let trace_overhead = Observatory.overhead ~quick in
   Observatory.print_overhead trace_overhead;
-  emit_json ~path:"BENCH_RESULTS.json" ~quick ~retire_scan:results
+  emit_json ~path:"BENCH_RESULTS.json" ~quick ~churn ~retire_scan:results
     ~membership ~e2e:e2e_results ~trace:trace_overhead;
   Qs_real.Roosters.stop roosters;
   (* The multi-core figures come from the simulator: *)

@@ -38,12 +38,18 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     free : node -> unit;
     dummy : node;
     handles : handle option array;
+    orphans : node Qs_util.Vec.Ts.t Orphan_pool.t;
+    mutable legacy_retires : int;
+    mutable legacy_frees : int;
+    mutable legacy_scans : int;
+    mutable legacy_retired_peak : int;
+        (* counters folded out of handles destroyed by {!unregister} *)
   }
 
   and handle = {
     owner : t;
     pid : int;
-    rlist : node Qs_util.Vec.Ts.t;
+    mutable rlist : node Qs_util.Vec.Ts.t;
     scan_set : Hp.scan_set;
     mutable retires : int;
     mutable frees : int;
@@ -59,7 +65,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
       dummy;
-      handles = Array.make cfg.n_processes None }
+      handles = Array.make cfg.n_processes None;
+      orphans = Orphan_pool.create ();
+      legacy_retires = 0;
+      legacy_frees = 0;
+      legacy_scans = 0;
+      legacy_retired_peak = 0 }
 
   let register t ~pid =
     let h =
@@ -85,8 +96,30 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   let is_old_enough t ~now ts =
     now - ts >= t.cfg.rooster_interval + t.cfg.epsilon
 
+  (* Adoption: splice one orphaned timestamped list into our own just
+     before a scan, original retire timestamps preserved. The adopted
+     nodes then pass through exactly the HP + age filter below — the
+     filter the scheme's own safety argument rests on: any hazard that
+     could protect an orphaned node was published before its removal and
+     is visible within T + epsilon of the (preserved) retire timestamp.
+     No grace period is needed. Gated on the meta-level emptiness hint so
+     runs without churn perform no extra runtime effects. *)
+  let adopt_orphans h =
+    let t = h.owner in
+    if not (Orphan_pool.is_empty t.orphans) then
+      match Orphan_pool.take t.orphans with
+      | None -> ()
+      | Some e ->
+        Qs_util.Vec.Ts.iter
+          (fun n ts -> Qs_util.Vec.Ts.push h.rlist n ts)
+          e.Orphan_pool.payload;
+        Qs_util.Vec.Ts.clear e.Orphan_pool.payload;
+        R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
+          e.Orphan_pool.donor
+
   let scan h =
     R.hook Qs_intf.Runtime_intf.Hook_scan;
+    adopt_orphans h;
     let t = h.owner in
     h.scans <- h.scans + 1;
     let before = Qs_util.Vec.Ts.length h.rlist in
@@ -116,27 +149,64 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) rcount;
     if h.retires mod h.owner.scan_threshold_eff = 0 then scan h
 
+  (* Dynamic membership: clear the slot's hazard pointers with a fence —
+     Cadence's [assign_hp] is deliberately unfenced, but this is a cold
+     path, and prompt visibility of the cleared slots keeps survivors
+     from retaining orphans against stale hazards — then donate the
+     timestamped list and release the pid. *)
+  let unregister h =
+    let t = h.owner in
+    Hp.clear t.hp ~pid:h.pid;
+    R.fence ();
+    let donated = Qs_util.Vec.Ts.length h.rlist in
+    let old = h.rlist in
+    h.rlist <- Qs_util.Vec.Ts.create t.dummy;
+    Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated old;
+    t.legacy_retires <- t.legacy_retires + h.retires;
+    t.legacy_frees <- t.legacy_frees + h.frees;
+    t.legacy_scans <- t.legacy_scans + h.scans;
+    t.legacy_retired_peak <- t.legacy_retired_peak + h.retired_peak;
+    h.retires <- 0;
+    h.frees <- 0;
+    h.scans <- 0;
+    h.retired_peak <- 0;
+    t.handles.(h.pid) <- None;
+    R.emit Qs_intf.Runtime_intf.Ev_unregister h.pid donated
+
   let flush h =
     Qs_util.Vec.Ts.iter
       (fun n _ts ->
         h.owner.free n;
         h.frees <- h.frees + 1)
       h.rlist;
-    Qs_util.Vec.Ts.clear h.rlist
+    Qs_util.Vec.Ts.clear h.rlist;
+    let t = h.owner in
+    List.iter
+      (fun (e : _ Orphan_pool.entry) ->
+        Qs_util.Vec.Ts.iter
+          (fun n _ts ->
+            t.free n;
+            t.legacy_frees <- t.legacy_frees + 1)
+          e.Orphan_pool.payload;
+        Qs_util.Vec.Ts.clear e.Orphan_pool.payload)
+      (Orphan_pool.drain t.orphans)
 
   let fold t f =
     Array.fold_left
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t (fun h -> Qs_util.Vec.Ts.length h.rlist)
+  let retired_count t =
+    fold t (fun h -> Qs_util.Vec.Ts.length h.rlist)
+    + Orphan_pool.node_count t.orphans
 
   let stats t =
     { Smr_intf.zero_stats with
-      retires = fold t (fun h -> h.retires);
-      frees = fold t (fun h -> h.frees);
-      scans = fold t (fun h -> h.scans);
+      retires = fold t (fun h -> h.retires) + t.legacy_retires;
+      frees = fold t (fun h -> h.frees) + t.legacy_frees;
+      scans = fold t (fun h -> h.scans) + t.legacy_scans;
       retired_now = retired_count t;
-      retired_peak = fold t (fun h -> h.retired_peak);
+      retired_peak =
+        fold t (fun h -> h.retired_peak) + t.legacy_retired_peak;
       scan_threshold_eff = t.scan_threshold_eff }
 end

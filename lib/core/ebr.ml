@@ -32,12 +32,18 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     locals : int R.atomic array;
     dummy : node;
     handles : handle option array;
+    orphans : node Qs_util.Vec.t array Orphan_pool.t;
+    mutable legacy_retires : int;
+    mutable legacy_frees : int;
+    mutable legacy_epoch_advances : int;
+    mutable legacy_retired_peak : int;
+        (* counters folded out of handles destroyed by {!unregister} *)
   }
 
   and handle = {
     owner : t;
     pid : int;
-    limbo : node Qs_util.Vec.t array;
+    mutable limbo : node Qs_util.Vec.t array;
     mutable last_epoch : int; (* last epoch this process was pinned to *)
     mutable ops : int;
     mutable retires : int;
@@ -54,7 +60,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       global = R.atomic_padded 0;
       locals = Array.init cfg.n_processes (fun _ -> R.atomic_padded (-1));
       dummy;
-      handles = Array.make cfg.n_processes None }
+      handles = Array.make cfg.n_processes None;
+      orphans = Orphan_pool.create ();
+      legacy_retires = 0;
+      legacy_frees = 0;
+      legacy_epoch_advances = 0;
+      legacy_retired_peak = 0 }
 
   let register t ~pid =
     let h =
@@ -94,6 +105,25 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     in
     go 0
 
+  (* Adoption: splice one orphaned limbo triple into the epoch list we
+     just freed; it is freed on our next first-pin of [eg], a full epoch
+     cycle (grace period) later — sound regardless of when the donor
+     retired the nodes. Gated on the meta-level emptiness hint so runs
+     without churn perform no extra runtime effects. *)
+  let adopt_orphans h eg =
+    let t = h.owner in
+    if not (Orphan_pool.is_empty t.orphans) then
+      match Orphan_pool.take t.orphans with
+      | None -> ()
+      | Some e ->
+        Array.iter
+          (fun v ->
+            Qs_util.Vec.iter (fun n -> Qs_util.Vec.push h.limbo.(eg) n) v;
+            Qs_util.Vec.clear v)
+          e.Orphan_pool.payload;
+        R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
+          e.Orphan_pool.donor
+
   (* Enter the critical region: pin the current global epoch; opportunistic
      epoch maintenance amortised over Q operations. *)
   let manage_state h =
@@ -107,7 +137,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
          a grace period (every process has unpinned or repinned since) *)
       h.last_epoch <- eg;
       R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 1;
-      free_epoch h eg
+      free_epoch h eg;
+      adopt_orphans h eg
     end;
     h.ops <- h.ops + 1;
     if h.ops mod t.cfg.quiescence_threshold = 0 && all_on t eg then
@@ -139,23 +170,60 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     if total > h.retired_peak then h.retired_peak <- total;
     R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total
 
+  (* Dynamic membership. EBR needs no join protocol on re-registration:
+     a vacated slot's [locals] cell holds -1, which is the ordinary
+     "inactive" state, and a fresh handle re-pins on its very first
+     [manage_state]. *)
+  let unregister h =
+    let t = h.owner in
+    let donated = total_limbo h in
+    let old = h.limbo in
+    h.limbo <- Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
+    R.set t.locals.(h.pid) (-1);
+    Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated old;
+    t.legacy_retires <- t.legacy_retires + h.retires;
+    t.legacy_frees <- t.legacy_frees + h.frees;
+    t.legacy_epoch_advances <- t.legacy_epoch_advances + h.epoch_advances;
+    t.legacy_retired_peak <- t.legacy_retired_peak + h.retired_peak;
+    h.retires <- 0;
+    h.frees <- 0;
+    h.epoch_advances <- 0;
+    h.retired_peak <- 0;
+    t.handles.(h.pid) <- None;
+    R.emit Qs_intf.Runtime_intf.Ev_unregister h.pid donated
+
   let flush h =
     for e = 0 to 2 do
       free_epoch ~emit:false h e
-    done
+    done;
+    let t = h.owner in
+    List.iter
+      (fun (e : _ Orphan_pool.entry) ->
+        Array.iter
+          (fun v ->
+            Qs_util.Vec.iter
+              (fun n ->
+                t.free n;
+                t.legacy_frees <- t.legacy_frees + 1)
+              v;
+            Qs_util.Vec.clear v)
+          e.Orphan_pool.payload)
+      (Orphan_pool.drain t.orphans)
 
   let fold t f =
     Array.fold_left
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t total_limbo
+  let retired_count t = fold t total_limbo + Orphan_pool.node_count t.orphans
 
   let stats t =
     { Smr_intf.zero_stats with
-      retires = fold t (fun h -> h.retires);
-      frees = fold t (fun h -> h.frees);
-      epoch_advances = fold t (fun h -> h.epoch_advances);
+      retires = fold t (fun h -> h.retires) + t.legacy_retires;
+      frees = fold t (fun h -> h.frees) + t.legacy_frees;
+      epoch_advances =
+        fold t (fun h -> h.epoch_advances) + t.legacy_epoch_advances;
       retired_now = retired_count t;
-      retired_peak = fold t (fun h -> h.retired_peak) }
+      retired_peak =
+        fold t (fun h -> h.retired_peak) + t.legacy_retired_peak }
 end

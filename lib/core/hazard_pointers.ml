@@ -42,12 +42,18 @@ struct
     free : node -> unit;
     dummy : node;
     handles : handle option array;
+    orphans : node Qs_util.Vec.t Orphan_pool.t;
+    mutable legacy_retires : int;
+    mutable legacy_frees : int;
+    mutable legacy_scans : int;
+    mutable legacy_retired_peak : int;
+        (* counters folded out of handles destroyed by {!unregister} *)
   }
 
   and handle = {
     owner : t;
     pid : int;
-    rlist : node Qs_util.Vec.t;
+    mutable rlist : node Qs_util.Vec.t;
     scan_set : Hp.scan_set;
     mutable retires : int;
     mutable frees : int;
@@ -63,7 +69,12 @@ struct
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
       dummy;
-      handles = Array.make cfg.n_processes None }
+      handles = Array.make cfg.n_processes None;
+      orphans = Orphan_pool.create ();
+      legacy_retires = 0;
+      legacy_frees = 0;
+      legacy_scans = 0;
+      legacy_retired_peak = 0 }
 
   let register t ~pid =
     let h =
@@ -87,10 +98,31 @@ struct
 
   let clear_hps h = Hp.clear h.owner.hp ~pid:h.pid
 
+  (* Adoption: splice one orphaned removed-list into our own just before
+     a scan. The scan's hazard-pointer filter is the full safety argument
+     here — any process protecting an orphaned node published its hazard
+     (with its fence) before the node was removed, so the snapshot taken
+     below observes it; no grace period is involved. Gated on the
+     meta-level emptiness hint so runs without churn perform no extra
+     runtime effects. *)
+  let adopt_orphans h =
+    let t = h.owner in
+    if not (Orphan_pool.is_empty t.orphans) then
+      match Orphan_pool.take t.orphans with
+      | None -> ()
+      | Some e ->
+        Qs_util.Vec.iter
+          (fun n -> Qs_util.Vec.push h.rlist n)
+          e.Orphan_pool.payload;
+        Qs_util.Vec.clear e.Orphan_pool.payload;
+        R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
+          e.Orphan_pool.donor
+
   (* Free every retired node not currently protected by any process's hazard
      pointers; keep the rest for a later scan. *)
   let scan h =
     R.hook Qs_intf.Runtime_intf.Hook_scan;
+    adopt_orphans h;
     let t = h.owner in
     h.scans <- h.scans + 1;
     let before = Qs_util.Vec.length h.rlist in
@@ -118,28 +150,63 @@ struct
     R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) rcount;
     if rcount >= h.owner.scan_threshold_eff then scan h
 
+  (* Dynamic membership: clear the slot's hazard pointers (with a fence so
+     the cleared slots are globally visible before any survivor scans),
+     donate the removed list and release the pid. *)
+  let unregister h =
+    let t = h.owner in
+    Hp.clear t.hp ~pid:h.pid;
+    if P.fenced then R.fence ();
+    let donated = Qs_util.Vec.length h.rlist in
+    let old = h.rlist in
+    h.rlist <- Qs_util.Vec.create t.dummy;
+    Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated old;
+    t.legacy_retires <- t.legacy_retires + h.retires;
+    t.legacy_frees <- t.legacy_frees + h.frees;
+    t.legacy_scans <- t.legacy_scans + h.scans;
+    t.legacy_retired_peak <- t.legacy_retired_peak + h.retired_peak;
+    h.retires <- 0;
+    h.frees <- 0;
+    h.scans <- 0;
+    h.retired_peak <- 0;
+    t.handles.(h.pid) <- None;
+    R.emit Qs_intf.Runtime_intf.Ev_unregister h.pid donated
+
   let flush h =
     Qs_util.Vec.iter
       (fun n ->
         h.owner.free n;
         h.frees <- h.frees + 1)
       h.rlist;
-    Qs_util.Vec.clear h.rlist
+    Qs_util.Vec.clear h.rlist;
+    let t = h.owner in
+    List.iter
+      (fun (e : _ Orphan_pool.entry) ->
+        Qs_util.Vec.iter
+          (fun n ->
+            t.free n;
+            t.legacy_frees <- t.legacy_frees + 1)
+          e.Orphan_pool.payload;
+        Qs_util.Vec.clear e.Orphan_pool.payload)
+      (Orphan_pool.drain t.orphans)
 
   let fold t f =
     Array.fold_left
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t (fun h -> Qs_util.Vec.length h.rlist)
+  let retired_count t =
+    fold t (fun h -> Qs_util.Vec.length h.rlist)
+    + Orphan_pool.node_count t.orphans
 
   let stats t =
     { Smr_intf.zero_stats with
-      retires = fold t (fun h -> h.retires);
-      frees = fold t (fun h -> h.frees);
-      scans = fold t (fun h -> h.scans);
+      retires = fold t (fun h -> h.retires) + t.legacy_retires;
+      frees = fold t (fun h -> h.frees) + t.legacy_frees;
+      scans = fold t (fun h -> h.scans) + t.legacy_scans;
       retired_now = retired_count t;
-      retired_peak = fold t (fun h -> h.retired_peak);
+      retired_peak =
+        fold t (fun h -> h.retired_peak) + t.legacy_retired_peak;
       scan_threshold_eff = t.scan_threshold_eff }
 end
 

@@ -17,6 +17,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     { handles = Array.init cfg.n_processes (fun _ -> { retires = 0 }) }
 
   let register t ~pid = t.handles.(pid)
+
+  (* Nothing to retire: handles are shared per-pid records and nothing is
+     ever reclaimed, so there are no limbo lists to orphan. The slot is
+     trivially reusable. *)
+  let unregister _ = ()
+
   let manage_state _ = ()
   let assign_hp _ ~slot:_ _ = ()
   let clear_hps _ = ()

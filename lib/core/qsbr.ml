@@ -28,12 +28,27 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     locals : int R.atomic array;
     dummy : node;
     handles : handle option array;
+    orphans : node Qs_util.Vec.t array Orphan_pool.t;
+        (* limbo triples donated by departed processes *)
+    departed : bool array;
+        (* meta-level: pid slots vacated by {!unregister}; a later
+           {!register} into such a slot must re-join the epoch protocol
+           (its [locals] cell is the -1 "absent" sentinel) *)
+    mutable legacy_retires : int;
+    mutable legacy_frees : int;
+    mutable legacy_epoch_advances : int;
+    mutable legacy_retired_peak : int;
+        (* counters folded out of handles destroyed by {!unregister}, so
+           [stats] stays monotone across worker churn *)
   }
 
   and handle = {
     owner : t;
     pid : int;
-    limbo : node Qs_util.Vec.t array; (* one vector per epoch *)
+    mutable limbo : node Qs_util.Vec.t array; (* one vector per epoch *)
+    mutable joined : bool;
+        (* false only for a handle re-registered into a vacated slot,
+           until its first [manage_state] announces an epoch *)
     mutable ops : int;
     mutable retires : int;
     mutable frees : int;
@@ -49,19 +64,27 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       global = R.atomic_padded 0;
       locals = Array.init cfg.n_processes (fun _ -> R.atomic_padded 0);
       dummy;
-      handles = Array.make cfg.n_processes None }
+      handles = Array.make cfg.n_processes None;
+      orphans = Orphan_pool.create ();
+      departed = Array.make cfg.n_processes false;
+      legacy_retires = 0;
+      legacy_frees = 0;
+      legacy_epoch_advances = 0;
+      legacy_retired_peak = 0 }
 
   let register t ~pid =
     let h =
       { owner = t;
         pid;
         limbo = Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
+        joined = not t.departed.(pid);
         ops = 0;
         retires = 0;
         frees = 0;
         epoch_advances = 0;
         retired_peak = 0 }
     in
+    t.departed.(pid) <- false;
     t.handles.(pid) <- Some h;
     h
 
@@ -80,10 +103,37 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       v;
     Qs_util.Vec.clear v
 
+  (* A negative local epoch is the "absent" sentinel written by
+     {!unregister}: the slot no longer gates epoch advancement. Same
+     effect count per process as before (one load). *)
   let all_current t eg =
     let n = Array.length t.locals in
-    let rec go i = i >= n || (R.get t.locals.(i) = eg && go (i + 1)) in
+    let rec go i =
+      i >= n
+      || (let l = R.get t.locals.(i) in
+          (l = eg || l < 0) && go (i + 1))
+    in
     go 0
+
+  (* Adoption: splice one orphaned limbo triple into the epoch list we
+     just freed. The adopted nodes are freed the next time this process
+     adopts [eg] — a full epoch cycle, hence a fresh grace period, so
+     Lemma 3 applies to them regardless of when (or at which epoch) the
+     donor retired them. Gated on the meta-level emptiness hint so runs
+     without churn perform no extra runtime effects. *)
+  let adopt_orphans h eg =
+    let t = h.owner in
+    if not (Orphan_pool.is_empty t.orphans) then
+      match Orphan_pool.take t.orphans with
+      | None -> ()
+      | Some e ->
+        Array.iter
+          (fun v ->
+            Qs_util.Vec.iter (fun n -> Qs_util.Vec.push h.limbo.(eg) n) v;
+            Qs_util.Vec.clear v)
+          e.Orphan_pool.payload;
+        R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
+          e.Orphan_pool.donor
 
   let quiescent_state h =
     R.hook Qs_intf.Runtime_intf.Hook_quiesce;
@@ -92,7 +142,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     if R.get t.locals.(h.pid) <> eg then begin
       R.set t.locals.(h.pid) eg;
       R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 1;
-      free_epoch h eg
+      free_epoch h eg;
+      adopt_orphans h eg
     end
     else begin
       R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 0;
@@ -103,7 +154,18 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
         end
     end
 
+  (* Late join (worker churn): a handle registered into a vacated slot
+     starts invisible to grace periods ([locals] = -1); its first
+     [manage_state] call — in process context by the {!register}
+     contract — announces the current global epoch. Gated on a plain
+     handle field, so runs without churn perform no extra effects. *)
+  let join h =
+    let t = h.owner in
+    R.set t.locals.(h.pid) (R.get t.global);
+    h.joined <- true
+
   let manage_state h =
+    if not h.joined then join h;
     h.ops <- h.ops + 1;
     if h.ops mod h.owner.cfg.quiescence_threshold = 0 then quiescent_state h
 
@@ -118,29 +180,75 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   let retire h n =
     R.hook Qs_intf.Runtime_intf.Hook_retire;
     let e = R.get h.owner.locals.(h.pid) in
+    (* before the first [manage_state] of a re-registered handle the local
+       epoch is the -1 sentinel; park the node in epoch 0 — it is freed
+       only by this handle's own later adoptions, behind a full cycle *)
+    let e = if e < 0 then 0 else e in
     Qs_util.Vec.push h.limbo.(e) n;
     h.retires <- h.retires + 1;
     let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total;
     R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total
 
+  (* Dynamic membership: donate the limbo triple to the orphan pool,
+     mark the local-epoch slot absent and release the pid for reuse.
+     Fresh (empty) vectors are installed *before* donating so the nodes
+     are never owned twice; counters fold into the scheme-level legacy
+     accumulators so [stats] stays monotone across churn. *)
+  let unregister h =
+    let t = h.owner in
+    let donated = total_limbo h in
+    let old = h.limbo in
+    h.limbo <- Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
+    h.joined <- true (* dead handle: never join again *);
+    R.set t.locals.(h.pid) (-1);
+    Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated old;
+    t.legacy_retires <- t.legacy_retires + h.retires;
+    t.legacy_frees <- t.legacy_frees + h.frees;
+    t.legacy_epoch_advances <- t.legacy_epoch_advances + h.epoch_advances;
+    t.legacy_retired_peak <- t.legacy_retired_peak + h.retired_peak;
+    h.retires <- 0;
+    h.frees <- 0;
+    h.epoch_advances <- 0;
+    h.retired_peak <- 0;
+    t.handles.(h.pid) <- None;
+    t.departed.(h.pid) <- true;
+    R.emit Qs_intf.Runtime_intf.Ev_unregister h.pid donated
+
   let flush h =
     for e = 0 to 2 do
       free_epoch ~emit:false h e
-    done
+    done;
+    (* teardown owns everything: drain the orphan pool too (the first
+       flusher gets all of it; later flushers find it empty) *)
+    let t = h.owner in
+    List.iter
+      (fun (e : _ Orphan_pool.entry) ->
+        Array.iter
+          (fun v ->
+            Qs_util.Vec.iter
+              (fun n ->
+                t.free n;
+                t.legacy_frees <- t.legacy_frees + 1)
+              v;
+            Qs_util.Vec.clear v)
+          e.Orphan_pool.payload)
+      (Orphan_pool.drain t.orphans)
 
   let fold t f =
     Array.fold_left
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t total_limbo
+  let retired_count t = fold t total_limbo + Orphan_pool.node_count t.orphans
 
   let stats t =
     { Smr_intf.zero_stats with
-      retires = fold t (fun h -> h.retires);
-      frees = fold t (fun h -> h.frees);
-      epoch_advances = fold t (fun h -> h.epoch_advances);
+      retires = fold t (fun h -> h.retires) + t.legacy_retires;
+      frees = fold t (fun h -> h.frees) + t.legacy_frees;
+      epoch_advances =
+        fold t (fun h -> h.epoch_advances) + t.legacy_epoch_advances;
       retired_now = retired_count t;
-      retired_peak = fold t (fun h -> h.retired_peak) }
+      retired_peak =
+        fold t (fun h -> h.retired_peak) + t.legacy_retired_peak }
 end

@@ -69,15 +69,45 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
            outside process context, where runtime effects are illegal *)
     mutable fallback_ticks_acc : int;
         (* total time spent in completed fallback episodes (stats only;
-           written by whichever process exits fallback) *)
+           written exclusively by the process that wins the
+           [enter_fastpath] CAS, so there is no lost-update race) *)
     dummy : node;
     handles : handle option array;
+    orphans : node Qs_util.Vec.Ts.t array Orphan_pool.t;
+        (* each entry is an arbitrary-length array of timestamped vectors:
+           the three limbo lists (+ adopted list) of a departed or evicted
+           process *)
+    mutable legacy_retires : int;
+    mutable legacy_frees : int;
+    mutable legacy_scans : int;
+    mutable legacy_epoch_advances : int;
+    mutable legacy_fallback_switches : int;
+    mutable legacy_fastpath_switches : int;
+    mutable legacy_evictions : int;
+    mutable legacy_retired_peak : int;
+        (* counters folded out of handles destroyed by {!unregister} *)
   }
 
   and handle = {
     owner : t;
     pid : int;
-    limbo : node Qs_util.Vec.Ts.t array; (* one vector per epoch, as in QSBR *)
+    mutable limbo : node Qs_util.Vec.Ts.t array;
+        (* one vector per epoch, as in QSBR; replaced wholesale when the
+           lists are donated (unregister) or seized (eviction) *)
+    mutable adopted : node Qs_util.Vec.Ts.t;
+        (* orphaned nodes adopted from the pool. NEVER freed by the
+           unconditional grace-period path: Lemma 3 does not apply to
+           orphans (we know nothing about when their donor retired them
+           relative to our epochs), so this list is reclaimed exclusively
+           through the Cadence-style HP + age filter. *)
+    seized : bool Atomic.t;
+        (* [Stdlib.Atomic], deliberately outside the simulated memory
+           model (same reasoning as {!Orphan_pool}): set once by an
+           evictor that donated this handle's lists out from under it.
+           The owner, on observing it, installs fresh vectors and resets
+           it. Checked at points with no runtime effect between check and
+           list use, so on the simulator the handoff is race-free. *)
+    eviction_on : bool; (* cfg.eviction_timeout <> None, precomputed *)
     scan_set : Hp.scan_set;
     mutable call_count : int;
     mutable fnl_count : int;
@@ -116,13 +146,25 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       fallback_since_shadow = 0;
       fallback_ticks_acc = 0;
       dummy;
-      handles = Array.make cfg.n_processes None }
+      handles = Array.make cfg.n_processes None;
+      orphans = Orphan_pool.create ();
+      legacy_retires = 0;
+      legacy_frees = 0;
+      legacy_scans = 0;
+      legacy_epoch_advances = 0;
+      legacy_fallback_switches = 0;
+      legacy_fastpath_switches = 0;
+      legacy_evictions = 0;
+      legacy_retired_peak = 0 }
 
   let register t ~pid =
     let h =
       { owner = t;
         pid;
         limbo = Array.init 3 (fun _ -> Qs_util.Vec.Ts.create t.dummy);
+        adopted = Qs_util.Vec.Ts.create t.dummy;
+        seized = Atomic.make false;
+        eviction_on = t.cfg.eviction_timeout <> None;
         scan_set = Hp.scan_set t.hp;
         call_count = 0;
         fnl_count = 0;
@@ -159,12 +201,12 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
   let is_old_enough t ~now ts =
     now - ts >= t.cfg.rooster_interval + t.cfg.epsilon
 
-  (* Cadence-style filtered reclamation of one limbo list: free entries that
-     are old enough and unprotected, keep the rest. The caller must have
-     refreshed [h.scan_set]. *)
-  let scan_epoch h ~now e =
+  (* Cadence-style filtered reclamation of one timestamped vector: free
+     entries that are old enough and unprotected, keep the rest. The caller
+     must have refreshed [h.scan_set]. *)
+  let scan_vec h ~now v =
     let t = h.owner in
-    Qs_util.Vec.Ts.filter_in_place h.limbo.(e) (fun n ts ->
+    Qs_util.Vec.Ts.filter_in_place v (fun n ts ->
         if is_old_enough t ~now ts && not (Hp.protects_set h.scan_set n) then begin
           t.free n;
           h.frees <- h.frees + 1;
@@ -174,18 +216,60 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
         end
         else true)
 
-  (* Algorithm 5 lines 45-47: in fallback mode all three epochs are scanned. *)
+  let scan_epoch h ~now e = scan_vec h ~now h.limbo.(e)
+
+  (* Adoption: splice one orphaned batch (limbo triple + adopted list of a
+     departed or evicted process) into [h.adopted], original retire
+     timestamps preserved. Adopted nodes are reclaimed exclusively through
+     the HP + age filter — the one safety argument that holds with no
+     assumption about the donor's epochs (Lemma 3 does not apply to
+     orphans): any hazard that could protect an orphaned node was
+     published before its removal and is visible within T + epsilon of
+     the preserved retire timestamp. Gated on the meta-level emptiness
+     hint so runs without churn perform no extra runtime effects. *)
+  let adopt_orphans h =
+    let t = h.owner in
+    if not (Orphan_pool.is_empty t.orphans) then
+      match Orphan_pool.take t.orphans with
+      | None -> ()
+      | Some e ->
+        Array.iter
+          (fun v ->
+            Qs_util.Vec.Ts.iter
+              (fun n ts -> Qs_util.Vec.Ts.push h.adopted n ts)
+              v;
+            Qs_util.Vec.Ts.clear v)
+          e.Orphan_pool.payload;
+        R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
+          e.Orphan_pool.donor
+
+  (* Fast-path reclamation of the adopted list (the fallback path folds it
+     into [scan_all] instead). Gated on emptiness: non-churn runs perform
+     no extra effects here. *)
+  let reclaim_adopted h =
+    if Qs_util.Vec.Ts.length h.adopted > 0 then begin
+      let t = h.owner in
+      let now = R.now_coarse () in
+      Hp.snapshot_into t.hp h.scan_set;
+      scan_vec h ~now h.adopted
+    end
+
+  (* Algorithm 5 lines 45-47: in fallback mode all three epochs are scanned
+     (plus the adopted orphans, under the same filter). *)
   let scan_all h =
     R.hook Qs_intf.Runtime_intf.Hook_scan;
+    adopt_orphans h;
     h.scans <- h.scans + 1;
-    let before = total_limbo h in
+    let before = total_limbo h + Qs_util.Vec.Ts.length h.adopted in
     R.emit Qs_intf.Runtime_intf.Ev_scan_begin before (-1);
     let now = R.now_coarse () in
     Hp.snapshot_into h.owner.hp h.scan_set;
     for e = 0 to 2 do
       scan_epoch h ~now e
     done;
-    let kept = total_limbo h in
+    (* effect-free when empty: the filter walk is plain OCaml *)
+    scan_vec h ~now h.adopted;
+    let kept = total_limbo h + Qs_util.Vec.Ts.length h.adopted in
     R.emit Qs_intf.Runtime_intf.Ev_scan_end (before - kept) kept
 
   (* Free an adopted epoch's limbo list. Unconditional in the common case
@@ -230,7 +314,9 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     if R.get t.locals.(h.pid) <> eg then begin
       R.set t.locals.(h.pid) eg;
       R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 1;
-      free_adopted_epoch h eg
+      free_adopted_epoch h eg;
+      adopt_orphans h;
+      reclaim_adopted h
     end
     else begin
       R.emit Qs_intf.Runtime_intf.Ev_quiesce eg 0;
@@ -252,35 +338,61 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
   let reset_presence t =
     Array.iter (fun p -> R.set p 0) t.presence
 
+  (* Both mode switches CAS the fallback flag so that two processes
+     crossing a threshold in the same window cannot double-enter or
+     double-exit: exactly one wins each transition, and only the winner
+     touches the episode bookkeeping ([fallback_since],
+     [fallback_ticks_acc], the switch counters and trace events). Before
+     this, concurrent losers re-ran the whole body — double-counted
+     episodes, and a lost-update race on the plain [fallback_ticks_acc]
+     on the real runtime. *)
   let enter_fallback h =
     let t = h.owner in
-    R.set t.fallback_flag 1;
-    t.mode_shadow <- Smr_intf.Fallback;
-    (* [let now] preserves the effect order of the original
-       [R.set t.fallback_since (R.now ())] — flag store, clock read,
-       since store — so seeded schedules are unchanged. *)
-    let now = R.now () in
-    R.set t.fallback_since now;
-    t.fallback_since_shadow <- now;
-    R.emit Qs_intf.Runtime_intf.Ev_fallback_enter (total_limbo h) (-1);
-    reset_presence t;
-    R.set t.presence.(h.pid) 1;
-    h.fallback_switches <- h.fallback_switches + 1;
-    h.prev_fallback <- true;
-    scan_all h
+    if R.cas t.fallback_flag 0 1 then begin
+      t.mode_shadow <- Smr_intf.Fallback;
+      let now = R.now () in
+      R.set t.fallback_since now;
+      t.fallback_since_shadow <- now;
+      R.emit Qs_intf.Runtime_intf.Ev_fallback_enter (total_limbo h) (-1);
+      reset_presence t;
+      R.set t.presence.(h.pid) 1;
+      h.fallback_switches <- h.fallback_switches + 1;
+      h.prev_fallback <- true;
+      scan_all h
+    end
+    else
+      (* lost the race: another process has just entered fallback mode; we
+         behave as if we had observed the flag up all along *)
+      h.prev_fallback <- true
 
   let enter_fastpath h =
     let t = h.owner in
-    R.set t.fallback_flag 0;
-    t.mode_shadow <- Smr_intf.Fast;
-    (* [-] evaluates right-to-left, matching the original get-then-now
-       effect order *)
-    let dwell = max 0 (R.now () - R.get t.fallback_since) in
-    t.fallback_ticks_acc <- t.fallback_ticks_acc + dwell;
-    R.emit Qs_intf.Runtime_intf.Ev_fallback_exit dwell (-1);
-    h.fastpath_switches <- h.fastpath_switches + 1;
+    if R.cas t.fallback_flag 1 0 then begin
+      t.mode_shadow <- Smr_intf.Fast;
+      (* [-] evaluates right-to-left, matching the original get-then-now
+         effect order *)
+      let dwell = max 0 (R.now () - R.get t.fallback_since) in
+      (* the episode's dwell is the exiting winner's sole responsibility *)
+      t.fallback_ticks_acc <- t.fallback_ticks_acc + dwell;
+      R.emit Qs_intf.Runtime_intf.Ev_fallback_exit dwell (-1);
+      h.fastpath_switches <- h.fastpath_switches + 1
+    end;
+    (* winner or loser, the system is on the fast path now *)
     h.prev_fallback <- false;
     quiescent_state h
+
+  (* The evictor seized this handle's lists (donated them to the orphan
+     pool out from under a silent owner). The owner installs fresh ones on
+     observing the flag. [seized] can only be set again after a full
+     rejoin + re-eviction cycle, so resetting it here is race-free. *)
+  let renew_seized_lists h =
+    let t = h.owner in
+    h.limbo <- Array.init 3 (fun _ -> Qs_util.Vec.Ts.create t.dummy);
+    h.adopted <- Qs_util.Vec.Ts.create t.dummy;
+    Atomic.set h.seized false
+
+  let check_seized h =
+    if Atomic.get h.seized then renew_seized_lists h
 
   let maybe_evict h =
     let t = h.owner in
@@ -293,16 +405,43 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
             if pid' <> h.pid && R.get p = 0 && R.cas t.evicted.(pid') 0 1 then begin
               ignore (R.fetch_and_add t.evicted_count 1);
               h.evictions <- h.evictions + 1;
-              R.emit Qs_intf.Runtime_intf.Ev_evict pid' (-1)
+              R.emit Qs_intf.Runtime_intf.Ev_evict pid' (-1);
+              (* Route the victim's limbo lists through the orphan pool so
+                 a crashed process no longer leaks them (before this layer
+                 they sat in the dead handle until teardown). The list
+                 references are captured BEFORE the seize flag is raised:
+                 a victim that is merely slow — not dead — installs fresh
+                 vectors when it observes the flag, so donating the
+                 captured ones cannot race with its later retires.
+                 Adopters reclaim them under the HP + age filter, which
+                 honours the hazards of an evicted-but-alive victim. *)
+              match t.handles.(pid') with
+              | None -> () (* slot already unregistered: donated by owner *)
+              | Some hv ->
+                let limbo = hv.limbo and adopted = hv.adopted in
+                if Atomic.compare_and_set hv.seized false true then begin
+                  let nodes =
+                    Qs_util.Vec.Ts.length limbo.(0)
+                    + Qs_util.Vec.Ts.length limbo.(1)
+                    + Qs_util.Vec.Ts.length limbo.(2)
+                    + Qs_util.Vec.Ts.length adopted
+                  in
+                  Orphan_pool.donate t.orphans ~donor:pid' ~nodes
+                    [| limbo.(0); limbo.(1); limbo.(2); adopted |]
+                end
             end)
           t.presence
 
   (* An evicted process that comes back must rejoin before relying on epoch
      reclamation again: its own hazard pointers protected it while away;
-     the rejoin guard keeps its next epoch cycle conservative. *)
+     the rejoin guard keeps its next epoch cycle conservative. If its lists
+     were seized meanwhile, it starts over with fresh ones (the seized
+     lists are the adopters' responsibility now) — strictly before
+     clearing the evicted flag, which would re-arm eviction. *)
   let rejoin h =
     let t = h.owner in
     R.fence ();
+    check_seized h;
     if R.cas t.evicted.(h.pid) 1 0 then ignore (R.fetch_and_add t.evicted_count (-1));
     h.rejoin_guard <- 3;
     R.set t.locals.(h.pid) (R.get t.global)
@@ -331,7 +470,13 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     R.hook Qs_intf.Runtime_intf.Hook_retire;
     let t = h.owner in
     let e = R.get t.locals.(h.pid) in
-    Qs_util.Vec.Ts.push h.limbo.(e) n (R.now_coarse ());
+    let ts = R.now_coarse () in
+    (* seize check immediately before the push, with no runtime effect in
+       between: on the simulator the check + push pair is atomic w.r.t.
+       other processes, so a node can never land in a vector that has
+       already been donated and adopted *)
+    if h.eviction_on then check_seized h;
+    Qs_util.Vec.Ts.push h.limbo.(e) n ts;
     h.retires <- h.retires + 1;
     let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total;
@@ -349,7 +494,52 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     end
     else if total >= t.c_threshold then enter_fallback h
 
+  (* Dynamic membership: clear the slot's hazard pointers (fenced — cold
+     path), mark the slot absent by reusing the eviction machinery
+     (all_current / all_active already skip evicted slots, and
+     [evicted_count > 0] keeps every survivor's epoch freeing filtered
+     through the HP + age check while the slot is vacant — the documented
+     cost of an open seat), donate the limbo lists + adopted orphans to
+     the pool and release the pid. A later {!register} on the slot rejoins
+     through the ordinary [rejoin] path at its first quiescence boundary. *)
+  let unregister h =
+    let t = h.owner in
+    Hp.clear t.hp ~pid:h.pid;
+    R.fence ();
+    check_seized h;
+    if R.cas t.evicted.(h.pid) 0 1 then
+      ignore (R.fetch_and_add t.evicted_count 1);
+    let donated = total_limbo h + Qs_util.Vec.Ts.length h.adopted in
+    let old_limbo = h.limbo and old_adopted = h.adopted in
+    h.limbo <- Array.init 3 (fun _ -> Qs_util.Vec.Ts.create t.dummy);
+    h.adopted <- Qs_util.Vec.Ts.create t.dummy;
+    Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated
+      [| old_limbo.(0); old_limbo.(1); old_limbo.(2); old_adopted |];
+    t.legacy_retires <- t.legacy_retires + h.retires;
+    t.legacy_frees <- t.legacy_frees + h.frees;
+    t.legacy_scans <- t.legacy_scans + h.scans;
+    t.legacy_epoch_advances <- t.legacy_epoch_advances + h.epoch_advances;
+    t.legacy_fallback_switches <-
+      t.legacy_fallback_switches + h.fallback_switches;
+    t.legacy_fastpath_switches <-
+      t.legacy_fastpath_switches + h.fastpath_switches;
+    t.legacy_evictions <- t.legacy_evictions + h.evictions;
+    t.legacy_retired_peak <- t.legacy_retired_peak + h.retired_peak;
+    h.retires <- 0;
+    h.frees <- 0;
+    h.scans <- 0;
+    h.epoch_advances <- 0;
+    h.fallback_switches <- 0;
+    h.fastpath_switches <- 0;
+    h.evictions <- 0;
+    h.retired_peak <- 0;
+    t.handles.(h.pid) <- None;
+    R.emit Qs_intf.Runtime_intf.Ev_unregister h.pid donated
+
   let flush h =
+    (* a seized handle's old lists belong to the pool now — freeing them
+       here too would double-free; start from the fresh ones *)
+    check_seized h;
     for e = 0 to 2 do
       let v = h.limbo.(e) in
       Qs_util.Vec.Ts.iter
@@ -358,32 +548,59 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
           h.frees <- h.frees + 1)
         v;
       Qs_util.Vec.Ts.clear v
-    done
+    done;
+    Qs_util.Vec.Ts.iter
+      (fun n _ts ->
+        h.owner.free n;
+        h.frees <- h.frees + 1)
+      h.adopted;
+    Qs_util.Vec.Ts.clear h.adopted;
+    let t = h.owner in
+    List.iter
+      (fun (e : _ Orphan_pool.entry) ->
+        Array.iter
+          (fun v ->
+            Qs_util.Vec.Ts.iter
+              (fun n _ts ->
+                t.free n;
+                t.legacy_frees <- t.legacy_frees + 1)
+              v;
+            Qs_util.Vec.Ts.clear v)
+          e.Orphan_pool.payload)
+      (Orphan_pool.drain t.orphans)
 
   let fold t f =
     Array.fold_left
       (fun acc -> function None -> acc | Some h -> acc + f h)
       0 t.handles
 
-  let retired_count t = fold t total_limbo
+  let retired_count t =
+    fold t (fun h -> total_limbo h + Qs_util.Vec.Ts.length h.adopted)
+    + Orphan_pool.node_count t.orphans
 
   let stats t =
-    { Smr_intf.retires = fold t (fun h -> h.retires);
-      frees = fold t (fun h -> h.frees);
-      scans = fold t (fun h -> h.scans);
-      epoch_advances = fold t (fun h -> h.epoch_advances);
-      fallback_switches = fold t (fun h -> h.fallback_switches);
-      fastpath_switches = fold t (fun h -> h.fastpath_switches);
-      fallback_entries = fold t (fun h -> h.fallback_switches);
-      fallback_exits = fold t (fun h -> h.fastpath_switches);
+    { Smr_intf.retires = fold t (fun h -> h.retires) + t.legacy_retires;
+      frees = fold t (fun h -> h.frees) + t.legacy_frees;
+      scans = fold t (fun h -> h.scans) + t.legacy_scans;
+      epoch_advances =
+        fold t (fun h -> h.epoch_advances) + t.legacy_epoch_advances;
+      fallback_switches =
+        fold t (fun h -> h.fallback_switches) + t.legacy_fallback_switches;
+      fastpath_switches =
+        fold t (fun h -> h.fastpath_switches) + t.legacy_fastpath_switches;
+      fallback_entries =
+        fold t (fun h -> h.fallback_switches) + t.legacy_fallback_switches;
+      fallback_exits =
+        fold t (fun h -> h.fastpath_switches) + t.legacy_fastpath_switches;
       fallback_ticks = t.fallback_ticks_acc;
       fallback_since =
         (match t.mode_shadow with
         | Smr_intf.Fallback -> Some t.fallback_since_shadow
         | Smr_intf.Fast -> None);
-      evictions = fold t (fun h -> h.evictions);
+      evictions = fold t (fun h -> h.evictions) + t.legacy_evictions;
       retired_now = retired_count t;
-      retired_peak = fold t (fun h -> h.retired_peak);
+      retired_peak =
+        fold t (fun h -> h.retired_peak) + t.legacy_retired_peak;
       scan_threshold_eff = t.scan_threshold_eff;
       mode = t.mode_shadow }
 end

@@ -36,7 +36,13 @@ type config = {
   hp_per_process : int;  (** K — hazard pointers per process *)
   quiescence_threshold : int;
       (** Q — operations batched per declared quiescent state (§3.1) *)
-  scan_threshold : int;  (** R — retires between hazard-pointer scans *)
+  scan_threshold : int;
+      (** R — retires between hazard-pointer scans. Scans cannot be
+          disabled through this knob: the effective threshold is clamped to
+          [>= 1] ({!effective_scan_threshold}), so [scan_threshold <= 0]
+          simply means "scan on every retire". (Earlier docs claimed
+          [<= 0] disables scanning — it never did; before the clamp it
+          crashed the schemes that schedule scans with [mod].) *)
   scan_factor : float;
       (** Adaptive scan scheduling: the {e effective} scan threshold of the
           hazard-pointer schemes is
@@ -47,9 +53,9 @@ type config = {
           frees at least [(scan_factor - 1) * N * K] nodes for O(N·K +
           limbo) work — amortised O(1) per retire regardless of
           process/HP count. [<= 0] disables the adaptation and uses
-          [scan_threshold] verbatim (the tests pinning exact scan timing
-          do this). Does not apply to the deferred schemes' age check,
-          only to when scans fire. *)
+          [scan_threshold] (clamped to [>= 1]) verbatim — the tests
+          pinning exact scan timing do this. Does not apply to the
+          deferred schemes' age check, only to when scans fire. *)
   rooster_interval : int;
       (** T — rooster sleep interval, in [RUNTIME.now] units. The runtime
           must actually run roosters at this interval (simulator config /
@@ -85,16 +91,23 @@ let default_config ~n_processes ~hp_per_process =
 
 (** The effective scan threshold under adaptive scan scheduling:
     [max scan_threshold (ceil (scan_factor * N * K))], or [scan_threshold]
-    verbatim when [scan_factor <= 0]. Computed once per scheme instance and
-    surfaced in {!stats.scan_threshold_eff}. *)
+    when [scan_factor <= 0] — in both cases clamped to [>= 1]: the
+    schemes that schedule scans with [count mod threshold] would raise
+    [Division_by_zero] on a degenerate config ([scan_threshold <= 0] with
+    [scan_factor <= 0]), and a threshold of 1 ("scan on every retire") is
+    the closest legal reading of such a config. Computed once per scheme
+    instance and surfaced in {!stats.scan_threshold_eff}. *)
 let effective_scan_threshold cfg =
-  if cfg.scan_factor <= 0. then cfg.scan_threshold
-  else
-    max cfg.scan_threshold
-      (int_of_float
-         (Float.ceil
-            (cfg.scan_factor
-            *. float_of_int (cfg.n_processes * cfg.hp_per_process))))
+  let raw =
+    if cfg.scan_factor <= 0. then cfg.scan_threshold
+    else
+      max cfg.scan_threshold
+        (int_of_float
+           (Float.ceil
+              (cfg.scan_factor
+              *. float_of_int (cfg.n_processes * cfg.hp_per_process))))
+  in
+  max 1 raw
 
 (** The smallest legal fallback-switch threshold per Property 4:
     [C > max (m*Q) (N*K + T) ((K + T + R) / 2)]. *)
@@ -175,7 +188,25 @@ module type S = sig
       decides is safe. *)
 
   val register : t -> pid:int -> handle
-  (** Per-process handle; [pid] must be in [0, n_processes) and unique. *)
+  (** Per-process handle; [pid] must be in [0, n_processes) and not
+      currently held by a live handle. A pid slot vacated by {!unregister}
+      may be re-registered (worker churn); the fresh handle rejoins the
+      scheme's grace-period machinery on its first {!manage_state} call,
+      so mid-run re-registration must happen in process context. *)
+
+  val unregister : handle -> unit
+  (** Dynamic membership: retire the caller's pid slot. The handle's
+      hazard pointers are cleared, its epoch/presence cells are marked
+      absent (so grace periods and presence agreement no longer wait on
+      it), its limbo lists are donated to the scheme's shared orphan pool,
+      and the pid becomes available to a later {!register}. Survivors
+      adopt and reclaim the orphaned nodes opportunistically — epoch-based
+      schemes on epoch adoption (after a fresh grace period), scanning
+      schemes on their next scan, the hybrid always through the
+      hazard-pointer + age filter. Must be called by the owning process,
+      in process context, between operations (no shared references held);
+      the handle is dead afterwards (only {!flush} stays legal, as a
+      no-op). *)
 
   val manage_state : handle -> unit
   val assign_hp : handle -> slot:int -> node -> unit

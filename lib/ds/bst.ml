@@ -437,6 +437,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     if List.length sorted <> List.length keys then failwith "bst: duplicate keys";
     if sorted <> keys then failwith "bst: in-order traversal not sorted"
 
+  let unregister ctx = ctx.smr_h.unregister ()
+
   let flush ctx = ctx.smr_h.flush ()
 
   let report t : Set_intf.report =

@@ -62,6 +62,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
           (L.to_list_in ctx.lctx ~bucket))
       ctx.table.buckets
 
+  let unregister ctx = L.unregister ctx.lctx
+
   let flush ctx = L.flush ctx.lctx
 
   let report t = L.report t.list

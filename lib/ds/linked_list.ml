@@ -285,6 +285,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   let size ctx = List.length (to_list ctx)
 
+  let unregister ctx = ctx.smr_h.unregister ()
+
   let flush ctx = ctx.smr_h.flush ()
 
   let report t : Set_intf.report =

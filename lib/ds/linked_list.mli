@@ -54,6 +54,11 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
   val to_list : ctx -> int list
   val size : ctx -> int
 
+  val unregister : ctx -> unit
+  (** Leave the computation: retire the SMR pid slot, donating its limbo
+      lists to the scheme's orphan pool; the slot may be re-registered
+      later (worker churn). Process context, between operations. *)
+
   val flush : ctx -> unit
   (** Teardown: force-free the caller's retired backlog. *)
 

@@ -177,6 +177,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     go [] (dest (R.get ctx.queue.head))
 
   let length ctx = List.length (to_list ctx)
+  let unregister ctx = ctx.smr_h.unregister ()
+
   let flush ctx = ctx.smr_h.flush ()
 
   let validate ctx =

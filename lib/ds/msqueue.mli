@@ -18,6 +18,11 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
   (** Front first; sequential context only. *)
 
   val length : ctx -> int
+  val unregister : ctx -> unit
+  (** Leave the computation: retire the SMR pid slot, donating its limbo
+      lists to the scheme's orphan pool; the slot may be re-registered
+      later (worker churn). Process context, between operations. *)
+
   val flush : ctx -> unit
 
   val validate : ctx -> unit

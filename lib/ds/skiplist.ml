@@ -354,6 +354,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
         nodes
     done
 
+  let unregister ctx = ctx.smr_h.unregister ()
+
   let flush ctx = ctx.smr_h.flush ()
 
   let report t : Set_intf.report =

@@ -9,6 +9,9 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Qs_smr.Smr_intf.NODE) = stru
     assign_hp : slot:int -> N.t -> unit;
     clear_hps : unit -> unit;
     retire : N.t -> unit;
+    unregister : unit -> unit;
+        (* dynamic membership: retire the pid slot, donating limbo lists
+           to the scheme's orphan pool (see {!Qs_smr.Smr_intf.S.unregister}) *)
     flush : unit -> unit;
   }
 
@@ -32,6 +35,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Qs_smr.Smr_intf.NODE) = stru
             assign_hp = (fun ~slot n -> S.assign_hp h ~slot n);
             clear_hps = (fun () -> S.clear_hps h);
             retire = (fun n -> S.retire h n);
+            unregister = (fun () -> S.unregister h);
             flush = (fun () -> S.flush h) });
       retired_count = (fun () -> S.retired_count t);
       stats = (fun () -> S.stats t) }

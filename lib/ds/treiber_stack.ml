@@ -142,6 +142,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     go [] (R.get ctx.stack.top)
 
   let length ctx = List.length (to_list ctx)
+  let unregister ctx = ctx.smr_h.unregister ()
+
   let flush ctx = ctx.smr_h.flush ()
 
   let report t : Set_intf.report =

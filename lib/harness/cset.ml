@@ -7,7 +7,18 @@ module type S = sig
   type ctx
 
   val create : Qs_ds.Set_intf.config -> t
+
   val register : t -> pid:int -> ctx
+  (** Obtain a per-process context. A pid slot vacated by {!unregister} may
+      be re-registered later (worker churn). *)
+
+  val unregister : ctx -> unit
+  (** Dynamic membership: leave the computation. The context's SMR pid slot
+      is retired — hazard pointers cleared, limbo lists donated to the
+      scheme's orphan pool for survivors to adopt — and becomes available
+      to a later {!register}. Call in process context, between operations;
+      the context is dead afterwards (only {!flush} stays legal). *)
+
   val search : ctx -> int -> bool
   val insert : ctx -> int -> bool
   val delete : ctx -> int -> bool

@@ -129,6 +129,7 @@ let fault_to_string : Scheduler.fault -> string = function
   | Oversleep_spike { pid; at; extra } -> Printf.sprintf "spike:%d:%d:%d" pid at extra
   | Skew_burst { pid; at; until_; extra } ->
     Printf.sprintf "skew:%d:%d:%d:%d" pid at until_ extra
+  | Churn_at { pid; at; ticks } -> Printf.sprintf "churn:%d:%d:%d" pid at ticks
 
 let fault_of_string s : Scheduler.fault option =
   let i = int_of_string_opt in
@@ -149,6 +150,10 @@ let fault_of_string s : Scheduler.fault option =
     match (i p, i a, i u, i e) with
     | Some pid, Some at, Some until_, Some extra ->
       Some (Skew_burst { pid; at; until_; extra })
+    | _ -> None)
+  | [ "churn"; p; a; t ] -> (
+    match (i p, i a, i t) with
+    | Some pid, Some at, Some ticks -> Some (Churn_at { pid; at; ticks })
     | _ -> None)
   | _ -> None
 
@@ -229,13 +234,14 @@ let of_string line : (case, string) result =
 
 (* --- fault-plan generation ---------------------------------------------- *)
 
-type fault_level = No_faults | Stalls | Victim_stall | Chaos
+type fault_level = No_faults | Stalls | Victim_stall | Chaos | Churn
 
 let fault_level_to_string = function
   | No_faults -> "none"
   | Stalls -> "stalls"
   | Victim_stall -> "victim-stall"
   | Chaos -> "chaos"
+  | Churn -> "churn"
 
 (* A deterministic fault plan for the given level; everything is drawn from
    [seed] so the plan is reproducible from the case line alone (the plan is
@@ -263,6 +269,18 @@ let plan level ~n ~duration ~seed : Scheduler.fault list =
       Scheduler.Skew_burst
         { pid = pid (); at = at (); until_ = duration; extra = 500 + Qs_util.Prng.int prng 1_000 };
       Scheduler.Crash_at { pid = pid (); at = at () } ]
+  | Churn ->
+    (* dynamic membership: two processes leave and rejoin mid-run (one while
+       a third is stalled, so its hazards must survive the membership
+       change), exercising unregister / orphan adoption / slot reuse. The
+       adopted-node UAF is the failure class this level hunts. *)
+    [ Scheduler.Churn_at { pid = 1 mod n; at = duration / 6; ticks = duration / 8 };
+      Scheduler.Churn_at
+        { pid = n - 1;
+          at = duration / 3;
+          ticks = duration / 6 + Qs_util.Prng.int prng (max 1 (duration / 8)) };
+      Scheduler.Stall_at
+        { pid = pid (); at = at (); ticks = duration / 8 + Qs_util.Prng.int prng (duration / 4) } ]
 
 (* --- the runner --------------------------------------------------------- *)
 
@@ -336,17 +354,28 @@ let run_one ?sink (c : case) : outcome =
   let prngs = Array.init n (fun _ -> Qs_util.Prng.split master) in
   for pid = 0 to n - 1 do
     Scheduler.spawn sched ~pid (fun () ->
-        let prng = prngs.(pid) and ctx = ctxs.(pid) in
+        let prng = prngs.(pid) in
+        let ctx = ref ctxs.(pid) in
         let rec loop () =
+          (* Worker churn: the scheduler only queues the request (polling is
+             effect-free); the leave / sit-out / rejoin is ours to perform,
+             because registration belongs to the SMR scheme, not the core. *)
+          (match Scheduler.take_churn sched ~pid with
+          | Some downtime ->
+            C.unregister !ctx;
+            Sim_runtime.sleep_until (Sim_runtime.now () + downtime);
+            ctx := C.register set ~pid;
+            ctxs.(pid) <- !ctx
+          | None -> ());
           let t = Sim_runtime.now () in
           if per_worker_ops.(pid) < c.ops_per_proc && t < c.duration && !failed_at = None
           then begin
             (try
                let op, key, result =
                  match Spec.pick prng spec with
-                 | Search k -> (Qs_verify.History.Search, k, C.search ctx k)
-                 | Insert k -> (Qs_verify.History.Insert, k, C.insert ctx k)
-                 | Delete k -> (Qs_verify.History.Delete, k, C.delete ctx k)
+                 | Search k -> (Qs_verify.History.Search, k, C.search !ctx k)
+                 | Insert k -> (Qs_verify.History.Insert, k, C.insert !ctx k)
+                 | Delete k -> (Qs_verify.History.Delete, k, C.delete !ctx k)
                in
                let t' = Sim_runtime.now () in
                Qs_verify.History.record history ~pid ~op ~key ~inv:t ~res:t' ~result;
@@ -426,7 +455,7 @@ let restrict_procs c n' =
       (fun (f : Scheduler.fault) ->
         match f with
         | Stall_at { pid; _ } | Crash_at { pid; _ } | Oversleep_spike { pid; _ }
-        | Skew_burst { pid; _ } ->
+        | Skew_burst { pid; _ } | Churn_at { pid; _ } ->
           ok_pid pid)
       c.faults
   in

@@ -95,6 +95,10 @@ type fault_level =
       (** the paper's robustness scenario: the last process freezes early
           and for the rest of the run *)
   | Chaos  (** stalls + oversleep spike + skew burst + one crash *)
+  | Churn
+      (** dynamic membership: two processes leave and rejoin mid-run plus
+          one random stall — hunts the adopted-node UAF class. Unlike
+          crash/skew, churn does not block the linearizability check. *)
 
 val fault_level_to_string : fault_level -> string
 

@@ -8,6 +8,8 @@
     smoke tests and demos. Rooster domains are started automatically for
     schemes that need them. *)
 
+type churn = { generations : int; downtime_ms : int }
+
 type setup = {
   ds : Cset.kind;
   scheme : Qs_smr.Scheme.kind;
@@ -19,6 +21,11 @@ type setup = {
   stall_victim_after_ms : int option;
       (** victim = highest pid; it stops working (but never quiesces) after
           this instant and resumes 2x later *)
+  churn : churn option;
+      (** worker churn: each pid slot runs [generations] successive worker
+          domains over the duration, each generation unregistering its SMR
+          slot on exit (donating limbo lists to the orphan pool) and the
+          next one re-registering under the same pid after [downtime_ms] *)
   sink : Qs_intf.Runtime_intf.sink option;
       (** trace sink (e.g. [Qs_obs.Tracer.sink]), installed for the worker
           phase (after the fill) and removed before return *)
@@ -34,6 +41,7 @@ let default_setup ~ds ~scheme ~n_domains ~workload =
     seed = 1;
     capacity = None;
     stall_victim_after_ms = None;
+    churn = None;
     sink = None;
     smr_tweak = Fun.id }
 
@@ -42,6 +50,7 @@ type result = {
   throughput_mops : float;
   violations : int;
   failed : bool;  (** some domain hit [Arena.Exhausted] *)
+  churn_events : int;  (** completed leave/rejoin cycles across all slots *)
   report : Qs_ds.Set_intf.report;
 }
 
@@ -86,48 +95,83 @@ let run (setup : setup) : result =
   let deadline = t0 +. (float_of_int setup.duration_ms /. 1000.) in
   let master = Qs_util.Prng.create ~seed:(setup.seed + 31) in
   let prngs = Array.init n (fun _ -> Qs_util.Prng.split master) in
+  (* [Unix.gettimeofday] is a syscall-priced clock read; at the
+     millions-of-ops/s this loop targets, reading it per operation
+     dominates the thing being measured. Check the deadline (and the
+     stall window, and the stop flag) once every 64 operations:
+     worst-case overshoot is 64 ops (~tens of microseconds) against a
+     duration measured in hundreds of milliseconds, and the final
+     throughput divides by the measured elapsed time anyway. *)
+  let worker_loop ~pid ~ctx ~until_ =
+    let prng = prngs.(pid) in
+    let stall_at =
+      match setup.stall_victim_after_ms with
+      | Some ms when pid = n - 1 ->
+        Some (t0 +. (float_of_int ms /. 1000.), t0 +. (2. *. float_of_int ms /. 1000.))
+      | _ -> None
+    in
+    let count = ref 0 in
+    let running = ref true in
+    (try
+       while !running do
+         if !count land 63 = 0 then begin
+           if Atomic.get stop || Unix.gettimeofday () >= until_ then
+             running := false
+           else
+             match stall_at with
+             | Some (a, b) ->
+               let now = Unix.gettimeofday () in
+               if now >= a && now < b then Unix.sleepf (b -. now)
+             | None -> ()
+         end;
+         if !running then begin
+           (match Qs_workload.Spec.pick prng setup.workload with
+           | Search k -> ignore (C.search ctx k)
+           | Insert k -> ignore (C.insert ctx k)
+           | Delete k -> ignore (C.delete ctx k));
+           incr count
+         end
+       done
+     with Qs_arena.Arena.Exhausted ->
+       Atomic.set failed true;
+       Atomic.set stop true);
+    !count
+  in
+  let churn_events = ref 0 in
   let ops =
-    Qs_real.Domain_pool.run ~n (fun pid ->
-        let prng = prngs.(pid) and ctx = ctxs.(pid) in
-        let stall_at =
-          match setup.stall_victim_after_ms with
-          | Some ms when pid = n - 1 ->
-            Some (t0 +. (float_of_int ms /. 1000.), t0 +. (2. *. float_of_int ms /. 1000.))
-          | _ -> None
-        in
-        let count = ref 0 in
-        (* [Unix.gettimeofday] is a syscall-priced clock read; at the
-           millions-of-ops/s this loop targets, reading it per operation
-           dominates the thing being measured. Check the deadline (and the
-           stall window, and the stop flag) once every 64 operations:
-           worst-case overshoot is 64 ops (~tens of microseconds) against a
-           duration measured in hundreds of milliseconds, and the final
-           throughput divides by the measured elapsed time anyway. *)
-        let running = ref true in
-        (try
-           while !running do
-             if !count land 63 = 0 then begin
-               if Atomic.get stop || Unix.gettimeofday () >= deadline then
-                 running := false
-               else
-                 match stall_at with
-                 | Some (a, b) ->
-                   let now = Unix.gettimeofday () in
-                   if now >= a && now < b then Unix.sleepf (b -. now)
-                 | None -> ()
-             end;
-             if !running then begin
-               (match Qs_workload.Spec.pick prng setup.workload with
-               | Search k -> ignore (C.search ctx k)
-               | Insert k -> ignore (C.insert ctx k)
-               | Delete k -> ignore (C.delete ctx k));
-               incr count
-             end
-           done
-         with Qs_arena.Arena.Exhausted ->
-           Atomic.set failed true;
-           Atomic.set stop true);
-        !count)
+    match setup.churn with
+    | None | Some { generations = 1; _ } ->
+      Qs_real.Domain_pool.run ~n (fun pid ->
+          worker_loop ~pid ~ctx:ctxs.(pid) ~until_:deadline)
+    | Some { generations; downtime_ms } ->
+      let generations = max 2 generations in
+      let slice_s =
+        float_of_int setup.duration_ms /. 1000. /. float_of_int generations
+      in
+      let per_slot =
+        Qs_real.Domain_pool.run_generations ~n ~generations
+          ~downtime_s:(float_of_int downtime_ms /. 1000.)
+          (fun ~pid ~gen ->
+            (* gen 0 inherits the pre-registered context (it also performed
+               the fill for pid 0); later generations join fresh, under the
+               same pid slot. *)
+            let ctx =
+              if gen = 0 then ctxs.(pid) else C.register set ~pid
+            in
+            let until_ =
+              Float.min deadline (t0 +. (slice_s *. float_of_int (gen + 1)))
+            in
+            let count = worker_loop ~pid ~ctx ~until_ in
+            (* leave: donate limbo lists to the orphan pool so survivors
+               (and successor generations) reclaim them *)
+            if gen < generations - 1 then C.unregister ctx
+            else ctxs.(pid) <- ctx;
+            count)
+      in
+      Array.iter
+        (fun counts -> churn_events := !churn_events + max 0 (List.length counts - 1))
+        per_slot;
+      Array.map (fun counts -> List.fold_left ( + ) 0 counts) per_slot
   in
   let elapsed = Unix.gettimeofday () -. t0 in
   (match roosters with Some r -> Qs_real.Roosters.stop r | None -> ());
@@ -140,4 +184,5 @@ let run (setup : setup) : result =
     throughput_mops = float_of_int ops_total /. elapsed /. 1e6;
     violations = C.violations set;
     failed = Atomic.get failed;
+    churn_events = !churn_events;
     report }

@@ -5,6 +5,11 @@
     smoke tests and demos. Roosters are started automatically for schemes
     that need them. *)
 
+type churn = {
+  generations : int;  (** worker generations per pid slot; 1 = no churn *)
+  downtime_ms : int;  (** slot left empty between generations *)
+}
+
 type setup = {
   ds : Cset.kind;
   scheme : Qs_smr.Scheme.kind;
@@ -16,6 +21,12 @@ type setup = {
   stall_victim_after_ms : int option;
       (** the highest-pid domain stops working (without quiescing) at this
           instant and resumes at twice it *)
+  churn : churn option;
+      (** worker churn via {!Qs_real.Domain_pool.run_generations}: each pid
+          slot runs [generations] successive worker domains over the
+          duration; every generation but the last unregisters its SMR slot
+          on exit (limbo lists donated to the orphan pool), and the next
+          generation re-registers under the same pid after [downtime_ms] *)
   sink : Qs_intf.Runtime_intf.sink option;
       (** trace sink (e.g. [Qs_obs.Tracer.sink]) installed for the worker
           phase and removed before return; [None] = tracing off. Event
@@ -35,6 +46,8 @@ type result = {
   throughput_mops : float;
   violations : int;
   failed : bool;  (** some domain hit the arena capacity *)
+  churn_events : int;
+      (** completed leave/rejoin cycles across all slots (0 without churn) *)
   report : Qs_ds.Set_intf.report;
 }
 

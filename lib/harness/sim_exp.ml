@@ -12,6 +12,8 @@ open Qs_sim
 
 type delays = { victim : int; windows : (int * int) list }
 
+type churn = { every_ops : int; downtime : int }
+
 type setup = {
   ds : Cset.kind;
   scheme : Qs_smr.Scheme.kind;
@@ -21,6 +23,11 @@ type setup = {
   seed : int;
   capacity : int option;
   delays : delays option;
+  churn : churn option;
+      (** worker churn: every [every_ops] completed operations, each worker
+          with pid > 0 unregisters (donating its limbo lists to the orphan
+          pool), sits out [downtime] ticks, and re-registers under the same
+          pid. Pid 0 stays put so the fill/teardown context stays alive. *)
   sample_every : int;  (** bucket width of the throughput series; 0 = none *)
   record_latency : bool;  (** collect per-operation latencies (in ticks) *)
   sink : Qs_intf.Runtime_intf.sink option;
@@ -39,6 +46,7 @@ let default_setup ~ds ~scheme ~n_processes ~workload =
     seed = 1;
     capacity = None;
     delays = None;
+    churn = None;
     sample_every = 0;
     record_latency = false;
     sink = None;
@@ -56,6 +64,7 @@ type result = {
   report : Qs_ds.Set_intf.report;
   rooster_fires : int;
   final_size : int;
+  churn_events : int;  (** completed leave/rejoin cycles across all workers *)
   leak_check : [ `Ok | `Leaked of int | `Skipped ];
       (** after teardown flush: do outstanding nodes match live nodes? *)
 }
@@ -118,17 +127,38 @@ let run (setup : setup) : result =
   let per_worker_ops = Array.make n 0 in
   let latency_logs = Array.init n (fun _ -> ref []) in
   let failed_at = ref None in
+  let churn_counts = Array.make n 0 in
   let master = Qs_util.Prng.create ~seed:(setup.seed + 7919) in
   let prngs = Array.init n (fun _ -> Qs_util.Prng.split master) in
   for pid = 0 to n - 1 do
     Scheduler.spawn sched ~pid (fun () ->
-        let prng = prngs.(pid) and ctx = ctxs.(pid) in
+        let prng = prngs.(pid) in
+        let ctx = ref ctxs.(pid) in
         let windows =
           match setup.delays with
           | Some d when d.victim = pid -> d.windows
           | _ -> []
         in
+        (* Worker churn: next op count at which this worker leaves. Staggered
+           by pid so the workers do not all vacate at once. *)
+        let next_churn =
+          match setup.churn with
+          | Some c when pid > 0 && c.every_ops > 0 ->
+            ref (c.every_ops + (pid * c.every_ops / n))
+          | _ -> ref max_int
+        in
         let rec loop () =
+          (match setup.churn with
+          | Some c when per_worker_ops.(pid) >= !next_churn ->
+            (* leave: retire the SMR slot (limbo lists go to the orphan
+               pool), sit out, rejoin under the same pid *)
+            C.unregister !ctx;
+            Sim_runtime.sleep_until (Sim_runtime.now () + c.downtime);
+            ctx := C.register set ~pid;
+            ctxs.(pid) <- !ctx;
+            churn_counts.(pid) <- churn_counts.(pid) + 1;
+            next_churn := !next_churn + c.every_ops
+          | _ -> ());
           let t = Sim_runtime.now () in
           if t < setup.duration && !failed_at = None then begin
             (match
@@ -140,9 +170,9 @@ let run (setup : setup) : result =
             | None ->
               (try
                  (match Qs_workload.Spec.pick prng setup.workload with
-                 | Search k -> ignore (C.search ctx k)
-                 | Insert k -> ignore (C.insert ctx k)
-                 | Delete k -> ignore (C.delete ctx k));
+                 | Search k -> ignore (C.search !ctx k)
+                 | Insert k -> ignore (C.insert !ctx k)
+                 | Delete k -> ignore (C.delete !ctx k));
                  if setup.record_latency then begin
                    let log = latency_logs.(pid) in
                    log := (Sim_runtime.now () - t) :: !log
@@ -201,4 +231,5 @@ let run (setup : setup) : result =
     report;
     rooster_fires = Scheduler.rooster_fires sched;
     final_size;
+    churn_events = Array.fold_left ( + ) 0 churn_counts;
     leak_check }

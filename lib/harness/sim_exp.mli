@@ -17,6 +17,11 @@ type delays = {
   windows : (int * int) list;  (** [start, stop) in virtual time *)
 }
 
+type churn = {
+  every_ops : int;  (** leave after this many completed operations *)
+  downtime : int;  (** virtual ticks spent out of the computation *)
+}
+
 type setup = {
   ds : Cset.kind;
   scheme : Qs_smr.Scheme.kind;
@@ -26,6 +31,12 @@ type setup = {
   seed : int;
   capacity : int option;  (** arena cap; exceeded => the run "fails" *)
   delays : delays option;
+  churn : churn option;
+      (** worker churn: every [every_ops] operations each worker with
+          pid > 0 unregisters (donating its limbo lists to the scheme's
+          orphan pool), sits out [downtime] ticks and re-registers under the
+          same pid — staggered by pid so workers do not all vacate at once.
+          Pid 0 never churns, keeping the fill/teardown context alive. *)
   sample_every : int;  (** bucket width of the throughput series; 0 = none *)
   record_latency : bool;  (** collect per-operation latencies (in ticks) *)
   sink : Qs_intf.Runtime_intf.sink option;
@@ -43,8 +54,8 @@ val default_setup :
   n_processes:int ->
   workload:Qs_workload.Spec.t ->
   setup
-(** 300k ticks, seed 1, no cap, no delays, no sampling; roosters are
-    configured automatically for schemes that need them. *)
+(** 300k ticks, seed 1, no cap, no delays, no churn, no sampling; roosters
+    are configured automatically for schemes that need them. *)
 
 type result = {
   ops_total : int;
@@ -57,6 +68,9 @@ type result = {
   report : Qs_ds.Set_intf.report;  (** captured before the teardown flush *)
   rooster_fires : int;
   final_size : int;
+  churn_events : int;
+      (** completed leave/rejoin cycles across all workers (0 unless
+          [churn] was set) *)
   leak_check : [ `Ok | `Leaked of int | `Skipped ];
       (** after teardown flush: outstanding nodes vs live nodes *)
 }

@@ -70,7 +70,12 @@ type hook = Hook_retire | Hook_scan | Hook_quiesce
     - [Ev_rooster_wake] — a rooster fired: it published a fresh coarse
       timestamp and signalled its companions. Emitted with the rooster's
       own identity (simulator) or pid [-1] (real runtime, where roosters
-      are unregistered domains). *)
+      are unregistered domains).
+    - [Ev_unregister] — a process retired its pid slot and donated its
+      limbo lists to the scheme's orphan pool. [a] = pid of the departing
+      process, [b] = number of nodes donated.
+    - [Ev_adopt] — a survivor adopted an orphaned limbo batch from the
+      pool. [a] = number of nodes adopted, [b] = pid of the donor. *)
 type event =
   | Ev_retire
   | Ev_free
@@ -82,6 +87,8 @@ type event =
   | Ev_fallback_exit
   | Ev_evict
   | Ev_rooster_wake
+  | Ev_unregister
+  | Ev_adopt
 
 let event_index = function
   | Ev_retire -> 0
@@ -94,6 +101,8 @@ let event_index = function
   | Ev_fallback_exit -> 7
   | Ev_evict -> 8
   | Ev_rooster_wake -> 9
+  | Ev_unregister -> 10
+  | Ev_adopt -> 11
 
 let event_of_index = function
   | 0 -> Some Ev_retire
@@ -106,6 +115,8 @@ let event_of_index = function
   | 7 -> Some Ev_fallback_exit
   | 8 -> Some Ev_evict
   | 9 -> Some Ev_rooster_wake
+  | 10 -> Some Ev_unregister
+  | 11 -> Some Ev_adopt
   | _ -> None
 
 let event_name = function
@@ -119,6 +130,8 @@ let event_name = function
   | Ev_fallback_exit -> "fallback_exit"
   | Ev_evict -> "evict"
   | Ev_rooster_wake -> "rooster_wake"
+  | Ev_unregister -> "unregister"
+  | Ev_adopt -> "adopt"
 
 (** A trace sink: where {!RUNTIME.emit} delivers events when tracing is
     installed. The runtime supplies the emitter's [pid] and a timestamp;

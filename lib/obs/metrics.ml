@@ -7,6 +7,16 @@ let count (es : entry array) ev =
 
 let frees_total es = count es RI.Ev_free
 let retires_total es = count es RI.Ev_retire
+let unregisters_total es = count es RI.Ev_unregister
+let adoptions_total es = count es RI.Ev_adopt
+
+let adopted_nodes_total (es : entry array) =
+  (* [Ev_adopt.a] carries the number of orphan nodes spliced in. *)
+  Array.fold_left
+    (fun acc (e : entry) ->
+      if e.Tracer.ev = RI.Ev_adopt && e.Tracer.a > 0 then acc + e.Tracer.a
+      else acc)
+    0 es
 
 let ages_at_free (es : entry array) =
   (* Join free events against the most recent retire of the same node id,

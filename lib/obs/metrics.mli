@@ -67,3 +67,13 @@ val epoch_lags : entry array -> int array
 val count : entry array -> Qs_intf.Runtime_intf.event -> int
 val frees_total : entry array -> int
 val retires_total : entry array -> int
+
+val unregisters_total : entry array -> int
+(** Membership departures ([Ev_unregister]) in the trace. *)
+
+val adoptions_total : entry array -> int
+(** Orphan-adoption events ([Ev_adopt]) in the trace. *)
+
+val adopted_nodes_total : entry array -> int
+(** Total orphan nodes spliced into survivors' limbo lists, summing
+    [Ev_adopt]'s [a] payload. *)

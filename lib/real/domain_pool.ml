@@ -10,3 +10,31 @@ let run ~n f =
             f pid))
   in
   Array.of_list (List.map Domain.join domains)
+
+(* Worker churn at the domain level: each pid slot is driven by a
+   controller domain that runs [generations] successive worker domains,
+   sleeping [downtime_s] between them. Every generation is a genuinely
+   fresh domain (new domain-local storage, new stack), so a slot's worker
+   really leaves the computation and a different one later joins under the
+   same pid — the body is expected to register/unregister its SMR slot at
+   generation boundaries. Controllers block in [Domain.join], so the live
+   worker count stays at [n]. *)
+let run_generations ~n ~generations ?(downtime_s = 0.) f =
+  let generations = max 1 generations in
+  let controllers =
+    List.init n (fun pid ->
+        Domain.spawn (fun () ->
+            let results = ref [] in
+            for gen = 0 to generations - 1 do
+              let d =
+                Domain.spawn (fun () ->
+                    Real_runtime.register_self pid;
+                    f ~pid ~gen)
+              in
+              results := Domain.join d :: !results;
+              if gen < generations - 1 && downtime_s > 0. then
+                Unix.sleepf downtime_s
+            done;
+            List.rev !results))
+  in
+  Array.of_list (List.map Domain.join controllers)

@@ -4,3 +4,16 @@ val run : n:int -> (int -> 'a) -> 'a array
 (** [run ~n f] spawns [n] domains, runs [f pid] on each (with
     [Real_runtime.register_self pid] already done), joins them all and
     returns their results indexed by pid. *)
+
+val run_generations :
+  n:int ->
+  generations:int ->
+  ?downtime_s:float ->
+  (pid:int -> gen:int -> 'a) ->
+  'a list array
+(** Worker churn: each pid slot runs [generations] successive worker
+    domains — each one a fresh domain with [Real_runtime.register_self pid]
+    already done — sleeping [downtime_s] between generations. The body is
+    expected to handle SMR membership itself (register on entry, unregister
+    on leaving; see {!Qs_smr.Smr_intf.S.unregister}). Returns the per-slot
+    list of generation results, oldest first. *)

@@ -25,18 +25,32 @@ let start ~interval_ns ~n =
   Real_runtime.publish_coarse (Atomic.get coarse);
   let wakeups = Atomic.make 0 in
   let tick_s = float_of_int interval_ns /. 1e9 in
+  (* Sleep in sub-interval naps so [stop] is observed promptly: a rooster at
+     a long T (hundreds of ms) must not make [stop] wait out a whole
+     interval before joining. The publish cadence is unchanged — coarse
+     clock, wakeup count and trace event still fire once per full [tick_s],
+     only the interruptibility of the sleep improves. *)
+  let nap_s = Float.max 0.000_5 (Float.min 0.005 (tick_s /. 8.)) in
   let body () =
     while not (Atomic.get stop) do
-      Unix.sleepf tick_s;
-      let t = Real_runtime.now () in
-      Atomic.set coarse t;
-      (* feed the runtime-wide coarse clock consumed by
-         [Real_runtime.now_coarse] — the allocation-free retire timestamp *)
-      Real_runtime.publish_coarse t;
-      Atomic.incr wakeups;
-      (* Rooster domains are not registered workers: emit with pid -1, which
-         the tracer routes to its system ring. *)
-      Real_runtime.emit_pid (-1) Qs_intf.Runtime_intf.Ev_rooster_wake (-1) (-1)
+      let slept = ref 0. in
+      while (not (Atomic.get stop)) && !slept < tick_s do
+        let nap = Float.min nap_s (tick_s -. !slept) in
+        Unix.sleepf nap;
+        slept := !slept +. nap
+      done;
+      if not (Atomic.get stop) then begin
+        let t = Real_runtime.now () in
+        Atomic.set coarse t;
+        (* feed the runtime-wide coarse clock consumed by
+           [Real_runtime.now_coarse] — the allocation-free retire timestamp *)
+        Real_runtime.publish_coarse t;
+        Atomic.incr wakeups;
+        (* Rooster domains are not registered workers: emit with pid -1,
+           which the tracer routes to its system ring. *)
+        Real_runtime.emit_pid (-1) Qs_intf.Runtime_intf.Ev_rooster_wake (-1)
+          (-1)
+      end
     done
   in
   let domains = List.init (max 1 n) (fun _ -> Domain.spawn body) in

@@ -16,4 +16,6 @@ val wakeups : t -> int
 (** Total rooster wake-ups so far. *)
 
 val stop : t -> unit
-(** Signal and join all rooster domains. *)
+(** Signal and join all rooster domains. Returns promptly — well under one
+    [interval_ns] — because roosters sleep in small interruptible naps
+    (the publish cadence itself stays at one per interval). *)

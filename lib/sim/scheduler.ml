@@ -67,6 +67,13 @@ type fault =
   | Skew_burst of { pid : int; at : int; until_ : int; extra : int }
       (* the process's [now] reads [extra] ticks ahead during
          [at, until_) — a cross-core clock-skew burst *)
+  | Churn_at of { pid : int; at : int; ticks : int }
+      (* worker churn request: ask the process to leave the computation
+         (unregister, donating its limbo lists), stay away for [ticks]
+         virtual time, and re-register. The scheduler only queues the
+         request — the worker body polls {!take_churn} between operations
+         and performs the leave/rejoin itself, because registration is a
+         property of the SMR scheme, not of the core. *)
 
 type config = {
   n_cores : int;
@@ -100,6 +107,7 @@ type event =
   | Ev_crash
   | Ev_oversleep of int
   | Ev_skew of int
+  | Ev_churn of int
 
 let pp_hook fmt (h : Qs_intf.Runtime_intf.hook) =
   Format.pp_print_string fmt
@@ -124,6 +132,7 @@ let pp_event fmt = function
   | Ev_crash -> Format.pp_print_string fmt "crash"
   | Ev_oversleep n -> Format.fprintf fmt "oversleep-spike(%d)" n
   | Ev_skew n -> Format.fprintf fmt "skew-burst(%d)" n
+  | Ev_churn n -> Format.fprintf fmt "churn(%d)" n
 
 let default_config ~n_cores ~seed =
   { n_cores;
@@ -155,6 +164,9 @@ type proc = {
   mutable extra_skew : int; (* skew-burst injection: active while ... *)
   mutable extra_skew_until : int; (* ... clock < extra_skew_until *)
   mutable pending_faults : fault list; (* sorted by trigger time *)
+  mutable churn_pending : int list;
+      (* fired [Churn_at] downtimes awaiting pickup by the worker body via
+         {!take_churn}; meta-level state, polling it costs no effects *)
   hook_counts : int array; (* per hook kind, for the Targeted strategy *)
 }
 
@@ -237,6 +249,7 @@ let create cfg =
       extra_skew = 0;
       extra_skew_until = 0;
       pending_faults = [];
+      churn_pending = [];
       hook_counts = Array.make 3 0 }
   in
   let pct =
@@ -510,14 +523,16 @@ let fault_pid = function
   | Stall_at { pid; _ }
   | Crash_at { pid; _ }
   | Oversleep_spike { pid; _ }
-  | Skew_burst { pid; _ } ->
+  | Skew_burst { pid; _ }
+  | Churn_at { pid; _ } ->
     pid
 
 let fault_at = function
   | Stall_at { at; _ }
   | Crash_at { at; _ }
   | Oversleep_spike { at; _ }
-  | Skew_burst { at; _ } ->
+  | Skew_burst { at; _ }
+  | Churn_at { at; _ } ->
     at
 
 (* Fire every pending fault whose trigger time has been reached. A stall is
@@ -547,7 +562,10 @@ let apply_faults (t : t) (p : proc) =
       | Skew_burst { until_; extra; _ } ->
         record t p (Ev_skew extra);
         p.extra_skew <- extra;
-        p.extra_skew_until <- until_);
+        p.extra_skew_until <- until_
+      | Churn_at { ticks; _ } ->
+        record t p (Ev_churn ticks);
+        p.churn_pending <- p.churn_pending @ [ ticks ]);
       loop ()
     | _ -> ()
   in
@@ -667,7 +685,11 @@ let exec t ~pid f =
 (* Distribute the armed master fault list to per-process pending queues,
    sorted by trigger time. *)
 let rearm_faults t =
-  Array.iter (fun p -> p.pending_faults <- []) t.procs;
+  Array.iter
+    (fun p ->
+      p.pending_faults <- [];
+      p.churn_pending <- [])
+    t.procs;
   List.iter
     (fun f ->
       let pid = fault_pid f in
@@ -720,6 +742,18 @@ let rooster_fires t = t.rooster_fires
 let steps t = t.steps
 let crashes t = t.crashes
 let crashed t ~pid = t.procs.(pid).state = Crashed
+
+(* Pop the oldest fired-but-unconsumed churn request for this process.
+   Plain OCaml state: polling from inside a worker body performs no effect
+   and costs no virtual time, so churn-free runs (and the polling itself)
+   cannot perturb seeded schedules. *)
+let take_churn t ~pid =
+  let p = t.procs.(pid) in
+  match p.churn_pending with
+  | [] -> None
+  | ticks :: rest ->
+    p.churn_pending <- rest;
+    Some ticks
 let hook_count t ~pid h = t.procs.(pid).hook_counts.(hook_index h)
 
 (* Oldest-first contents of the event ring. *)

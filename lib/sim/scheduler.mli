@@ -103,12 +103,19 @@ type strategy =
       [extra] ticks on top of the configured oversleep, possibly far beyond
       the [epsilon] the SMR schemes assume.
     - [Skew_burst] — the process's [now] reads [extra] ticks ahead during
-      [\[at, until_)] : a cross-core clock-skew burst. *)
+      [\[at, until_)] : a cross-core clock-skew burst.
+    - [Churn_at] — worker churn request: the process should leave the
+      computation (unregister, donating its limbo lists to the scheme's
+      orphan pool), stay away for [ticks] virtual time, then re-register.
+      The scheduler only {e queues} the request; the worker body polls
+      {!take_churn} between operations and performs the leave/rejoin
+      itself (registration belongs to the SMR scheme, not the core). *)
 type fault =
   | Stall_at of { pid : int; at : int; ticks : int }
   | Crash_at of { pid : int; at : int }
   | Oversleep_spike of { pid : int; at : int; extra : int }
   | Skew_burst of { pid : int; at : int; until_ : int; extra : int }
+  | Churn_at of { pid : int; at : int; ticks : int }
 
 type config = {
   n_cores : int;
@@ -160,6 +167,7 @@ type event =
   | Ev_crash
   | Ev_oversleep of int
   | Ev_skew of int
+  | Ev_churn of int
 
 val pp_hook : Format.formatter -> Qs_intf.Runtime_intf.hook -> unit
 val pp_event : Format.formatter -> event -> unit
@@ -250,6 +258,12 @@ val crashes : t -> int
 
 val crashed : t -> pid:int -> bool
 (** Has this process been killed by a {!Crash_at} fault? *)
+
+val take_churn : t -> pid:int -> int option
+(** Pop the oldest fired-but-unconsumed {!Churn_at} request for this
+    process ([Some downtime_ticks]), or [None]. Plain meta-level state:
+    polling performs no effect and costs no virtual time, so worker loops
+    may poll every operation without perturbing seeded schedules. *)
 
 val hook_count : t -> pid:int -> Qs_intf.Runtime_intf.hook -> int
 (** How many times this process has performed the given labelled hook since

@@ -3,6 +3,7 @@ let () =
     [ ("util", Test_util.suite);
       ("sim", Test_sim.suite);
       ("smr", Test_smr.suite);
+      ("membership", Test_membership.suite);
       ("hp_set", Test_hp_set.suite);
       ("list", Test_list.suite);
       ("sets", Test_sets.suite);

@@ -50,12 +50,18 @@ let test_serialization_round_trip () =
           Scheduler.Crash_at { pid = 1; at = 5_000 };
           Scheduler.Oversleep_spike { pid = 0; at = 2_000; extra = 900 };
           Scheduler.Skew_burst
-            { pid = 2; at = 3_000; until_ = 9_000; extra = 70 } ] };
-  (* a full fault-level expansion round-trips through the explicit list *)
+            { pid = 2; at = 3_000; until_ = 9_000; extra = 70 };
+          Scheduler.Churn_at { pid = 1; at = 4_000; ticks = 25_000 } ] };
+  (* full fault-level expansions round-trip through the explicit list *)
   round_trip
     { base with
       faults =
         Explorer.plan Explorer.Chaos ~n:base.n_processes
+          ~duration:base.duration ~seed:base.seed };
+  round_trip
+    { base with
+      faults =
+        Explorer.plan Explorer.Churn ~n:base.n_processes
           ~duration:base.duration ~seed:base.seed }
 
 let test_serialization_rejects_malformed () =
@@ -223,11 +229,58 @@ let test_plan_deterministic () =
       Alcotest.(check bool)
         (Explorer.fault_level_to_string level ^ " plan deterministic")
         true (p1 = p2))
-    [ Explorer.No_faults; Explorer.Stalls; Explorer.Victim_stall; Explorer.Chaos ];
+    [ Explorer.No_faults; Explorer.Stalls; Explorer.Victim_stall;
+      Explorer.Chaos; Explorer.Churn ];
   Alcotest.(check bool) "chaos plan non-empty" true
     (Explorer.plan Explorer.Chaos ~n:4 ~duration:400_000 ~seed:9 <> []);
   Alcotest.(check int) "no_faults plan empty" 0
-    (List.length (Explorer.plan Explorer.No_faults ~n:4 ~duration:400_000 ~seed:9))
+    (List.length (Explorer.plan Explorer.No_faults ~n:4 ~duration:400_000 ~seed:9));
+  (* the churn plan carries at least two leave/rejoin injections, and they
+     never target pid 0 exclusively-gated contexts outside [1, n) *)
+  let churns =
+    List.filter_map
+      (function
+        | Qs_sim.Scheduler.Churn_at { pid; at; ticks } -> Some (pid, at, ticks)
+        | _ -> None)
+      (Explorer.plan Explorer.Churn ~n:4 ~duration:400_000 ~seed:9)
+  in
+  Alcotest.(check bool) "churn plan injects at least two leave/rejoins" true
+    (List.length churns >= 2);
+  List.iter
+    (fun (pid, at, ticks) ->
+      Alcotest.(check bool) "churn pid in range" true (pid >= 0 && pid < 4);
+      Alcotest.(check bool) "churn timing positive" true (at > 0 && ticks > 0))
+    churns
+
+(* --- churn: leave/rejoin + orphan adoption stays safe --------------------- *)
+
+let churn_case ~scheme ~seed =
+  let c = Explorer.default_case ~ds:Cset.List ~scheme ~seed in
+  { c with
+    Explorer.faults =
+      Explorer.plan Explorer.Churn ~n:c.Explorer.n_processes
+        ~duration:c.Explorer.duration ~seed }
+
+let test_churn_cases_pass () =
+  List.iter
+    (fun scheme ->
+      let o = Explorer.run_one (churn_case ~scheme ~seed:31) in
+      match o.Explorer.verdict with
+      | Explorer.Pass -> ()
+      | v ->
+        Alcotest.failf "%s under churn: %s" (Scheme.to_string scheme)
+          (Explorer.verdict_to_string v))
+    [ Scheme.Qsbr; Scheme.Hp; Scheme.Cadence; Scheme.Qsense ]
+
+let test_churn_deterministic () =
+  let c = churn_case ~scheme:Scheme.Qsense ~seed:33 in
+  let a = Explorer.run_one c and b = Explorer.run_one c in
+  Alcotest.(check string)
+    "same verdict"
+    (Explorer.verdict_to_string a.Explorer.verdict)
+    (Explorer.verdict_to_string b.Explorer.verdict);
+  Alcotest.(check int) "same ops" a.Explorer.ops b.Explorer.ops;
+  Alcotest.(check int) "same steps" a.Explorer.steps b.Explorer.steps
 
 let suite =
   [ Alcotest.test_case "case serialization round-trips" `Quick
@@ -245,5 +298,9 @@ let suite =
     Alcotest.test_case "qsbr OOMs on the same stall schedule" `Quick
       test_qsbr_ooms_on_same_schedule;
     Alcotest.test_case "fault plans are deterministic" `Quick
-      test_plan_deterministic
+      test_plan_deterministic;
+    Alcotest.test_case "churn cases pass on the sound schemes" `Slow
+      test_churn_cases_pass;
+    Alcotest.test_case "churn runs are deterministic" `Quick
+      test_churn_deterministic
   ]

@@ -298,6 +298,51 @@ let test_metrics_limbo_and_lags () =
     "lags" [| 50; 90 |]
     (Metrics.epoch_lags (Tracer.to_array t2))
 
+let test_metrics_membership_counters () =
+  let t = Tracer.create ~n_processes:3 ~capacity:32 () in
+  let r = Tracer.record t in
+  (* pid 1 departs donating 4 nodes; pid 2 later adopts them, then pid 1's
+     successor departs empty-handed *)
+  r ~pid:1 ~time:100 ~ev:RI.Ev_unregister ~a:1 ~b:4;
+  r ~pid:2 ~time:150 ~ev:RI.Ev_adopt ~a:4 ~b:1;
+  r ~pid:1 ~time:300 ~ev:RI.Ev_unregister ~a:1 ~b:0;
+  r ~pid:0 ~time:350 ~ev:RI.Ev_adopt ~a:2 ~b:1;
+  let es = Tracer.to_array t in
+  checki "unregisters counted" 2 (Metrics.unregisters_total es);
+  checki "adoptions counted" 2 (Metrics.adoptions_total es);
+  checki "adopted nodes sum the payloads" 6 (Metrics.adopted_nodes_total es)
+
+let test_traced_churn_run () =
+  (* a churning simulator run must surface its membership traffic in the
+     trace: departures and adoptions appear, and the adopted-node total
+     never exceeds what departing workers donated *)
+  let tracer = Tracer.create ~n_processes:4 ~capacity:(1 lsl 15) () in
+  let setup =
+    { (Sim_exp.default_setup ~ds:Cset.List ~scheme:Qs_smr.Scheme.Qsense
+         ~n_processes:4
+         ~workload:(Qs_workload.Spec.make ~key_range:32 ~update_pct:50)) with
+      Sim_exp.duration = 200_000;
+      seed = 17;
+      churn = Some { Sim_exp.every_ops = 40; downtime = 2_000 };
+      sink = Some (Tracer.sink tracer) }
+  in
+  let r = Sim_exp.run setup in
+  checki "sound under churn" 0 r.Sim_exp.violations;
+  checkb "workers churned" true (r.Sim_exp.churn_events > 0);
+  let es = Tracer.to_array tracer in
+  checkb "departures traced" true (Metrics.unregisters_total es > 0);
+  checkb "adoptions traced" true (Metrics.adoptions_total es > 0);
+  let donated =
+    Array.fold_left
+      (fun acc (e : Tracer.entry) ->
+        if e.Tracer.ev = RI.Ev_unregister && e.Tracer.b > 0 then
+          acc + e.Tracer.b
+        else acc)
+      0 es
+  in
+  checkb "adopted nodes <= donated nodes" true
+    (Metrics.adopted_nodes_total es <= donated)
+
 (* --- exporters ------------------------------------------------------------ *)
 
 let test_chrome_round_trip () =
@@ -362,6 +407,8 @@ let suite =
     Alcotest.test_case "metrics: age join" `Quick test_metrics_age_join;
     Alcotest.test_case "metrics: global fallback pairing" `Quick test_metrics_fallback_global_pairing;
     Alcotest.test_case "metrics: limbo series + epoch lags" `Quick test_metrics_limbo_and_lags;
+    Alcotest.test_case "metrics: membership counters" `Quick test_metrics_membership_counters;
+    Alcotest.test_case "traced churn run surfaces membership" `Slow test_traced_churn_run;
     Alcotest.test_case "chrome export round-trips" `Quick test_chrome_round_trip;
     Alcotest.test_case "csv export shape" `Quick test_csv_shape
   ]

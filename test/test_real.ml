@@ -60,6 +60,67 @@ let smoke ~scheme ~ds () =
   if scheme <> Qs_smr.Scheme.None_ then
     Alcotest.(check bool) "reclaimed memory" true (r.report.smr.frees > 0)
 
+let test_roosters_stop_latency () =
+  (* stop must return well under one interval: the rooster loop sleeps in
+     small naps and re-checks the stop flag, instead of sleeping the whole
+     interval through (the old behaviour made teardown of long-interval
+     configurations take up to a full interval) *)
+  let interval_ns = 500_000_000 (* 0.5 s *) in
+  let r = Qs_real.Roosters.start ~interval_ns ~n:1 in
+  Unix.sleepf 0.01;
+  let t0 = Unix.gettimeofday () in
+  Qs_real.Roosters.stop r;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "stop returned in %.3fs, well under the 0.5s interval"
+       elapsed)
+    true
+    (elapsed < 0.25)
+
+let test_domain_pool_generations () =
+  let results =
+    Qs_real.Domain_pool.run_generations ~n:2 ~generations:3
+      ~downtime_s:0.002 (fun ~pid ~gen ->
+        Alcotest.(check int) "worker registered under its slot pid" pid
+          (R.self ());
+        (pid, gen))
+  in
+  Alcotest.(check int) "one slot per pid" 2 (Array.length results);
+  Array.iteri
+    (fun pid gens ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "slot %d ran three generations in order" pid)
+        [ (pid, 0); (pid, 1); (pid, 2) ]
+        gens)
+    results
+
+let test_real_churn () =
+  (* worker churn on real domains: each pid slot runs three successive
+     worker generations, every hand-off donating the departing domain's
+     limbo lists to the orphan pool; survivors must adopt and the run must
+     stay safe and leak-free *)
+  List.iter
+    (fun scheme ->
+      let name = Qs_smr.Scheme.to_string scheme in
+      let r =
+        Qs_harness.Real_exp.run
+          { (Qs_harness.Real_exp.default_setup ~ds:Qs_harness.Cset.List
+               ~scheme ~n_domains:3
+               ~workload:(Qs_workload.Spec.updates_50 ~key_range:128)) with
+            duration_ms = 200;
+            seed = 7;
+            churn = Some { Qs_harness.Real_exp.generations = 3; downtime_ms = 5 } }
+      in
+      Alcotest.(check int) (name ^ ": no use-after-free under churn") 0
+        r.violations;
+      Alcotest.(check bool) (name ^ ": not failed") false r.failed;
+      Alcotest.(check int) (name ^ ": no double frees") 0
+        r.report.double_frees;
+      Alcotest.(check bool) (name ^ ": churn actually happened") true
+        (r.churn_events > 0);
+      Alcotest.(check bool) (name ^ ": made progress") true (r.ops_total > 100))
+    [ Qs_smr.Scheme.Qsense; Qs_smr.Scheme.Cadence ]
+
 let test_real_stall_tolerance () =
   (* a stalled domain must not break QSense on the real runtime either *)
   let r =
@@ -89,5 +150,8 @@ let suite =
       (smoke ~scheme:Qs_smr.Scheme.Qsense ~ds:Qs_harness.Cset.Bst);
     Alcotest.test_case "hashtable/cadence on domains" `Quick
       (smoke ~scheme:Qs_smr.Scheme.Cadence ~ds:Qs_harness.Cset.Hashtable);
-    Alcotest.test_case "qsense tolerates stalled domain" `Quick test_real_stall_tolerance
+    Alcotest.test_case "qsense tolerates stalled domain" `Quick test_real_stall_tolerance;
+    Alcotest.test_case "roosters stop promptly" `Quick test_roosters_stop_latency;
+    Alcotest.test_case "domain pool generations" `Quick test_domain_pool_generations;
+    Alcotest.test_case "churn on real domains" `Slow test_real_churn
   ]
