@@ -248,14 +248,15 @@ module Micro = struct
   let n_processes = 8
   let hp_per_process = 8
 
-  let micro_cfg ~scan_threshold ~rooster_interval ~epsilon =
+  let micro_cfg ~bags ~scan_threshold ~rooster_interval ~epsilon =
     { (Qs_smr.Smr_intf.default_config ~n_processes ~hp_per_process) with
       scan_threshold;
       (* exact scan cadence: the scenarios are defined by scans firing at
          precisely the configured threshold *)
       scan_factor = 0.;
       rooster_interval;
-      epsilon }
+      epsilon;
+      limbo_bags = bags }
 
   (* The vector/sorted-set implementation under test. *)
   module Cad_vec = Qs_smr.Cadence.Make (R) (FN)
@@ -337,22 +338,35 @@ module Micro = struct
 
   let scenario_name = function Keep -> "keep" | Drain -> "drain"
 
-  let cfg_of_scenario scenario ~limbo =
+  let cfg_of_scenario scenario ~limbo ~bags =
     match scenario with
     | Keep ->
       (* Nothing ever ages out: scans keep the whole limbo list. ~8 scans
          over the L retires of a round. *)
-      micro_cfg ~scan_threshold:(max 1 (limbo / 8))
+      micro_cfg ~bags ~scan_threshold:(max 1 (limbo / 8))
         ~rooster_interval:max_int ~epsilon:0
     | Drain ->
       (* Everything is immediately old: the scan after the L-th retire
          checks every node against the N*K hazard pointers and frees it. *)
-      micro_cfg ~scan_threshold:limbo ~rooster_interval:0 ~epsilon:0
+      micro_cfg ~bags ~scan_threshold:limbo ~rooster_interval:0 ~epsilon:0
 
-  (* Returns best-round ns per retire (scan cost amortized in). *)
-  let run_vec scenario ~limbo ~rounds =
-    let cfg = cfg_of_scenario scenario ~limbo in
-    let t = Cad_vec.create cfg ~dummy ~free:(fun n -> n.freed <- n.freed + 1) in
+  (* Returns best-round ns per retire (scan cost amortized in).
+     [~bags:false] is the vec reference; [~bags:true] the DEBRA-style
+     limbo bags (block capacity 64: one seal stamp and one age check per
+     64 nodes, whole expired bags freed per walk step). *)
+  (* Bulk free, as the data structures wire it ([Arena.free_many]): one
+     callback per freed bag instead of one closure call per node. *)
+  let free_one n = n.freed <- n.freed + 1
+
+  let free_many data count =
+    for i = 0 to count - 1 do
+      let n = data.(i) in
+      n.freed <- n.freed + 1
+    done
+
+  let run_cadence ~bags scenario ~limbo ~rounds =
+    let cfg = cfg_of_scenario scenario ~limbo ~bags in
+    let t = Cad_vec.create cfg ~free_bulk:free_many ~dummy ~free:free_one in
     let handles = Array.init n_processes (fun pid -> Cad_vec.register t ~pid) in
     fill_hps (fun ~pid ~slot n -> Cad_vec.assign_hp handles.(pid) ~slot n);
     let nodes = pool limbo in
@@ -370,8 +384,36 @@ module Micro = struct
     done;
     !best /. float_of_int limbo
 
+  let run_vec = run_cadence ~bags:false
+  let run_bag = run_cadence ~bags:true
+
+  (* Steady-state allocation on the bag retire path, measured exactly like
+     the test-suite pins: warm-up retires grow the block cache, a flush
+     restocks it, and the measured window's retires (every 64th sealing a
+     bag and drawing a fresh block) must then allocate exactly nothing. *)
+  let bag_retire_alloc_words ~limbo =
+    let cfg =
+      micro_cfg ~bags:true ~scan_threshold:max_int ~rooster_interval:max_int
+        ~epsilon:0
+    in
+    let t = Cad_vec.create cfg ~free_bulk:free_many ~dummy ~free:free_one in
+    let h = Cad_vec.register t ~pid:0 in
+    let node = { id = 0; freed = 0 } in
+    for _i = 1 to limbo do
+      Cad_vec.retire h node
+    done;
+    Cad_vec.flush h;
+    Gc.minor ();
+    let before = Gc.minor_words () in
+    for _i = 1 to limbo do
+      Cad_vec.retire h node
+    done;
+    let words = Gc.minor_words () -. before in
+    Cad_vec.flush h;
+    words
+
   let run_list scenario ~limbo ~rounds =
-    let cfg = cfg_of_scenario scenario ~limbo in
+    let cfg = cfg_of_scenario scenario ~limbo ~bags:false in
     let t = Cad_list.create cfg ~dummy ~free:(fun n -> n.freed <- n.freed + 1) in
     fill_hps (fun ~pid ~slot n -> Cad_list.assign_hp t ~pid ~slot n);
     let nodes = pool limbo in
@@ -392,9 +434,11 @@ module Micro = struct
     limbo : int;
     list_ns : float;
     vec_ns : float;
+    bag_ns : float;
   }
 
   let speedup r = r.list_ns /. r.vec_ns
+  let bag_speedup r = r.vec_ns /. r.bag_ns
 
   let run ~sizes ~target_ops =
     List.concat_map
@@ -404,14 +448,16 @@ module Micro = struct
           (fun scenario ->
             let list_ns = run_list scenario ~limbo ~rounds in
             let vec_ns = run_vec scenario ~limbo ~rounds in
-            { scenario; limbo; list_ns; vec_ns })
+            let bag_ns = run_bag scenario ~limbo ~rounds in
+            { scenario; limbo; list_ns; vec_ns; bag_ns })
           [ Keep; Drain ])
       sizes
 
   let print_table results =
     let tbl =
       Qs_util.Table.create
-        [ "scenario"; "limbo"; "list ns/retire"; "vec ns/retire"; "speedup" ]
+        [ "scenario"; "limbo"; "list ns/retire"; "vec ns/retire";
+          "bag ns/retire"; "vec/list"; "bag/vec" ]
     in
     List.iter
       (fun r ->
@@ -420,7 +466,9 @@ module Micro = struct
             string_of_int r.limbo;
             Printf.sprintf "%.1f" r.list_ns;
             Printf.sprintf "%.1f" r.vec_ns;
-            Printf.sprintf "%.2fx" (speedup r) ])
+            Printf.sprintf "%.1f" r.bag_ns;
+            Printf.sprintf "%.2fx" (speedup r);
+            Printf.sprintf "%.2fx" (bag_speedup r) ])
       results;
     Qs_util.Table.print tbl;
     print_newline ()
@@ -846,19 +894,21 @@ module Observatory = struct
     qsense_fallback ()
 end
 
-(* --- JSON report (schema 4) ----------------------------------------------- *)
+(* --- JSON report (schema 5) ----------------------------------------------- *)
 
 (* Consumed by CI (regression guards) and by EXPERIMENTS.md readers.
-   Schema 4 = schema 3's sections ("retire_scan", "membership", "e2e",
-   "trace") plus worker churn: a top-level "churn" flag (--churn) and a
-   per-e2e-row "churn_events" count of completed leave/rejoin cycles —
-   non-zero under --churn proves the dynamic-membership path (unregister,
-   orphan donation, adoption, slot reuse) ran inside the measured sweep. *)
-let emit_json ~path ~quick ~churn ~retire_scan ~membership ~e2e
-    ~(trace : Observatory.overhead) =
+   Schema 5 = schema 4's sections ("retire_scan", "membership", "e2e",
+   "trace", the "churn" flag) plus a "bags" micro section: the DEBRA-style
+   limbo-bag retire/scan numbers against the vec reference per (scenario,
+   limbo) point, the block capacity, and the exact words allocated by a
+   steady-state window of the bag retire path (must be 0). The e2e sweep
+   itself now runs on bags (the config default), so its rows ARE the bag
+   numbers. *)
+let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
+    ~e2e ~(trace : Observatory.overhead) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 4,\n";
+  Printf.fprintf oc "  \"schema\": 5,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"churn\": %b,\n" churn;
   Printf.fprintf oc "  \"n_processes\": %d,\n" Micro.n_processes;
@@ -875,6 +925,25 @@ let emit_json ~path ~quick ~churn ~retire_scan ~membership ~e2e
         (if i = n - 1 then "" else ","))
     retire_scan;
   Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"bags\": {\n";
+  Printf.fprintf oc "    \"capacity\": %d,\n"
+    (Qs_smr.Smr_intf.default_config ~n_processes:Micro.n_processes
+       ~hp_per_process:Micro.hp_per_process)
+      .Qs_smr.Smr_intf.bag_capacity;
+  Printf.fprintf oc "    \"retire_alloc_words\": %.1f,\n" bag_alloc_words;
+  Printf.fprintf oc "    \"rows\": [\n";
+  let n = List.length retire_scan in
+  List.iteri
+    (fun i (r : Micro.result) ->
+      Printf.fprintf oc
+        "      {\"scenario\": \"%s\", \"limbo\": %d, \"vec_ns_per_op\": \
+         %.2f, \"bag_ns_per_op\": %.2f, \"speedup\": %.3f}%s\n"
+        (Micro.scenario_name r.scenario)
+        r.limbo r.vec_ns r.bag_ns (Micro.bag_speedup r)
+        (if i = n - 1 then "" else ","))
+    retire_scan;
+  Printf.fprintf oc "    ]\n";
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"membership\": [\n";
   let n = List.length membership in
   List.iteri
@@ -947,10 +1016,15 @@ let () =
   end;
   Printf.printf
     "== retire/scan microbenchmark (vec + hash scan set vs seed list impl) ==\n%!";
+  (* --quick must keep at least one limbo >= 10^4 point: the CI speedup
+     guard (bag vs vec) gates on that size class. *)
   let sizes = if quick then [ 100; 1_000; 10_000 ] else [ 100; 1_000; 10_000; 100_000 ] in
   let target_ops = if quick then 200_000 else 2_000_000 in
   let results = Micro.run ~sizes ~target_ops in
   Micro.print_table results;
+  let bag_alloc_words = Micro.bag_retire_alloc_words ~limbo:10_000 in
+  Printf.printf "bag retire path steady-state allocation: %.0f words / 10000 retires\n\n%!"
+    bag_alloc_words;
   Printf.printf
     "== HP membership: hash scan set vs sorted-id reference (per probe, snapshot amortized) ==\n%!";
   let membership = Membership.run ~quick in
@@ -971,7 +1045,7 @@ let () =
   let trace_overhead = Observatory.overhead ~quick in
   Observatory.print_overhead trace_overhead;
   emit_json ~path:"BENCH_RESULTS.json" ~quick ~churn ~retire_scan:results
-    ~membership ~e2e:e2e_results ~trace:trace_overhead;
+    ~bag_alloc_words ~membership ~e2e:e2e_results ~trace:trace_overhead;
   Qs_real.Roosters.stop roosters;
   (* The multi-core figures come from the simulator: *)
   print_endline "Scalability and robustness figures (multi-core) are produced by the";

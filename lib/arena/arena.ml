@@ -90,6 +90,28 @@ module Make (N : NODE) = struct
       Qs_util.Vec.push h.free_list n
     end
 
+  (* Bulk return for the batched-bag reclamation path: free the first
+     [count] elements of [data] with ONE update of the shared outstanding
+     counter instead of one per node. The per-node oracle work (double-free
+     detection, state stamping, free-list push) is kept — it is exactly
+     what the node-state checks test against. *)
+  let free_many h data count =
+    let freed = ref 0 in
+    for i = 0 to count - 1 do
+      let n = data.(i) in
+      if Node_state.equal (N.get_state n) Node_state.Free then
+        h.double_frees <- h.double_frees + 1
+      else begin
+        N.set_state n Node_state.Free;
+        incr freed;
+        Qs_util.Vec.push h.free_list n
+      end
+    done;
+    if !freed > 0 then begin
+      h.frees <- h.frees + !freed;
+      ignore (Atomic.fetch_and_add h.owner.outstanding_now (- !freed))
+    end
+
   let touch h n =
     if Node_state.equal (N.get_state n) Node_state.Free then
       h.violations <- h.violations + 1

@@ -50,6 +50,13 @@ module Make (N : NODE) : sig
   (** Return a node to the caller's free list and mark it [Free]. A node
       already [Free] increments the double-free counter instead. *)
 
+  val free_many : handle -> N.t array -> int -> unit
+  (** [free_many h data count] frees [data.(0 .. count-1)] as {!free} does
+      — per-node double-free detection, state stamping and free-list push
+      included — but updates the shared outstanding counter once for the
+      whole batch. This is the bulk-return path for whole limbo bags. The
+      array is not retained. *)
+
   val touch : handle -> N.t -> unit
   (** Record a traversal access to the node: if its state is [Free], the
       access is a use-after-free and increments the violation counter. *)

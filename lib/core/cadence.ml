@@ -15,16 +15,24 @@
    Hot-path discipline: [retire] is allocation- and syscall-free — the
    timestamp comes from the runtime's coarse clock ([R.now_coarse], an
    atomic load refreshed by the roosters) and the node lands in a
-   timestamped vector. Scans compact that vector in place against a
-   reusable sorted-id snapshot of the hazard pointers. The coarse
-   timestamp understates the removal time by at most one rooster period;
-   DESIGN.md ("Hot-path discipline") gives the accounting that keeps the
-   deferral sound.
+   timestamped limbo bag by default ({!Qs_util.Bag.Ts} via the
+   {!Qs_util.Limbo.Ts} switch; the vec reference stays behind
+   [config.limbo_bags = false]). A bag is stamped once when it seals —
+   with its newest timestamp, the bag's maximum under the monotone coarse
+   clock — so a scan walks sealed bags oldest-first, pays ONE age check
+   per bag, stops at the first too-young bag, and returns each expired
+   bag to the arena in one bulk call, filtering only hazard-protected
+   survivors into fresh bags. The coarse timestamp understates the
+   removal time by at most one rooster period; DESIGN.md ("Hot-path
+   discipline") gives the accounting that keeps the deferral sound, and
+   DESIGN.md §11 the bag-walk argument.
 
    Cadence is usable stand-alone (this module) and as QSense's fallback
    path ({!Qsense} re-implements the merged version over the limbo lists).
    The runtime must run roosters with interval <= [cfg.rooster_interval]:
    simulator config [rooster_interval], or {!Qs_real.Roosters.start}. *)
+
+module Limbo = Qs_util.Limbo
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type node = N.t
@@ -36,9 +44,10 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     scan_threshold_eff : int; (* adaptive: max(R, ceil(scan_factor * N * K)) *)
     hp : Hp.t;
     free : node -> unit;
+    free_bulk : node array -> int -> unit;
     dummy : node;
     handles : handle option array;
-    orphans : node Qs_util.Vec.Ts.t Orphan_pool.t;
+    orphans : node Limbo.Ts.t Orphan_pool.t;
     mutable legacy_retires : int;
     mutable legacy_frees : int;
     mutable legacy_scans : int;
@@ -49,21 +58,44 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   and handle = {
     owner : t;
     pid : int;
-    mutable rlist : node Qs_util.Vec.Ts.t;
+    mutable lsrc : node Limbo.Ts.source;
+    mutable rlist : node Limbo.Ts.t;
     scan_set : Hp.scan_set;
     mutable retires : int;
+    mutable until_scan : int;
+        (* retires left before the next threshold scan — a countdown so the
+           per-retire check is a decrement, not a [mod] (64-bit division)
+           on the hot path *)
     mutable frees : int;
     mutable scans : int;
     mutable retired_peak : int;
+    mutable scan_now : int;
+        (* the scan's single [now_coarse] read, hoisted into the handle so
+           the preallocated filter closures capture no per-scan state *)
+    vec_filter : node -> int -> bool;
+    age_ok : int -> bool;
+    keep : node -> bool;
+    free_bag : node array -> int array -> int -> int -> unit;
+    flush_bag : node array -> int array -> int -> int -> unit;
   }
 
   let name = "cadence"
 
-  let create (cfg : Smr_intf.config) ~dummy ~free =
+  let create ?free_bulk (cfg : Smr_intf.config) ~dummy ~free =
+    let free_bulk =
+      match free_bulk with
+      | Some f -> f
+      | None ->
+        fun data count ->
+          for i = 0 to count - 1 do
+            free data.(i)
+          done
+    in
     { cfg;
       scan_threshold_eff = Smr_intf.effective_scan_threshold cfg;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
+      free_bulk;
       dummy;
       handles = Array.make cfg.n_processes None;
       orphans = Orphan_pool.create ();
@@ -72,16 +104,58 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       legacy_scans = 0;
       legacy_retired_peak = 0 }
 
+  let limbo_source t =
+    Limbo.Ts.source ~bags:t.cfg.limbo_bags ~capacity:t.cfg.bag_capacity
+      t.dummy
+
   let register t ~pid =
-    let h =
+    let lsrc = limbo_source t in
+    let age = t.cfg.rooster_interval + t.cfg.epsilon in
+    let rec h =
       { owner = t;
         pid;
-        rlist = Qs_util.Vec.Ts.create t.dummy;
+        lsrc;
+        rlist = Limbo.Ts.create lsrc;
         scan_set = Hp.scan_set t.hp;
         retires = 0;
+        until_scan = t.scan_threshold_eff;
         frees = 0;
         scans = 0;
-        retired_peak = 0 }
+        retired_peak = 0;
+        scan_now = 0;
+        vec_filter =
+          (fun n ts ->
+            if
+              h.scan_now - ts >= age && not (Hp.protects_set h.scan_set n)
+            then begin
+              t.free n;
+              h.frees <- h.frees + 1;
+              (* [now - ts] is the exact quantity the age check passed on —
+                 Ev_free.b is the node's age at free, the paper's T + epsilon
+                 floor observed empirically. *)
+              R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (h.scan_now - ts);
+              false
+            end
+            else true);
+        age_ok = (fun stamp -> h.scan_now - stamp >= age);
+        keep = (fun n -> Hp.protects_set h.scan_set n);
+        free_bag =
+          (fun data ts count stamp ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count;
+            (* one tracing check per bag instead of one dead emit per
+               node; Ev_free.b stays the exact age at free when traced *)
+            if R.tracing () then
+              for i = 0 to count - 1 do
+                R.emit Qs_intf.Runtime_intf.Ev_free (N.id data.(i))
+                  (h.scan_now - ts.(i))
+              done;
+            R.emit Qs_intf.Runtime_intf.Ev_bag_free count
+              (h.scan_now - stamp));
+        flush_bag =
+          (fun data _ts count _stamp ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count) }
     in
     t.handles.(pid) <- Some h;
     h
@@ -92,9 +166,6 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   let assign_hp h ~slot n = Hp.assign h.owner.hp ~pid:h.pid ~slot n
 
   let clear_hps h = Hp.clear h.owner.hp ~pid:h.pid
-
-  let is_old_enough t ~now ts =
-    now - ts >= t.cfg.rooster_interval + t.cfg.epsilon
 
   (* Adoption: splice one orphaned timestamped list into our own just
      before a scan, original retire timestamps preserved. The adopted
@@ -110,10 +181,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       match Orphan_pool.take t.orphans with
       | None -> ()
       | Some e ->
-        Qs_util.Vec.Ts.iter
-          (fun n ts -> Qs_util.Vec.Ts.push h.rlist n ts)
-          e.Orphan_pool.payload;
-        Qs_util.Vec.Ts.clear e.Orphan_pool.payload;
+        Limbo.Ts.splice_into ~src:e.Orphan_pool.payload ~dst:h.rlist;
         R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
           e.Orphan_pool.donor
 
@@ -122,32 +190,28 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     adopt_orphans h;
     let t = h.owner in
     h.scans <- h.scans + 1;
-    let before = Qs_util.Vec.Ts.length h.rlist in
+    let before = Limbo.Ts.length h.rlist in
     R.emit Qs_intf.Runtime_intf.Ev_scan_begin before (-1);
-    let now = R.now_coarse () in
+    h.scan_now <- R.now_coarse ();
     Hp.snapshot_into t.hp h.scan_set;
-    Qs_util.Vec.Ts.filter_in_place h.rlist (fun n ts ->
-        if is_old_enough t ~now ts && not (Hp.protects_set h.scan_set n) then begin
-          t.free n;
-          h.frees <- h.frees + 1;
-          (* [now - ts] is the exact quantity the age check passed on —
-             Ev_free.b is the node's age at free, the paper's T + epsilon
-             floor observed empirically. *)
-          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (now - ts);
-          false
-        end
-        else true);
-    let kept = Qs_util.Vec.Ts.length h.rlist in
+    Limbo.Ts.scan h.rlist ~vec_filter:h.vec_filter ~age_ok:h.age_ok
+      ~keep:h.keep ~free_bag:h.free_bag;
+    let kept = Limbo.Ts.length h.rlist in
     R.emit Qs_intf.Runtime_intf.Ev_scan_end (before - kept) kept
 
   let retire h n =
     R.hook Qs_intf.Runtime_intf.Hook_retire;
-    Qs_util.Vec.Ts.push h.rlist n (R.now_coarse ());
+    let sealed = Limbo.Ts.push h.rlist n (R.now_coarse ()) in
     h.retires <- h.retires + 1;
-    let rcount = Qs_util.Vec.Ts.length h.rlist in
+    let rcount = Limbo.Ts.length h.rlist in
     if rcount > h.retired_peak then h.retired_peak <- rcount;
     R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) rcount;
-    if h.retires mod h.owner.scan_threshold_eff = 0 then scan h
+    if sealed > 0 then R.emit Qs_intf.Runtime_intf.Ev_bag_seal sealed (-1);
+    h.until_scan <- h.until_scan - 1;
+    if h.until_scan = 0 then begin
+      h.until_scan <- h.owner.scan_threshold_eff;
+      scan h
+    end
 
   (* Dynamic membership: clear the slot's hazard pointers with a fence —
      Cadence's [assign_hp] is deliberately unfenced, but this is a cold
@@ -158,9 +222,10 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     let t = h.owner in
     Hp.clear t.hp ~pid:h.pid;
     R.fence ();
-    let donated = Qs_util.Vec.Ts.length h.rlist in
+    let donated = Limbo.Ts.length h.rlist in
     let old = h.rlist in
-    h.rlist <- Qs_util.Vec.Ts.create t.dummy;
+    h.lsrc <- limbo_source t;
+    h.rlist <- Limbo.Ts.create h.lsrc;
     Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated old;
     t.legacy_retires <- t.legacy_retires + h.retires;
     t.legacy_frees <- t.legacy_frees + h.frees;
@@ -174,21 +239,21 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     R.emit Qs_intf.Runtime_intf.Ev_unregister h.pid donated
 
   let flush h =
-    Qs_util.Vec.Ts.iter
-      (fun n _ts ->
-        h.owner.free n;
-        h.frees <- h.frees + 1)
-      h.rlist;
-    Qs_util.Vec.Ts.clear h.rlist;
     let t = h.owner in
+    Limbo.Ts.drain h.rlist
+      ~free_node:(fun n _ts ->
+        t.free n;
+        h.frees <- h.frees + 1)
+      ~free_bag:h.flush_bag;
     List.iter
       (fun (e : _ Orphan_pool.entry) ->
-        Qs_util.Vec.Ts.iter
-          (fun n _ts ->
+        Limbo.Ts.drain e.Orphan_pool.payload
+          ~free_node:(fun n _ts ->
             t.free n;
             t.legacy_frees <- t.legacy_frees + 1)
-          e.Orphan_pool.payload;
-        Qs_util.Vec.Ts.clear e.Orphan_pool.payload)
+          ~free_bag:(fun data _ts count _stamp ->
+            t.free_bulk data count;
+            t.legacy_frees <- t.legacy_frees + count))
       (Orphan_pool.drain t.orphans)
 
   let fold t f =
@@ -197,7 +262,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       0 t.handles
 
   let retired_count t =
-    fold t (fun h -> Qs_util.Vec.Ts.length h.rlist)
+    fold t (fun h -> Limbo.Ts.length h.rlist)
     + Orphan_pool.node_count t.orphans
 
   let stats t =

@@ -15,10 +15,14 @@
    [clear_hps] (end of every operation, where hazard-pointer schemes drop
    protection) = leave it.
 
-   Hot-path discipline: vector limbo lists (amortised allocation-free
-   [retire]); padded per-process epoch slots — [clear_hps] writes the slot
-   on every single operation, making it the most false-sharing-sensitive
-   cell in the scheme. *)
+   Hot-path discipline: batched-bag limbo lists by default ({!Qs_util.Bag}
+   via the {!Qs_util.Limbo} switch; allocation-free [retire], whole-bag
+   frees on epoch expiry, the vec reference behind
+   [config.limbo_bags = false]); padded per-process epoch slots —
+   [clear_hps] writes the slot on every single operation, making it the
+   most false-sharing-sensitive cell in the scheme. *)
+
+module Limbo = Qs_util.Limbo
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type node = N.t
@@ -26,13 +30,14 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type t = {
     cfg : Smr_intf.config;
     free : node -> unit;
+    free_bulk : node array -> int -> unit;
     global : int R.atomic;
     (* local.(pid): -1 when inactive, else the epoch pinned by the
        in-flight operation *)
     locals : int R.atomic array;
     dummy : node;
     handles : handle option array;
-    orphans : node Qs_util.Vec.t array Orphan_pool.t;
+    orphans : node Limbo.t array Orphan_pool.t;
     mutable legacy_retires : int;
     mutable legacy_frees : int;
     mutable legacy_epoch_advances : int;
@@ -43,20 +48,37 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   and handle = {
     owner : t;
     pid : int;
-    mutable limbo : node Qs_util.Vec.t array;
+    mutable lsrc : node Limbo.source;
+    mutable limbo : node Limbo.Triple.t;
     mutable last_epoch : int; (* last epoch this process was pinned to *)
     mutable ops : int;
     mutable retires : int;
     mutable frees : int;
     mutable epoch_advances : int;
     mutable retired_peak : int;
+    (* preallocated reclamation callbacks; the [flush_*] pair skips event
+       emission (teardown may run outside process context) *)
+    free_node : node -> unit;
+    free_bag : node array -> int -> unit;
+    flush_node : node -> unit;
+    flush_bag : node array -> int -> unit;
   }
 
   let name = "ebr"
 
-  let create (cfg : Smr_intf.config) ~dummy ~free =
+  let create ?free_bulk (cfg : Smr_intf.config) ~dummy ~free =
+    let free_bulk =
+      match free_bulk with
+      | Some f -> f
+      | None ->
+        fun data count ->
+          for i = 0 to count - 1 do
+            free data.(i)
+          done
+    in
     { cfg;
       free;
+      free_bulk;
       global = R.atomic_padded 0;
       locals = Array.init cfg.n_processes (fun _ -> R.atomic_padded (-1));
       dummy;
@@ -67,17 +89,45 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       legacy_epoch_advances = 0;
       legacy_retired_peak = 0 }
 
+  let limbo_source t =
+    Limbo.source ~bags:t.cfg.limbo_bags ~capacity:t.cfg.bag_capacity t.dummy
+
   let register t ~pid =
-    let h =
+    let lsrc = limbo_source t in
+    let rec h =
       { owner = t;
         pid;
-        limbo = Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
+        lsrc;
+        limbo = Limbo.Triple.create lsrc;
         last_epoch = -1;
         ops = 0;
         retires = 0;
         frees = 0;
         epoch_advances = 0;
-        retired_peak = 0 }
+        retired_peak = 0;
+        free_node =
+          (fun n ->
+            t.free n;
+            h.frees <- h.frees + 1;
+            R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1));
+        free_bag =
+          (fun data count ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count;
+            (* one tracing check per bag instead of one dead emit per node *)
+            if R.tracing () then
+              for i = 0 to count - 1 do
+                R.emit Qs_intf.Runtime_intf.Ev_free (N.id data.(i)) (-1)
+              done;
+            R.emit Qs_intf.Runtime_intf.Ev_bag_free count (-1));
+        flush_node =
+          (fun n ->
+            t.free n;
+            h.frees <- h.frees + 1);
+        flush_bag =
+          (fun data count ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count) }
     in
     t.handles.(pid) <- Some h;
     h
@@ -86,13 +136,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
      process context where performing the emit effect is illegal. *)
   let free_epoch ?(emit = true) h e =
     let v = h.limbo.(e) in
-    Qs_util.Vec.iter
-      (fun n ->
-        h.owner.free n;
-        h.frees <- h.frees + 1;
-        if emit then R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1))
-      v;
-    Qs_util.Vec.clear v
+    if emit then Limbo.drain v ~free_node:h.free_node ~free_bag:h.free_bag
+    else Limbo.drain v ~free_node:h.flush_node ~free_bag:h.flush_bag
 
   (* Every process is either inactive or pinned to [eg]. *)
   let all_on t eg =
@@ -117,9 +162,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       | None -> ()
       | Some e ->
         Array.iter
-          (fun v ->
-            Qs_util.Vec.iter (fun n -> Qs_util.Vec.push h.limbo.(eg) n) v;
-            Qs_util.Vec.clear v)
+          (fun v -> Limbo.splice_into ~src:v ~dst:h.limbo.(eg))
           e.Orphan_pool.payload;
         R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
           e.Orphan_pool.donor
@@ -152,10 +195,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   let assign_hp _ ~slot:_ _ = ()
 
-  let total_limbo h =
-    Qs_util.Vec.length h.limbo.(0)
-    + Qs_util.Vec.length h.limbo.(1)
-    + Qs_util.Vec.length h.limbo.(2)
+  let total_limbo h = Limbo.Triple.total h.limbo
 
   let retire h n =
     R.hook Qs_intf.Runtime_intf.Hook_retire;
@@ -164,11 +204,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       | -1 -> R.get h.owner.global (* retire outside an operation *)
       | e -> e
     in
-    Qs_util.Vec.push h.limbo.(e) n;
+    let sealed = Limbo.push h.limbo.(e) n in
     h.retires <- h.retires + 1;
     let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total;
-    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total
+    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total;
+    if sealed > 0 then R.emit Qs_intf.Runtime_intf.Ev_bag_seal sealed (-1)
 
   (* Dynamic membership. EBR needs no join protocol on re-registration:
      a vacated slot's [locals] cell holds -1, which is the ordinary
@@ -178,7 +219,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     let t = h.owner in
     let donated = total_limbo h in
     let old = h.limbo in
-    h.limbo <- Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
+    h.lsrc <- limbo_source t;
+    h.limbo <- Limbo.Triple.create h.lsrc;
     R.set t.locals.(h.pid) (-1);
     Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated old;
     t.legacy_retires <- t.legacy_retires + h.retires;
@@ -201,12 +243,13 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       (fun (e : _ Orphan_pool.entry) ->
         Array.iter
           (fun v ->
-            Qs_util.Vec.iter
-              (fun n ->
+            Limbo.drain v
+              ~free_node:(fun n ->
                 t.free n;
                 t.legacy_frees <- t.legacy_frees + 1)
-              v;
-            Qs_util.Vec.clear v)
+              ~free_bag:(fun data count ->
+                t.free_bulk data count;
+                t.legacy_frees <- t.legacy_frees + count))
           e.Orphan_pool.payload)
       (Orphan_pool.drain t.orphans)
 

@@ -11,8 +11,11 @@
    TSO model the unfenced variant reclaims nodes that are still hazardously
    referenced.
 
-   Hot-path discipline: the removed list is a vector (allocation-free
-   [retire]); a scan snapshots the N×K hazard slots into a reusable id
+   Hot-path discipline: the removed list is a batched bag deque by default
+   ({!Qs_util.Bag} via the {!Qs_util.Limbo} switch; allocation-free
+   [retire], drops freed one whole bag per arena call, survivors compacted
+   into fresh bags; the vec reference behind [config.limbo_bags = false]);
+   a scan snapshots the N×K hazard slots into a reusable id
    hash set (expected-O(1) membership, zero allocation) and compacts the
    removed list in place. The scan threshold adapts to the deployment:
    effective R = max(cfg.scan_threshold, ceil(scan_factor * N * K)),
@@ -20,6 +23,8 @@
    most N·K protected nodes, so every scan frees at least
    (scan_factor - 1)·N·K nodes and scan work is amortised O(1) per retire
    however many processes or hazard pointers the system runs. *)
+
+module Limbo = Qs_util.Limbo
 
 module type PARAMS = sig
   val scheme_name : string
@@ -40,9 +45,10 @@ struct
     scan_threshold_eff : int; (* adaptive: max(R, ceil(scan_factor * N * K)) *)
     hp : Hp.t;
     free : node -> unit;
+    free_bulk : node array -> int -> unit;
     dummy : node;
     handles : handle option array;
-    orphans : node Qs_util.Vec.t Orphan_pool.t;
+    orphans : node Limbo.t Orphan_pool.t;
     mutable legacy_retires : int;
     mutable legacy_frees : int;
     mutable legacy_scans : int;
@@ -53,21 +59,38 @@ struct
   and handle = {
     owner : t;
     pid : int;
-    mutable rlist : node Qs_util.Vec.t;
+    mutable lsrc : node Limbo.source;
+    mutable rlist : node Limbo.t;
     scan_set : Hp.scan_set;
     mutable retires : int;
     mutable frees : int;
     mutable scans : int;
     mutable retired_peak : int;
+    (* preallocated scan/flush callbacks: the per-scan closure state is
+       hoisted into the handle so a scan builds nothing on the heap *)
+    vec_filter : node -> bool;
+    keep : node -> bool;
+    free_bag : node array -> int -> unit;
+    flush_bag : node array -> int -> unit;
   }
 
   let name = P.scheme_name
 
-  let create (cfg : Smr_intf.config) ~dummy ~free =
+  let create ?free_bulk (cfg : Smr_intf.config) ~dummy ~free =
+    let free_bulk =
+      match free_bulk with
+      | Some f -> f
+      | None ->
+        fun data count ->
+          for i = 0 to count - 1 do
+            free data.(i)
+          done
+    in
     { cfg;
       scan_threshold_eff = Smr_intf.effective_scan_threshold cfg;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
+      free_bulk;
       dummy;
       handles = Array.make cfg.n_processes None;
       orphans = Orphan_pool.create ();
@@ -76,16 +99,47 @@ struct
       legacy_scans = 0;
       legacy_retired_peak = 0 }
 
+  let limbo_source t =
+    Limbo.source ~bags:t.cfg.limbo_bags ~capacity:t.cfg.bag_capacity t.dummy
+
   let register t ~pid =
-    let h =
+    let lsrc = limbo_source t in
+    let rec h =
       { owner = t;
         pid;
-        rlist = Qs_util.Vec.create t.dummy;
+        lsrc;
+        rlist = Limbo.create lsrc;
         scan_set = Hp.scan_set t.hp;
         retires = 0;
         frees = 0;
         scans = 0;
-        retired_peak = 0 }
+        retired_peak = 0;
+        vec_filter =
+          (fun n ->
+            if Hp.protects_set h.scan_set n then true
+            else begin
+              t.free n;
+              h.frees <- h.frees + 1;
+              (* classic HP has no timestamps: age recovered offline by
+                 joining against the node's Ev_retire *)
+              R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1);
+              false
+            end);
+        keep = (fun n -> Hp.protects_set h.scan_set n);
+        free_bag =
+          (fun data count ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count;
+            (* one tracing check per bag instead of one dead emit per node *)
+            if R.tracing () then
+              for i = 0 to count - 1 do
+                R.emit Qs_intf.Runtime_intf.Ev_free (N.id data.(i)) (-1)
+              done;
+            R.emit Qs_intf.Runtime_intf.Ev_bag_free count (-1));
+        flush_bag =
+          (fun data count ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count) }
     in
     t.handles.(pid) <- Some h;
     h
@@ -111,10 +165,7 @@ struct
       match Orphan_pool.take t.orphans with
       | None -> ()
       | Some e ->
-        Qs_util.Vec.iter
-          (fun n -> Qs_util.Vec.push h.rlist n)
-          e.Orphan_pool.payload;
-        Qs_util.Vec.clear e.Orphan_pool.payload;
+        Limbo.splice_into ~src:e.Orphan_pool.payload ~dst:h.rlist;
         R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
           e.Orphan_pool.donor
 
@@ -125,29 +176,22 @@ struct
     adopt_orphans h;
     let t = h.owner in
     h.scans <- h.scans + 1;
-    let before = Qs_util.Vec.length h.rlist in
+    let before = Limbo.length h.rlist in
     R.emit Qs_intf.Runtime_intf.Ev_scan_begin before (-1);
     Hp.snapshot_into t.hp h.scan_set;
-    Qs_util.Vec.filter_in_place h.rlist (fun n ->
-        if Hp.protects_set h.scan_set n then true
-        else begin
-          t.free n;
-          h.frees <- h.frees + 1;
-          (* classic HP has no timestamps: age recovered offline by
-             joining against the node's Ev_retire *)
-          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1);
-          false
-        end);
-    let kept = Qs_util.Vec.length h.rlist in
+    Limbo.scan h.rlist ~vec_filter:h.vec_filter ~keep:h.keep
+      ~free_bag:h.free_bag;
+    let kept = Limbo.length h.rlist in
     R.emit Qs_intf.Runtime_intf.Ev_scan_end (before - kept) kept
 
   let retire h n =
     R.hook Qs_intf.Runtime_intf.Hook_retire;
-    Qs_util.Vec.push h.rlist n;
+    let sealed = Limbo.push h.rlist n in
     h.retires <- h.retires + 1;
-    let rcount = Qs_util.Vec.length h.rlist in
+    let rcount = Limbo.length h.rlist in
     if rcount > h.retired_peak then h.retired_peak <- rcount;
     R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) rcount;
+    if sealed > 0 then R.emit Qs_intf.Runtime_intf.Ev_bag_seal sealed (-1);
     if rcount >= h.owner.scan_threshold_eff then scan h
 
   (* Dynamic membership: clear the slot's hazard pointers (with a fence so
@@ -157,9 +201,10 @@ struct
     let t = h.owner in
     Hp.clear t.hp ~pid:h.pid;
     if P.fenced then R.fence ();
-    let donated = Qs_util.Vec.length h.rlist in
+    let donated = Limbo.length h.rlist in
     let old = h.rlist in
-    h.rlist <- Qs_util.Vec.create t.dummy;
+    h.lsrc <- limbo_source t;
+    h.rlist <- Limbo.create h.lsrc;
     Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated old;
     t.legacy_retires <- t.legacy_retires + h.retires;
     t.legacy_frees <- t.legacy_frees + h.frees;
@@ -173,21 +218,21 @@ struct
     R.emit Qs_intf.Runtime_intf.Ev_unregister h.pid donated
 
   let flush h =
-    Qs_util.Vec.iter
-      (fun n ->
-        h.owner.free n;
-        h.frees <- h.frees + 1)
-      h.rlist;
-    Qs_util.Vec.clear h.rlist;
     let t = h.owner in
+    Limbo.drain h.rlist
+      ~free_node:(fun n ->
+        t.free n;
+        h.frees <- h.frees + 1)
+      ~free_bag:h.flush_bag;
     List.iter
       (fun (e : _ Orphan_pool.entry) ->
-        Qs_util.Vec.iter
-          (fun n ->
+        Limbo.drain e.Orphan_pool.payload
+          ~free_node:(fun n ->
             t.free n;
             t.legacy_frees <- t.legacy_frees + 1)
-          e.Orphan_pool.payload;
-        Qs_util.Vec.clear e.Orphan_pool.payload)
+          ~free_bag:(fun data count ->
+            t.free_bulk data count;
+            t.legacy_frees <- t.legacy_frees + count))
       (Orphan_pool.drain t.orphans)
 
   let fold t f =
@@ -196,7 +241,7 @@ struct
       0 t.handles
 
   let retired_count t =
-    fold t (fun h -> Qs_util.Vec.length h.rlist)
+    fold t (fun h -> Limbo.length h.rlist)
     + Orphan_pool.node_count t.orphans
 
   let stats t =

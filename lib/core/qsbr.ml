@@ -12,11 +12,17 @@
    the global epoch and with it all reclamation — the failure mode QSense's
    fallback path exists to survive.
 
-   Hot-path discipline: limbo lists are growable vectors ({!Qs_util.Vec}),
-   so [retire] is an amortised allocation-free array store and [free_epoch]
-   walks a contiguous block; per-process epoch slots are cache-line padded
+   Hot-path discipline: limbo lists are batched bags by default
+   ({!Qs_util.Bag} via the {!Qs_util.Limbo} switch) — [retire] is an
+   allocation-free array store into the open block and an expired epoch
+   returns to the arena one whole bag per [free_bulk] call; the vec
+   reference stays available behind [config.limbo_bags = false]. The
+   free/flush callbacks are preallocated per handle so no closure is built
+   on a reclamation path. Per-process epoch slots are cache-line padded
    ([R.atomic_padded]) because each is written by its owner and read by
    everyone. *)
+
+module Limbo = Qs_util.Limbo
 
 module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type node = N.t
@@ -24,12 +30,14 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   type t = {
     cfg : Smr_intf.config;
     free : node -> unit;
+    free_bulk : node array -> int -> unit;
     global : int R.atomic;
     locals : int R.atomic array;
     dummy : node;
     handles : handle option array;
-    orphans : node Qs_util.Vec.t array Orphan_pool.t;
-        (* limbo triples donated by departed processes *)
+    orphans : node Limbo.t array Orphan_pool.t;
+        (* limbo triples donated by departed processes; bag chains travel
+           intact (sealed by the donor, spliced by the adopter) *)
     departed : bool array;
         (* meta-level: pid slots vacated by {!unregister}; a later
            {!register} into such a slot must re-join the epoch protocol
@@ -45,7 +53,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   and handle = {
     owner : t;
     pid : int;
-    mutable limbo : node Qs_util.Vec.t array; (* one vector per epoch *)
+    mutable lsrc : node Limbo.source;
+    mutable limbo : node Limbo.Triple.t; (* one limbo list per epoch *)
     mutable joined : bool;
         (* false only for a handle re-registered into a vacated slot,
            until its first [manage_state] announces an epoch *)
@@ -54,13 +63,31 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     mutable frees : int;
     mutable epoch_advances : int;
     mutable retired_peak : int;
+    (* reclamation callbacks, preallocated so scans/drains build no
+       closures; the [flush_*] pair skips event emission (teardown may run
+       outside process context, where the emit effect is illegal on the
+       simulator — and teardown frees are not reclamation events) *)
+    free_node : node -> unit;
+    free_bag : node array -> int -> unit;
+    flush_node : node -> unit;
+    flush_bag : node array -> int -> unit;
   }
 
   let name = "qsbr"
 
-  let create (cfg : Smr_intf.config) ~dummy ~free =
+  let create ?free_bulk (cfg : Smr_intf.config) ~dummy ~free =
+    let free_bulk =
+      match free_bulk with
+      | Some f -> f
+      | None ->
+        fun data count ->
+          for i = 0 to count - 1 do
+            free data.(i)
+          done
+    in
     { cfg;
       free;
+      free_bulk;
       global = R.atomic_padded 0;
       locals = Array.init cfg.n_processes (fun _ -> R.atomic_padded 0);
       dummy;
@@ -72,36 +99,55 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       legacy_epoch_advances = 0;
       legacy_retired_peak = 0 }
 
+  let limbo_source t =
+    Limbo.source ~bags:t.cfg.limbo_bags ~capacity:t.cfg.bag_capacity t.dummy
+
   let register t ~pid =
-    let h =
+    let lsrc = limbo_source t in
+    let rec h =
       { owner = t;
         pid;
-        limbo = Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
+        lsrc;
+        limbo = Limbo.Triple.create lsrc;
         joined = not t.departed.(pid);
         ops = 0;
         retires = 0;
         frees = 0;
         epoch_advances = 0;
-        retired_peak = 0 }
+        retired_peak = 0;
+        free_node =
+          (fun n ->
+            t.free n;
+            h.frees <- h.frees + 1;
+            (* no timestamps in QSBR: age recovered offline from Ev_retire *)
+            R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1));
+        free_bag =
+          (fun data count ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count;
+            (* one tracing check per bag instead of one dead emit per node *)
+            if R.tracing () then
+              for i = 0 to count - 1 do
+                R.emit Qs_intf.Runtime_intf.Ev_free (N.id data.(i)) (-1)
+              done;
+            R.emit Qs_intf.Runtime_intf.Ev_bag_free count (-1));
+        flush_node =
+          (fun n ->
+            t.free n;
+            h.frees <- h.frees + 1);
+        flush_bag =
+          (fun data count ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count) }
     in
     t.departed.(pid) <- false;
     t.handles.(pid) <- Some h;
     h
 
-  (* [emit = false] on the teardown path ([flush]): teardown may run
-     outside process context, where performing the emit effect is illegal
-     on the simulator — and teardown frees are not reclamation events. *)
   let free_epoch ?(emit = true) h e =
     let v = h.limbo.(e) in
-    Qs_util.Vec.iter
-      (fun n ->
-        h.owner.free n;
-        h.frees <- h.frees + 1;
-        if emit then
-          (* no timestamps in QSBR: age recovered offline from Ev_retire *)
-          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1))
-      v;
-    Qs_util.Vec.clear v
+    if emit then Limbo.drain v ~free_node:h.free_node ~free_bag:h.free_bag
+    else Limbo.drain v ~free_node:h.flush_node ~free_bag:h.flush_bag
 
   (* A negative local epoch is the "absent" sentinel written by
      {!unregister}: the slot no longer gates epoch advancement. Same
@@ -128,9 +174,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       | None -> ()
       | Some e ->
         Array.iter
-          (fun v ->
-            Qs_util.Vec.iter (fun n -> Qs_util.Vec.push h.limbo.(eg) n) v;
-            Qs_util.Vec.clear v)
+          (fun v -> Limbo.splice_into ~src:v ~dst:h.limbo.(eg))
           e.Orphan_pool.payload;
         R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
           e.Orphan_pool.donor
@@ -171,11 +215,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
 
   let assign_hp _ ~slot:_ _ = ()
   let clear_hps _ = ()
-
-  let total_limbo h =
-    Qs_util.Vec.length h.limbo.(0)
-    + Qs_util.Vec.length h.limbo.(1)
-    + Qs_util.Vec.length h.limbo.(2)
+  let total_limbo h = Limbo.Triple.total h.limbo
 
   let retire h n =
     R.hook Qs_intf.Runtime_intf.Hook_retire;
@@ -184,22 +224,26 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
        epoch is the -1 sentinel; park the node in epoch 0 — it is freed
        only by this handle's own later adoptions, behind a full cycle *)
     let e = if e < 0 then 0 else e in
-    Qs_util.Vec.push h.limbo.(e) n;
+    let sealed = Limbo.push h.limbo.(e) n in
     h.retires <- h.retires + 1;
     let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total;
-    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total
+    R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total;
+    if sealed > 0 then R.emit Qs_intf.Runtime_intf.Ev_bag_seal sealed (-1)
 
   (* Dynamic membership: donate the limbo triple to the orphan pool,
      mark the local-epoch slot absent and release the pid for reuse.
-     Fresh (empty) vectors are installed *before* donating so the nodes
-     are never owned twice; counters fold into the scheme-level legacy
-     accumulators so [stats] stays monotone across churn. *)
+     Fresh (empty) lists — over a fresh block source, so the adopter's
+     splicing never races this handle's cache — are installed *before*
+     donating so the nodes are never owned twice; counters fold into the
+     scheme-level legacy accumulators so [stats] stays monotone across
+     churn. *)
   let unregister h =
     let t = h.owner in
     let donated = total_limbo h in
     let old = h.limbo in
-    h.limbo <- Array.init 3 (fun _ -> Qs_util.Vec.create t.dummy);
+    h.lsrc <- limbo_source t;
+    h.limbo <- Limbo.Triple.create h.lsrc;
     h.joined <- true (* dead handle: never join again *);
     R.set t.locals.(h.pid) (-1);
     Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated old;
@@ -226,12 +270,13 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
       (fun (e : _ Orphan_pool.entry) ->
         Array.iter
           (fun v ->
-            Qs_util.Vec.iter
-              (fun n ->
+            Limbo.drain v
+              ~free_node:(fun n ->
                 t.free n;
                 t.legacy_frees <- t.legacy_frees + 1)
-              v;
-            Qs_util.Vec.clear v)
+              ~free_bag:(fun data count ->
+                t.free_bulk data count;
+                t.legacy_frees <- t.legacy_frees + count))
           e.Orphan_pool.payload)
       (Orphan_pool.drain t.orphans)
 

@@ -28,11 +28,19 @@
    freeing filters through the hazard-pointer + age check instead of freeing
    unconditionally.
 
-   Hot-path discipline: limbo lists are timestamped vectors, fallback
-   scans compact them in place against a reusable sorted-id hazard-pointer
-   snapshot, and the per-process cells written by their owner and read by
-   everyone (epoch slots, presence and eviction flags) are cache-line
-   padded. *)
+   Hot-path discipline: limbo lists are timestamped bags by default
+   ({!Qs_util.Bag.Ts} via the {!Qs_util.Limbo.Ts} switch; the vec
+   reference behind [config.limbo_bags = false]). The QSBR fast path
+   frees a whole expired epoch bag-by-bag in bulk arena calls; fallback
+   scans walk sealed bags oldest-first against a reusable sorted-id
+   hazard-pointer snapshot, paying one age check per bag and filtering
+   survivors into fresh bags — the fallback HP scan shrinks to bag
+   granularity. Eviction seizes a victim's bag chains intact (donation is
+   pointer splicing). The per-process cells written by their owner and
+   read by everyone (epoch slots, presence and eviction flags) are
+   cache-line padded. *)
+
+module Limbo = Qs_util.Limbo
 
 module type PUBLICATION = sig
   val scheme_name : string
@@ -56,6 +64,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     scan_threshold_eff : int; (* adaptive: max(R, ceil(scan_factor * N * K)) *)
     hp : Hp.t;
     free : node -> unit;
+    free_bulk : node array -> int -> unit;
     global : int R.atomic;
     locals : int R.atomic array;
     fallback_flag : int R.atomic; (* 0 = fast path, 1 = fallback path *)
@@ -73,10 +82,10 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
            [enter_fastpath] CAS, so there is no lost-update race) *)
     dummy : node;
     handles : handle option array;
-    orphans : node Qs_util.Vec.Ts.t array Orphan_pool.t;
-        (* each entry is an arbitrary-length array of timestamped vectors:
-           the three limbo lists (+ adopted list) of a departed or evicted
-           process *)
+    orphans : node Limbo.Ts.t array Orphan_pool.t;
+        (* each entry is an arbitrary-length array of timestamped limbo
+           lists: the three epochs (+ adopted list) of a departed or
+           evicted process; bag chains travel intact *)
     mutable legacy_retires : int;
     mutable legacy_frees : int;
     mutable legacy_scans : int;
@@ -91,10 +100,12 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
   and handle = {
     owner : t;
     pid : int;
-    mutable limbo : node Qs_util.Vec.Ts.t array;
-        (* one vector per epoch, as in QSBR; replaced wholesale when the
-           lists are donated (unregister) or seized (eviction) *)
-    mutable adopted : node Qs_util.Vec.Ts.t;
+    mutable lsrc : node Limbo.Ts.source;
+    mutable limbo : node Limbo.Ts.Triple.t;
+        (* one limbo list per epoch, as in QSBR; replaced wholesale (with
+           a fresh block source) when the lists are donated (unregister)
+           or seized (eviction) *)
+    mutable adopted : node Limbo.Ts.t;
         (* orphaned nodes adopted from the pool. NEVER freed by the
            unconditional grace-period path: Lemma 3 does not apply to
            orphans (we know nothing about when their donor retired them
@@ -121,11 +132,31 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     mutable fastpath_switches : int;
     mutable evictions : int;
     mutable retired_peak : int;
+    mutable scan_now : int;
+        (* the scan's single [now_coarse] read, hoisted into the handle so
+           the preallocated filter closures capture no per-scan state *)
+    vec_filter : node -> int -> bool;
+    age_ok : int -> bool;
+    keep : node -> bool;
+    free_bag : node array -> int array -> int -> int -> unit;
+    (* the unconditional (grace-period) epoch-free pair: no clock read, so
+       ages are reported as -1 and recovered offline from Ev_retire *)
+    uncond_node : node -> int -> unit;
+    uncond_bag : node array -> int array -> int -> int -> unit;
   }
 
   let name = P.scheme_name
 
-  let create (cfg : Smr_intf.config) ~dummy ~free =
+  let create ?free_bulk (cfg : Smr_intf.config) ~dummy ~free =
+    let free_bulk =
+      match free_bulk with
+      | Some f -> f
+      | None ->
+        fun data count ->
+          for i = 0 to count - 1 do
+            free data.(i)
+          done
+    in
     let c =
       if cfg.switch_threshold > 0 then cfg.switch_threshold
       else Smr_intf.legal_switch_threshold cfg
@@ -135,6 +166,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       scan_threshold_eff = Smr_intf.effective_scan_threshold cfg;
       hp = Hp.create ~n:cfg.n_processes ~k:cfg.hp_per_process ~dummy;
       free;
+      free_bulk;
       global = R.atomic_padded 0;
       locals = Array.init cfg.n_processes (fun _ -> R.atomic_padded 0);
       fallback_flag = R.atomic_padded 0;
@@ -157,12 +189,19 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       legacy_evictions = 0;
       legacy_retired_peak = 0 }
 
+  let limbo_source t =
+    Limbo.Ts.source ~bags:t.cfg.limbo_bags ~capacity:t.cfg.bag_capacity
+      t.dummy
+
   let register t ~pid =
-    let h =
+    let lsrc = limbo_source t in
+    let age = t.cfg.rooster_interval + t.cfg.epsilon in
+    let rec h =
       { owner = t;
         pid;
-        limbo = Array.init 3 (fun _ -> Qs_util.Vec.Ts.create t.dummy);
-        adopted = Qs_util.Vec.Ts.create t.dummy;
+        lsrc;
+        limbo = Limbo.Ts.Triple.create lsrc;
+        adopted = Limbo.Ts.create lsrc;
         seized = Atomic.make false;
         eviction_on = t.cfg.eviction_timeout <> None;
         scan_set = Hp.scan_set t.hp;
@@ -177,15 +216,56 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
         fallback_switches = 0;
         fastpath_switches = 0;
         evictions = 0;
-        retired_peak = 0 }
+        retired_peak = 0;
+        scan_now = 0;
+        vec_filter =
+          (fun n ts ->
+            if
+              h.scan_now - ts >= age && not (Hp.protects_set h.scan_set n)
+            then begin
+              t.free n;
+              h.frees <- h.frees + 1;
+              (* the exact [now - ts] the age check passed on *)
+              R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (h.scan_now - ts);
+              false
+            end
+            else true);
+        age_ok = (fun stamp -> h.scan_now - stamp >= age);
+        keep = (fun n -> Hp.protects_set h.scan_set n);
+        free_bag =
+          (fun data ts count stamp ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count;
+            (* one tracing check per bag instead of one dead emit per node *)
+            if R.tracing () then
+              for i = 0 to count - 1 do
+                R.emit Qs_intf.Runtime_intf.Ev_free (N.id data.(i))
+                  (h.scan_now - ts.(i))
+              done;
+            R.emit Qs_intf.Runtime_intf.Ev_bag_free count
+              (h.scan_now - stamp));
+        uncond_node =
+          (fun n _ts ->
+            t.free n;
+            h.frees <- h.frees + 1;
+            (* no clock read on the unconditional path (reading it would
+               charge virtual time and perturb seeded schedules): the age
+               is recovered offline from the node's Ev_retire *)
+            R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1));
+        uncond_bag =
+          (fun data _ts count _stamp ->
+            t.free_bulk data count;
+            h.frees <- h.frees + count;
+            if R.tracing () then
+              for i = 0 to count - 1 do
+                R.emit Qs_intf.Runtime_intf.Ev_free (N.id data.(i)) (-1)
+              done;
+            R.emit Qs_intf.Runtime_intf.Ev_bag_free count (-1)) }
     in
     t.handles.(pid) <- Some h;
     h
 
-  let total_limbo h =
-    Qs_util.Vec.Ts.length h.limbo.(0)
-    + Qs_util.Vec.Ts.length h.limbo.(1)
-    + Qs_util.Vec.Ts.length h.limbo.(2)
+  let total_limbo h = Limbo.Ts.Triple.total h.limbo
 
   (* Hazard pointers are maintained in BOTH modes, without fences — this is
      what makes the fast path fast and the switch sound (see §4.1). The
@@ -198,25 +278,14 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     end
   let clear_hps h = Hp.clear h.owner.hp ~pid:h.pid
 
-  let is_old_enough t ~now ts =
-    now - ts >= t.cfg.rooster_interval + t.cfg.epsilon
+  (* Cadence-style filtered reclamation of one limbo list: free entries
+     that are old enough and unprotected, keep the rest. The caller must
+     have refreshed [h.scan_set] and [h.scan_now]. *)
+  let scan_limbo h v =
+    Limbo.Ts.scan v ~vec_filter:h.vec_filter ~age_ok:h.age_ok ~keep:h.keep
+      ~free_bag:h.free_bag
 
-  (* Cadence-style filtered reclamation of one timestamped vector: free
-     entries that are old enough and unprotected, keep the rest. The caller
-     must have refreshed [h.scan_set]. *)
-  let scan_vec h ~now v =
-    let t = h.owner in
-    Qs_util.Vec.Ts.filter_in_place v (fun n ts ->
-        if is_old_enough t ~now ts && not (Hp.protects_set h.scan_set n) then begin
-          t.free n;
-          h.frees <- h.frees + 1;
-          (* the exact [now - ts] the age check passed on *)
-          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (now - ts);
-          false
-        end
-        else true)
-
-  let scan_epoch h ~now e = scan_vec h ~now h.limbo.(e)
+  let scan_epoch h e = scan_limbo h h.limbo.(e)
 
   (* Adoption: splice one orphaned batch (limbo triple + adopted list of a
      departed or evicted process) into [h.adopted], original retire
@@ -234,11 +303,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       | None -> ()
       | Some e ->
         Array.iter
-          (fun v ->
-            Qs_util.Vec.Ts.iter
-              (fun n ts -> Qs_util.Vec.Ts.push h.adopted n ts)
-              v;
-            Qs_util.Vec.Ts.clear v)
+          (fun v -> Limbo.Ts.splice_into ~src:v ~dst:h.adopted)
           e.Orphan_pool.payload;
         R.emit Qs_intf.Runtime_intf.Ev_adopt e.Orphan_pool.nodes
           e.Orphan_pool.donor
@@ -247,11 +312,11 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
      into [scan_all] instead). Gated on emptiness: non-churn runs perform
      no extra effects here. *)
   let reclaim_adopted h =
-    if Qs_util.Vec.Ts.length h.adopted > 0 then begin
+    if Limbo.Ts.length h.adopted > 0 then begin
       let t = h.owner in
-      let now = R.now_coarse () in
+      h.scan_now <- R.now_coarse ();
       Hp.snapshot_into t.hp h.scan_set;
-      scan_vec h ~now h.adopted
+      scan_limbo h h.adopted
     end
 
   (* Algorithm 5 lines 45-47: in fallback mode all three epochs are scanned
@@ -260,16 +325,16 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     R.hook Qs_intf.Runtime_intf.Hook_scan;
     adopt_orphans h;
     h.scans <- h.scans + 1;
-    let before = total_limbo h + Qs_util.Vec.Ts.length h.adopted in
+    let before = total_limbo h + Limbo.Ts.length h.adopted in
     R.emit Qs_intf.Runtime_intf.Ev_scan_begin before (-1);
-    let now = R.now_coarse () in
+    h.scan_now <- R.now_coarse ();
     Hp.snapshot_into h.owner.hp h.scan_set;
     for e = 0 to 2 do
-      scan_epoch h ~now e
+      scan_epoch h e
     done;
     (* effect-free when empty: the filter walk is plain OCaml *)
-    scan_vec h ~now h.adopted;
-    let kept = total_limbo h + Qs_util.Vec.Ts.length h.adopted in
+    scan_limbo h h.adopted;
+    let kept = total_limbo h + Limbo.Ts.length h.adopted in
     R.emit Qs_intf.Runtime_intf.Ev_scan_end (before - kept) kept
 
   (* Free an adopted epoch's limbo list. Unconditional in the common case
@@ -281,23 +346,15 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     let filtered = R.get t.evicted_count > 0 || h.rejoin_guard > 0 in
     if h.rejoin_guard > 0 then h.rejoin_guard <- h.rejoin_guard - 1;
     if filtered then begin
-      let now = R.now_coarse () in
+      h.scan_now <- R.now_coarse ();
       Hp.snapshot_into t.hp h.scan_set;
-      scan_epoch h ~now e
+      scan_epoch h e
     end
-    else begin
-      let v = h.limbo.(e) in
-      Qs_util.Vec.Ts.iter
-        (fun n _ts ->
-          t.free n;
-          h.frees <- h.frees + 1;
-          (* no clock read on the unconditional path (reading it would
-             charge virtual time and perturb seeded schedules): the age is
-             recovered offline from the node's Ev_retire *)
-          R.emit Qs_intf.Runtime_intf.Ev_free (N.id n) (-1))
-        v;
-      Qs_util.Vec.Ts.clear v
-    end
+    else
+      (* unconditional: the grace period (Lemma 3) covers every node in
+         the epoch, bags included — no age check, no clock read *)
+      Limbo.Ts.drain h.limbo.(e) ~free_node:h.uncond_node
+        ~free_bag:h.uncond_bag
 
   let all_current t eg =
     let n = Array.length t.locals in
@@ -387,8 +444,11 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
      rejoin + re-eviction cycle, so resetting it here is race-free. *)
   let renew_seized_lists h =
     let t = h.owner in
-    h.limbo <- Array.init 3 (fun _ -> Qs_util.Vec.Ts.create t.dummy);
-    h.adopted <- Qs_util.Vec.Ts.create t.dummy;
+    (* fresh block source too: the seized lists keep the old one, and the
+       adopter recycles their blocks into its own — never into ours *)
+    h.lsrc <- limbo_source t;
+    h.limbo <- Limbo.Ts.Triple.create h.lsrc;
+    h.adopted <- Limbo.Ts.create h.lsrc;
     Atomic.set h.seized false
 
   let check_seized h =
@@ -421,10 +481,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
                 let limbo = hv.limbo and adopted = hv.adopted in
                 if Atomic.compare_and_set hv.seized false true then begin
                   let nodes =
-                    Qs_util.Vec.Ts.length limbo.(0)
-                    + Qs_util.Vec.Ts.length limbo.(1)
-                    + Qs_util.Vec.Ts.length limbo.(2)
-                    + Qs_util.Vec.Ts.length adopted
+                    Limbo.Ts.Triple.total limbo + Limbo.Ts.length adopted
                   in
                   Orphan_pool.donate t.orphans ~donor:pid' ~nodes
                     [| limbo.(0); limbo.(1); limbo.(2); adopted |]
@@ -476,11 +533,12 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
        other processes, so a node can never land in a vector that has
        already been donated and adopted *)
     if h.eviction_on then check_seized h;
-    Qs_util.Vec.Ts.push h.limbo.(e) n ts;
+    let sealed = Limbo.Ts.push h.limbo.(e) n ts in
     h.retires <- h.retires + 1;
     let total = total_limbo h in
     if total > h.retired_peak then h.retired_peak <- total;
     R.emit Qs_intf.Runtime_intf.Ev_retire (N.id n) total;
+    if sealed > 0 then R.emit Qs_intf.Runtime_intf.Ev_bag_seal sealed (-1);
     let fallback = R.get t.fallback_flag = 1 in
     if fallback then begin
       h.fnl_count <- h.fnl_count + 1;
@@ -509,10 +567,11 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     check_seized h;
     if R.cas t.evicted.(h.pid) 0 1 then
       ignore (R.fetch_and_add t.evicted_count 1);
-    let donated = total_limbo h + Qs_util.Vec.Ts.length h.adopted in
+    let donated = total_limbo h + Limbo.Ts.length h.adopted in
     let old_limbo = h.limbo and old_adopted = h.adopted in
-    h.limbo <- Array.init 3 (fun _ -> Qs_util.Vec.Ts.create t.dummy);
-    h.adopted <- Qs_util.Vec.Ts.create t.dummy;
+    h.lsrc <- limbo_source t;
+    h.limbo <- Limbo.Ts.Triple.create h.lsrc;
+    h.adopted <- Limbo.Ts.create h.lsrc;
     Orphan_pool.donate t.orphans ~donor:h.pid ~nodes:donated
       [| old_limbo.(0); old_limbo.(1); old_limbo.(2); old_adopted |];
     t.legacy_retires <- t.legacy_retires + h.retires;
@@ -540,32 +599,30 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
     (* a seized handle's old lists belong to the pool now — freeing them
        here too would double-free; start from the fresh ones *)
     check_seized h;
-    for e = 0 to 2 do
-      let v = h.limbo.(e) in
-      Qs_util.Vec.Ts.iter
-        (fun n _ts ->
-          h.owner.free n;
-          h.frees <- h.frees + 1)
-        v;
-      Qs_util.Vec.Ts.clear v
-    done;
-    Qs_util.Vec.Ts.iter
-      (fun n _ts ->
-        h.owner.free n;
-        h.frees <- h.frees + 1)
-      h.adopted;
-    Qs_util.Vec.Ts.clear h.adopted;
     let t = h.owner in
+    let flush_node n _ts =
+      t.free n;
+      h.frees <- h.frees + 1
+    in
+    let flush_bag data _ts count _stamp =
+      t.free_bulk data count;
+      h.frees <- h.frees + count
+    in
+    for e = 0 to 2 do
+      Limbo.Ts.drain h.limbo.(e) ~free_node:flush_node ~free_bag:flush_bag
+    done;
+    Limbo.Ts.drain h.adopted ~free_node:flush_node ~free_bag:flush_bag;
     List.iter
       (fun (e : _ Orphan_pool.entry) ->
         Array.iter
           (fun v ->
-            Qs_util.Vec.Ts.iter
-              (fun n _ts ->
+            Limbo.Ts.drain v
+              ~free_node:(fun n _ts ->
                 t.free n;
                 t.legacy_frees <- t.legacy_frees + 1)
-              v;
-            Qs_util.Vec.Ts.clear v)
+              ~free_bag:(fun data _ts count _stamp ->
+                t.free_bulk data count;
+                t.legacy_frees <- t.legacy_frees + count))
           e.Orphan_pool.payload)
       (Orphan_pool.drain t.orphans)
 
@@ -575,7 +632,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       0 t.handles
 
   let retired_count t =
-    fold t (fun h -> total_limbo h + Qs_util.Vec.Ts.length h.adopted)
+    fold t (fun h -> total_limbo h + Limbo.Ts.length h.adopted)
     + Orphan_pool.node_count t.orphans
 
   let stats t =

@@ -75,6 +75,17 @@ type config = {
           process never recovers. [None] disables eviction (the paper's
           published behaviour: a crashed process pins QSense in fallback
           mode forever). *)
+  limbo_bags : bool;
+      (** Limbo-list representation: [true] (default) uses DEBRA-style
+          batched bags ({!Qs_util.Bag}) — stamp once per sealed bag,
+          oldest-bag-first walks, bulk frees; [false] keeps the
+          element-wise {!Qs_util.Vec} reference, used by the bag-vs-vec
+          differential tests and as an escape hatch. *)
+  bag_capacity : int;
+      (** Nodes per limbo bag (clamped [>= 1]); only read when
+          [limbo_bags] is on. Larger bags amortise the stamp check and the
+          arena free over more nodes but delay reclamation of a bag's
+          oldest node by up to one bag-fill. *)
 }
 
 let default_config ~n_processes ~hp_per_process =
@@ -87,7 +98,9 @@ let default_config ~n_processes ~hp_per_process =
     epsilon = 500;
     switch_threshold = 0;
     removes_per_op_max = 1;
-    eviction_timeout = None }
+    eviction_timeout = None;
+    limbo_bags = true;
+    bag_capacity = 64 }
 
 (** The effective scan threshold under adaptive scan scheduling:
     [max scan_threshold (ceil (scan_factor * N * K))], or [scan_threshold]
@@ -181,11 +194,19 @@ module type S = sig
 
   val name : string
 
-  val create : config -> dummy:node -> free:(node -> unit) -> t
+  val create :
+    ?free_bulk:(node array -> int -> unit) ->
+    config ->
+    dummy:node ->
+    free:(node -> unit) ->
+    t
   (** [dummy] fills unused hazard-pointer slots (avoiding [option] boxing on
       the traversal fast path); [free] is the arena's reclamation function,
       invoked exactly once per node handed to {!retire} that the scheme
-      decides is safe. *)
+      decides is safe. [free_bulk data count] frees the first [count]
+      elements of [data] in one call — the batched-bag reclamation path
+      uses it to return a whole bag to the arena at once (the callee must
+      not retain [data]). Defaults to a loop over [free]. *)
 
   val register : t -> pid:int -> handle
   (** Per-process handle; [pid] must be in [0, n_processes) and not

@@ -78,7 +78,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
       Array.init smr_cfg.n_processes (fun pid -> Arena.register arena ~pid)
     in
     let free n = Arena.free arena_handles.(R.self ()) n in
-    let smr = Glue.make cfg.scheme smr_cfg ~dummy:sentinel ~free in
+    (* bulk-return path for whole limbo bags: one outstanding-counter
+       update per bag instead of one per node *)
+    let free_bulk data count =
+      Arena.free_many arena_handles.(R.self ()) data count
+    in
+    let smr = Glue.make ~free_bulk cfg.scheme smr_cfg ~dummy:sentinel ~free in
     (* The initial dummy is arena-allocated: the first dequeue retires it,
        and the books must balance. *)
     let dummy = Arena.alloc arena_handles.(0) in

@@ -24,9 +24,9 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Qs_smr.Smr_intf.NODE) = stru
 
   module D = Qs_smr.Scheme.Dispatch (R) (N)
 
-  let make kind (cfg : Qs_smr.Smr_intf.config) ~dummy ~free =
+  let make ?free_bulk kind (cfg : Qs_smr.Smr_intf.config) ~dummy ~free =
     let (module S) = D.make kind in
-    let t = S.create cfg ~dummy ~free in
+    let t = S.create ?free_bulk cfg ~dummy ~free in
     { scheme_name = S.name;
       register =
         (fun ~pid ->

@@ -80,7 +80,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
       Array.init smr_cfg.n_processes (fun pid -> Arena.register arena ~pid)
     in
     let free n = Arena.free arena_handles.(R.self ()) n in
-    let smr = Glue.make cfg.scheme smr_cfg ~dummy ~free in
+    (* bulk-return path for whole limbo bags: one outstanding-counter
+       update per bag instead of one per node *)
+    let free_bulk data count =
+      Arena.free_many arena_handles.(R.self ()) data count
+    in
+    let smr = Glue.make ~free_bulk cfg.scheme smr_cfg ~dummy ~free in
     { top = R.atomic Null; dummy; smr; arena; debug_checks = cfg.debug_checks }
 
   let register t ~pid =

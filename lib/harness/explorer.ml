@@ -32,6 +32,7 @@ type case = {
   duration : int;  (** virtual-time budget; whichever bound hits first *)
   capacity : int;  (** arena capacity; 0 = unbounded *)
   switch : int;  (** QSense C; 0 = smallest legal (Property 4) *)
+  bags : int;  (** limbo representation: 0 = vec reference, >0 = bag capacity *)
   strategy : strategy;
   faults : Scheduler.fault list;
   seed : int;
@@ -47,6 +48,7 @@ let default_case ~ds ~scheme ~seed =
     duration = 400_000;
     capacity = 0;
     switch = 48;
+    bags = 64;
     strategy = Fair;
     faults = [];
     seed }
@@ -170,11 +172,11 @@ let faults_of_string = function
 
 let to_string c =
   Printf.sprintf
-    "ds=%s scheme=%s n=%d keys=%d upd=%d ops=%d dur=%d cap=%d switch=%d strat=%s faults=%s seed=%d"
+    "ds=%s scheme=%s n=%d keys=%d upd=%d ops=%d dur=%d cap=%d switch=%d bags=%d strat=%s faults=%s seed=%d"
     (Cset.kind_to_string c.ds)
     (Qs_smr.Scheme.to_string c.scheme)
     c.n_processes c.key_range c.update_pct c.ops_per_proc c.duration c.capacity
-    c.switch
+    c.switch c.bags
     (strategy_to_string c.strategy)
     (faults_to_string c.faults)
     c.seed
@@ -216,6 +218,9 @@ let of_string line : (case, string) result =
         Some capacity,
         Some switch,
         Some seed ) ->
+      (* [bags] is optional so pre-bag corpus/repro lines keep parsing;
+         absent means the default bag representation *)
+      let bags = Option.value (int_field "bags") ~default:64 in
       Ok
         { ds;
           scheme;
@@ -226,6 +231,7 @@ let of_string line : (case, string) result =
           duration;
           capacity;
           switch;
+          bags;
           strategy;
           faults;
           seed }
@@ -326,7 +332,9 @@ let run_one ?sink (c : case) : outcome =
       scan_factor = 0.;
       rooster_interval = (if needs_roosters then t_rooster else 0);
       epsilon = (if needs_roosters then epsilon else 0);
-      switch_threshold = c.switch }
+      switch_threshold = c.switch;
+      limbo_bags = c.bags > 0;
+      bag_capacity = (if c.bags > 0 then c.bags else 64) }
   in
   let set_cfg =
     { Qs_ds.Set_intf.scheme = c.scheme;

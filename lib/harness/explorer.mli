@@ -43,7 +43,13 @@ type case = {
   ops_per_proc : int;  (** per-process operation budget *)
   duration : int;  (** virtual-time budget; whichever bound hits first *)
   capacity : int;  (** arena capacity; 0 = unbounded *)
-  switch : int;  (** QSense C; 0 = smallest legal (Property 4) *)
+  switch : int;
+      (** QSense C; 0 = smallest legal (Property 4) *)
+  bags : int;
+      (** limbo-list representation: [0] = the {!Qs_util.Vec} reference,
+          [> 0] = {!Qs_util.Bag} with that block capacity. Serialized as an
+          optional [bags=] field (absent = 64) so pre-bag case lines keep
+          parsing. *)
   strategy : strategy;
   faults : Scheduler.fault list;
   seed : int;
@@ -51,7 +57,7 @@ type case = {
 
 val default_case : ds:Cset.kind -> scheme:Qs_smr.Scheme.kind -> seed:int -> case
 (** 4 processes, 32 keys, 50% updates, 150 ops/process, 400k ticks,
-    unbounded arena, C = 48, [Fair], no faults. *)
+    unbounded arena, C = 48, bags of 64, [Fair], no faults. *)
 
 type verdict =
   | Pass

@@ -75,7 +75,15 @@ type hook = Hook_retire | Hook_scan | Hook_quiesce
       limbo lists to the scheme's orphan pool. [a] = pid of the departing
       process, [b] = number of nodes donated.
     - [Ev_adopt] — a survivor adopted an orphaned limbo batch from the
-      pool. [a] = number of nodes adopted, [b] = pid of the donor. *)
+      pool. [a] = number of nodes adopted, [b] = pid of the donor.
+    - [Ev_bag_seal] — a limbo bag filled and was sealed (batched
+      reclamation only). [a] = number of nodes in the sealed bag.
+    - [Ev_bag_free] — a whole bag (or the reclaimable part of one) left
+      limbo in one bulk free. [a] = nodes freed from the bag, [b] = the
+      bag's age at free in clock units when the reclamation test had the
+      seal stamp and the clock in hand (Cadence/QSense scans), else [-1].
+      Per-node [Ev_free] events are still emitted alongside, so depth and
+      age-at-free metrics stay exact. *)
 type event =
   | Ev_retire
   | Ev_free
@@ -89,6 +97,8 @@ type event =
   | Ev_rooster_wake
   | Ev_unregister
   | Ev_adopt
+  | Ev_bag_seal
+  | Ev_bag_free
 
 let event_index = function
   | Ev_retire -> 0
@@ -103,6 +113,8 @@ let event_index = function
   | Ev_rooster_wake -> 9
   | Ev_unregister -> 10
   | Ev_adopt -> 11
+  | Ev_bag_seal -> 12
+  | Ev_bag_free -> 13
 
 let event_of_index = function
   | 0 -> Some Ev_retire
@@ -117,6 +129,8 @@ let event_of_index = function
   | 9 -> Some Ev_rooster_wake
   | 10 -> Some Ev_unregister
   | 11 -> Some Ev_adopt
+  | 12 -> Some Ev_bag_seal
+  | 13 -> Some Ev_bag_free
   | _ -> None
 
 let event_name = function
@@ -132,6 +146,8 @@ let event_name = function
   | Ev_rooster_wake -> "rooster_wake"
   | Ev_unregister -> "unregister"
   | Ev_adopt -> "adopt"
+  | Ev_bag_seal -> "bag_seal"
+  | Ev_bag_free -> "bag_free"
 
 (** A trace sink: where {!RUNTIME.emit} delivers events when tracing is
     installed. The runtime supplies the emitter's [pid] and a timestamp;
@@ -245,4 +261,13 @@ module type RUNTIME = sig
       cannot perturb a seeded schedule. Timestamps come from the cheap
       clock ({!now_coarse} on the real runtime; the virtual clock on the
       simulator), keeping the disabled and enabled paths allocation-free. *)
+
+  val tracing : unit -> bool
+  (** Whether {!emit} currently delivers anywhere — a hint for skipping
+      whole per-node emission loops on batched reclamation paths (one
+      check per bag instead of one dead {!emit} per node). May
+      conservatively return [true] (the simulator always does: emission
+      there is schedule-neutral and free, and the check must never make
+      traced and untraced runs diverge); correctness must not depend on
+      the answer. *)
 end

@@ -90,4 +90,15 @@ let emit_pid pid ev a b =
   | None -> ()
   | Some s -> s.Qs_intf.Runtime_intf.record ~pid ~time:(now_coarse ()) ~ev ~a ~b
 
-let emit ev a b = emit_pid (self ()) ev a b
+let tracing () =
+  match Atomic.get sink with None -> false | Some _ -> true
+
+(* The sink check comes first so the pid lookup ([Domain.DLS.get]) is only
+   paid when a sink is actually attached — retire/free emit on every node,
+   so with tracing off this must really be one atomic load and a branch. *)
+let emit ev a b =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+    s.Qs_intf.Runtime_intf.record ~pid:(self ()) ~time:(now_coarse ()) ~ev ~a
+      ~b

@@ -40,6 +40,10 @@ let hook h = Effect.perform (Scheduler.E_hook h)
    so traced and untraced runs of the same seed are identical. *)
 let emit ev a b = Effect.perform (Scheduler.E_emit (ev, a, b))
 
+(* Always emit under simulation: [emit] is free and schedule-neutral here,
+   and answering [true] keeps traced and untraced runs on one code path. *)
+let tracing () = true
+
 (* Simulator extras, not part of RUNTIME. *)
 
 let sleep_until target = Effect.perform (Scheduler.E_sleep_until target)

@@ -22,6 +22,8 @@ type t = {
   mutable mask : int; (* capacity - 1; capacity is a power of two *)
   mutable len : int; (* live keys in the current generation *)
   mutable gen : int; (* current generation; stamps start at 0, gen at 1 *)
+  mutable lo : int; (* min live key, max_int when empty *)
+  mutable hi : int; (* max live key, min_int when empty *)
 }
 
 let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
@@ -35,14 +37,18 @@ let create ?(capacity = 8) () =
     stamps = Array.make cap 0;
     mask = cap - 1;
     len = 0;
-    gen = 1 }
+    gen = 1;
+    lo = max_int;
+    hi = min_int }
 
 let length t = t.len
 let capacity t = t.mask + 1
 
 let reset t =
   t.len <- 0;
-  t.gen <- t.gen + 1
+  t.gen <- t.gen + 1;
+  t.lo <- max_int;
+  t.hi <- min_int
 
 (* Fibonacci hashing: multiply by an odd constant close to 2^62/phi and mix
    the high bits down. Sequential ids (the common case: nodes stamped from
@@ -51,7 +57,15 @@ let hash t k =
   let h = k * 0x3F4A7C15F39CC60D in
   (h lxor (h lsr 29)) land t.mask
 
+(* [min, max] of the live keys, maintained by [add]: membership queries
+   outside the range answer with two comparisons and no probe. The scan
+   set holds the N*K hazard-protected ids while a reclamation walk asks
+   about every retired node, so when the retired population is disjoint
+   from the protected range (the bulk-expiry common case) the whole walk
+   skips the hash entirely. *)
 let mem t k =
+  if k < t.lo || k > t.hi then false
+  else begin
   let i = ref (hash t k) in
   let found = ref false in
   let live = ref (t.stamps.(!i) = t.gen) in
@@ -63,6 +77,7 @@ let mem t k =
     end
   done;
   !found
+  end
 
 let rec add t k =
   if 2 * (t.len + 1) > t.mask + 1 then grow t;
@@ -79,7 +94,9 @@ let rec add t k =
   if not !dup then begin
     t.keys.(!i) <- k;
     t.stamps.(!i) <- t.gen;
-    t.len <- t.len + 1
+    t.len <- t.len + 1;
+    if k < t.lo then t.lo <- k;
+    if k > t.hi then t.hi <- k
   end
 
 and grow t =
@@ -90,6 +107,7 @@ and grow t =
   t.mask <- cap - 1;
   t.len <- 0;
   t.gen <- 1;
+  (* lo/hi stay: re-adding the same keys cannot widen the range *)
   Array.iteri
     (fun i s -> if s = old_gen then add t old_keys.(i))
     old_stamps

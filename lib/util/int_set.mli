@@ -29,7 +29,9 @@ val add : t -> int -> unit
     factor would exceed 1/2. *)
 
 val mem : t -> int -> bool
-(** Expected-O(1) membership; allocation-free. *)
+(** Expected-O(1) membership; allocation-free. Keys outside the live
+    [min, max] range answer with two comparisons and no probe — bulk
+    walks over populations disjoint from the set skip the hash. *)
 
 val iter : (int -> unit) -> t -> unit
 (** Iterate over live keys, in unspecified order. *)

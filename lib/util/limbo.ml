@@ -1,0 +1,140 @@
+(* Switchable limbo-list representation.
+
+   Every scheme's limbo/removed-nodes lists go through this layer: [Bag]
+   (the DEBRA-style batched representation, the default) or [Vec] (the
+   element-wise reference implementation, kept for the bag-vs-vec
+   differential tests and as an escape hatch). The choice is made once per
+   scheme instance from [Smr_intf.config.limbo_bags] via {!source}; the
+   per-operation dispatch is a single two-constructor match.
+
+   Allocation discipline: the scan/drain entry points take the per-variant
+   callbacks separately ([vec_filter] for the vec path, [keep]/[free_bag]
+   for the bag path) instead of wrapping one callback into another, so
+   schemes can preallocate every closure at registration and the hot paths
+   stay heap-free. *)
+
+type 'a source = Vec_src of 'a | Bag_src of 'a Bag.source
+
+let source ~bags ~capacity dummy =
+  if bags then Bag_src (Bag.source ~capacity dummy) else Vec_src dummy
+
+type 'a t = V of 'a Vec.t | B of 'a Bag.t
+
+let create = function
+  | Vec_src dummy -> V (Vec.create dummy)
+  | Bag_src s -> B (Bag.create s)
+
+let length = function V v -> Vec.length v | B b -> Bag.length b
+let is_empty = function V v -> Vec.is_empty v | B b -> Bag.is_empty b
+
+(* Returns the size of the bag this push sealed (always 0 on the vec
+   path, which has no seal points). *)
+let push t x = match t with
+  | V v ->
+    Vec.push v x;
+    0
+  | B b -> Bag.push b x
+
+let iter f = function V v -> Vec.iter f v | B b -> Bag.iter f b
+
+(* Hazard-pointer scan. [vec_filter] is the whole element-wise filter
+   (side effects included) for the vec path; [keep]/[free_bag] drive the
+   bag path. Both sets must implement the same decision so the two
+   representations free the same nodes. *)
+let scan t ~vec_filter ~keep ~free_bag =
+  match t with
+  | V v -> Vec.filter_in_place v vec_filter
+  | B b -> Bag.scan b ~keep ~free_bag
+
+(* Unconditional free of everything (epoch expiry / teardown). *)
+let drain t ~free_node ~free_bag =
+  match t with
+  | V v ->
+    Vec.iter free_node v;
+    Vec.clear v
+  | B b -> Bag.drain b ~free_bag
+
+(* Donation: bag chains are spliced intact (O(1)); vec contents are copied
+   element-wise. The mixed cases cannot arise from a single scheme
+   instance (one [source] per scheme) but are total for safety. *)
+let splice_into ~src ~dst =
+  match (src, dst) with
+  | V s, V d ->
+    Vec.iter (Vec.push d) s;
+    Vec.clear s
+  | B s, B d -> Bag.splice_into ~src:s ~dst:d
+  | V s, B d ->
+    Vec.iter (fun x -> ignore (Bag.push d x)) s;
+    Vec.clear s
+  | B s, V d ->
+    Bag.drain s ~free_bag:(fun data count ->
+        for i = 0 to count - 1 do
+          Vec.push d data.(i)
+        done)
+
+(* The epoch-triple helper shared by QSBR/EBR/QSense: three limbo lists
+   indexed by epoch mod 3. *)
+module Triple = struct
+  type nonrec 'a t = 'a t array
+
+  let create src = [| create src; create src; create src |]
+  let total a = length a.(0) + length a.(1) + length a.(2)
+end
+
+module Ts = struct
+  type 'a source = Vec_src of 'a | Bag_src of 'a Bag.Ts.source
+
+  let source ~bags ~capacity dummy =
+    if bags then Bag_src (Bag.Ts.source ~capacity dummy) else Vec_src dummy
+
+  type 'a t = V of 'a Vec.Ts.t | B of 'a Bag.Ts.t
+
+  let create = function
+    | Vec_src dummy -> V (Vec.Ts.create dummy)
+    | Bag_src s -> B (Bag.Ts.create s)
+
+  let length = function V v -> Vec.Ts.length v | B b -> Bag.Ts.length b
+  let is_empty = function V v -> Vec.Ts.is_empty v | B b -> Bag.Ts.is_empty b
+
+  let push t x stamp = match t with
+    | V v ->
+      Vec.Ts.push v x stamp;
+      0
+    | B b -> Bag.Ts.push b x stamp
+
+  let iter f = function V v -> Vec.Ts.iter f v | B b -> Bag.Ts.iter f b
+
+  let scan t ~vec_filter ~age_ok ~keep ~free_bag =
+    match t with
+    | V v -> Vec.Ts.filter_in_place v vec_filter
+    | B b -> Bag.Ts.scan b ~age_ok ~keep ~free_bag
+
+  let drain t ~free_node ~free_bag =
+    match t with
+    | V v ->
+      Vec.Ts.iter free_node v;
+      Vec.Ts.clear v
+    | B b -> Bag.Ts.drain b ~free_bag
+
+  let splice_into ~src ~dst =
+    match (src, dst) with
+    | V s, V d ->
+      Vec.Ts.iter (Vec.Ts.push d) s;
+      Vec.Ts.clear s
+    | B s, B d -> Bag.Ts.splice_into ~src:s ~dst:d
+    | V s, B d ->
+      Vec.Ts.iter (fun x ts -> ignore (Bag.Ts.push d x ts)) s;
+      Vec.Ts.clear s
+    | B s, V d ->
+      Bag.Ts.drain s ~free_bag:(fun data ts count _stamp ->
+          for i = 0 to count - 1 do
+            Vec.Ts.push d data.(i) ts.(i)
+          done)
+
+  module Triple = struct
+    type nonrec 'a t = 'a t array
+
+    let create src = [| create src; create src; create src |]
+    let total a = length a.(0) + length a.(1) + length a.(2)
+  end
+end

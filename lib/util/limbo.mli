@@ -1,0 +1,86 @@
+(** Switchable limbo-list representation: {!Bag} (DEBRA-style batched
+    bags, the default) or {!Vec} (the element-wise reference), selected
+    once per scheme instance by [Smr_intf.config.limbo_bags]. The scan and
+    drain entry points take per-variant callbacks so schemes preallocate
+    every closure at registration and the hot paths allocate nothing. *)
+
+type 'a source
+
+val source : bags:bool -> capacity:int -> 'a -> 'a source
+
+type 'a t
+
+val create : 'a source -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> int
+(** Returns the size of the bag this push sealed (0 if none; always 0 on
+    the vec path). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val scan :
+  'a t ->
+  vec_filter:('a -> bool) ->
+  keep:('a -> bool) ->
+  free_bag:('a array -> int -> unit) ->
+  unit
+(** Hazard-pointer scan. [vec_filter] is the whole element-wise filter
+    (side effects included, as passed to [Vec.filter_in_place]); the bag
+    path partitions with [keep] and frees via [free_bag] (see
+    {!Bag.scan}). The two must encode the same decision. *)
+
+val drain :
+  'a t -> free_node:('a -> unit) -> free_bag:('a array -> int -> unit) -> unit
+(** Unconditional free of everything (epoch expiry / teardown). *)
+
+val splice_into : src:'a t -> dst:'a t -> unit
+(** Donation. Bag chains move intact in O(1); vec contents are copied. *)
+
+(** Three epoch-indexed limbo lists, the shape QSBR/EBR/QSense share. *)
+module Triple : sig
+  type nonrec 'a t = 'a t array
+
+  val create : 'a source -> 'a t
+  val total : 'a t -> int
+end
+
+(** The timestamped variant (Cadence / QSense). *)
+module Ts : sig
+  type 'a source
+
+  val source : bags:bool -> capacity:int -> 'a -> 'a source
+
+  type 'a t
+
+  val create : 'a source -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val push : 'a t -> 'a -> int -> int
+  val iter : ('a -> int -> unit) -> 'a t -> unit
+
+  val scan :
+    'a t ->
+    vec_filter:('a -> int -> bool) ->
+    age_ok:(int -> bool) ->
+    keep:('a -> bool) ->
+    free_bag:('a array -> int array -> int -> int -> unit) ->
+    unit
+  (** See {!Bag.Ts.scan} for the bag path's oldest-first walk semantics. *)
+
+  val drain :
+    'a t ->
+    free_node:('a -> int -> unit) ->
+    free_bag:('a array -> int array -> int -> int -> unit) ->
+    unit
+
+  val splice_into : src:'a t -> dst:'a t -> unit
+
+  module Triple : sig
+    type nonrec 'a t = 'a t array
+
+    val create : 'a source -> 'a t
+    val total : 'a t -> int
+  end
+end

@@ -5,6 +5,7 @@ let () =
       ("smr", Test_smr.suite);
       ("membership", Test_membership.suite);
       ("hp_set", Test_hp_set.suite);
+      ("bags", Test_bags.suite);
       ("list", Test_list.suite);
       ("sets", Test_sets.suite);
       ("robustness", Test_robustness.suite);
