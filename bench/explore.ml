@@ -1,18 +1,21 @@
-(* Explorer CLI (see EXPERIMENTS.md, "Schedule exploration").
+(* Explorer CLI (see EXPERIMENTS.md, "Schedule exploration" and
+   "Exploration at scale").
 
    Subcommands:
 
-   - [smoke [--seeds N] [--repro-out PATH]] — the CI smoke budget: positive
-     controls (the explorer must find the planted unsafety in the leaky and
-     unsafe-hp baselines within N seeds), a clean sweep over hp / cadence /
-     qsense (fair, PCT and fault-plan schedules; any failure is shrunk and
-     saved to PATH), a churn sweep over the sound schemes (the [Churn]
-     fault level: leave/rejoin + orphan adoption under a stall), and the
-     QSense fallback round-trip with its QSBR differential. Exit 1 on any
+   - [smoke [--seeds N] [--jobs N] [--repro-out PATH]] — the CI smoke
+     budget: positive controls (the explorer must find the planted unsafety
+     in the leaky and unsafe-hp baselines within N seeds), a clean sweep
+     over hp / cadence / qsense (fair, PCT and fault-plan schedules; any
+     failure is shrunk and saved to PATH), a churn sweep over the sound
+     schemes (the [Churn] fault level: leave/rejoin + orphan adoption under
+     a stall), and the QSense fallback round-trip with its QSBR
+     differential. Sweeps run through the worker-domain pool ([--jobs],
+     default cores-1); shrinking stays on the coordinator. Exit 1 on any
      unexpected outcome.
-   - [corpus PATH [--repro-out OUT]] — replay a committed corpus of
-     known-clean cases; on failure, shrink and save a repro. Exit 1 if any
-     case fails.
+   - [corpus PATH [--jobs N] [--repro-out OUT]] — replay a committed corpus
+     of known-clean cases through the pool; on failure, shrink and save a
+     repro. Exit 1 if any case fails.
    - [replay PATH [--trace OUT]] — re-run the first case of a repro/corpus
      file and print the verdict (exit 1 if it is not Pass, so a repro file
      "fails again" visibly). This is the one-liner for reproducing a CI
@@ -21,8 +24,25 @@
      run to OUT — trace emission is schedule-neutral, so the verdict is the
      same traced or not (see DESIGN.md §9), making this the way to look
      inside a failure.
+   - [profile [--jobs N] [--repeat N] [--out PATH]] — the sim-core
+     micro-bench: effects/sec and schedules/sec on a representative case
+     mix, solo and through the pool, plus minor-allocation words per
+     scheduler step; merges an "explorer" section into PATH
+     (BENCH_RESULTS.json, schema 6) when it exists.
+   - [grow OUT [--target N] [--jobs N] [--budget N] [--base PATH]] —
+     coverage-guided corpus growth: breed [--target] known-clean cases from
+     a deterministic frontier (plus [--base] corpus, if given), keeping
+     witnesses for every rare event class (fallback entry, eviction-seize,
+     unregister, adoption, bag sealing); writes the corpus to OUT. Exit 1
+     if a rare class ends up with no witness.
+   - [coverage PATH [--jobs N]] — replay a corpus with the counting sink
+     and report how many cases witness each rare event class; exit 1 if
+     any class has no witness (the corpus contract grow enforces at build
+     time, re-checked here independently — CI runs it on the committed
+     file).
 
-   Everything is deterministic: equal case lines give equal verdicts. *)
+   Everything is deterministic: equal case lines give equal verdicts, solo
+   or pooled, whatever the job count. *)
 
 open Qs_harness
 module Scheme = Qs_smr.Scheme
@@ -32,18 +52,68 @@ let default_repro_out = "explorer_failure.repro"
 
 let usage () =
   prerr_endline
-    "usage: explore.exe smoke [--seeds N] [--repro-out PATH]\n\
-    \       explore.exe corpus PATH [--repro-out OUT]\n\
-    \       explore.exe replay PATH [--trace OUT]";
+    "usage: explore.exe smoke [--seeds N] [--jobs N] [--repro-out PATH]\n\
+    \       explore.exe corpus PATH [--jobs N] [--repro-out OUT]\n\
+    \       explore.exe replay PATH [--trace OUT]\n\
+    \       explore.exe profile [--jobs N] [--repeat N] [--out PATH]\n\
+    \       explore.exe grow OUT [--target N] [--jobs N] [--budget N] [--base PATH]\n\
+    \       explore.exe coverage PATH [--jobs N]";
   exit 2
 
-let rec parse_flags seeds repro_out = function
-  | [] -> (seeds, repro_out)
-  | "--seeds" :: n :: rest -> parse_flags (int_of_string n) repro_out rest
-  | "--repro-out" :: p :: rest -> parse_flags seeds p rest
+(* Flag values are validated here: a typo'd [--seeds x2] or [--jobs 0] gets
+   the usage message, not an [int_of_string] exception. *)
+let pos_int ~flag v =
+  match int_of_string_opt v with
+  | Some n when n > 0 -> n
+  | _ ->
+    Printf.eprintf "explore.exe: %s expects a positive integer, got %S\n" flag v;
+    usage ()
+
+type flags = {
+  seeds : int;
+  jobs : int;
+  repro_out : string;
+  target : int;
+  budget : int;
+  repeat : int;
+  out : string option;
+  base : string option;
+}
+
+let default_flags =
+  { seeds = 3;
+    jobs = Explorer_pool.default_jobs ();
+    repro_out = default_repro_out;
+    target = 64;
+    budget = 1_500;
+    repeat = 6;
+    out = None;
+    base = None }
+
+let rec parse_flags acc = function
+  | [] -> acc
+  | "--seeds" :: v :: rest -> parse_flags { acc with seeds = pos_int ~flag:"--seeds" v } rest
+  | "--jobs" :: v :: rest -> parse_flags { acc with jobs = pos_int ~flag:"--jobs" v } rest
+  | "--repro-out" :: p :: rest -> parse_flags { acc with repro_out = p } rest
+  | "--target" :: v :: rest ->
+    parse_flags { acc with target = pos_int ~flag:"--target" v } rest
+  | "--budget" :: v :: rest ->
+    parse_flags { acc with budget = pos_int ~flag:"--budget" v } rest
+  | "--repeat" :: v :: rest ->
+    parse_flags { acc with repeat = pos_int ~flag:"--repeat" v } rest
+  | "--out" :: p :: rest -> parse_flags { acc with out = Some p } rest
+  | "--base" :: p :: rest -> parse_flags { acc with base = Some p } rest
+  | [ flag ]
+    when List.mem flag
+           [ "--seeds"; "--jobs"; "--repro-out"; "--target"; "--budget"; "--repeat";
+             "--out"; "--base" ] ->
+    Printf.eprintf "explore.exe: %s expects a value\n" flag;
+    usage ()
   | arg :: _ ->
     Printf.eprintf "unknown argument %S\n" arg;
     usage ()
+
+let parse args = parse_flags default_flags args
 
 let show_outcome (c : Explorer.case) (o : Explorer.outcome) =
   Printf.printf "  %-10s %-9s strat=%-8s faults=%-2d seed=%-6d -> %s\n%!"
@@ -56,7 +126,8 @@ let show_outcome (c : Explorer.case) (o : Explorer.outcome) =
     (List.length c.faults) c.seed
     (Explorer.verdict_to_string o.verdict)
 
-(* Shrink a failing case and persist it; returns the file written. *)
+(* Shrink a failing case and persist it; shrinking re-runs candidate cases
+   solo on the coordinator (outcomes are identical either way). *)
 let persist_failure ~repro_out (c : Explorer.case) (o : Explorer.outcome) =
   let small, spent = Explorer.shrink c o.verdict in
   let o' = Explorer.run_one small in
@@ -79,9 +150,9 @@ let leaky_case seed =
     ops_per_proc = 4_000;
     duration = 10_000_000 }
 
-let positive_control ~name ~mk ~seeds =
+let positive_control ~name ~mk ~seeds ~jobs =
   let cases = List.map mk (Explorer.seeds ~base:1 ~count:seeds) in
-  let failures = Explorer.explore cases in
+  let failures = Explorer_pool.explore ~jobs cases in
   List.iter (fun (c, o) -> show_outcome c o) failures;
   if failures = [] then begin
     Printf.printf "FAIL: %s yielded no violation within %d seeds\n%!" name seeds;
@@ -114,9 +185,9 @@ let clean_cases ~seeds =
         (Explorer.seeds ~base:11 ~count:seeds))
     [ Scheme.Hp; Scheme.Cadence; Scheme.Qsense ]
 
-let clean_sweep ~seeds ~repro_out =
+let clean_sweep ~seeds ~jobs ~repro_out =
   let cases = clean_cases ~seeds in
-  let failures = Explorer.explore cases in
+  let failures = Explorer_pool.explore ~jobs cases in
   match failures with
   | [] ->
     Printf.printf "ok: %d clean-scheme cases pass\n%!" (List.length cases);
@@ -148,9 +219,9 @@ let churn_cases ~seeds =
         (Explorer.seeds ~base:29 ~count:seeds))
     [ Scheme.Qsbr; Scheme.Ebr; Scheme.Hp; Scheme.Cadence; Scheme.Qsense ]
 
-let churn_sweep ~seeds ~repro_out =
+let churn_sweep ~seeds ~jobs ~repro_out =
   let cases = churn_cases ~seeds in
-  let failures = Explorer.explore cases in
+  let failures = Explorer_pool.explore ~jobs cases in
   match failures with
   | [] ->
     Printf.printf "ok: %d churn cases pass (leave/rejoin + orphan adoption)\n%!"
@@ -194,14 +265,16 @@ let fallback_round_trip () =
 (* --- subcommands --------------------------------------------------------- *)
 
 let smoke args =
-  let seeds, repro_out = parse_flags 3 default_repro_out args in
-  Printf.printf "== explorer smoke (seed budget %d) ==\n%!" seeds;
+  let f = parse args in
+  Printf.printf "== explorer smoke (seed budget %d, %d jobs) ==\n%!" f.seeds f.jobs;
   let ok_unsafe =
-    positive_control ~name:"unsafe-hp" ~mk:unsafe_hp_case ~seeds
+    positive_control ~name:"unsafe-hp" ~mk:unsafe_hp_case ~seeds:f.seeds ~jobs:f.jobs
   in
-  let ok_leaky = positive_control ~name:"leaky" ~mk:leaky_case ~seeds in
-  let ok_clean = clean_sweep ~seeds ~repro_out in
-  let ok_churn = churn_sweep ~seeds ~repro_out in
+  let ok_leaky =
+    positive_control ~name:"leaky" ~mk:leaky_case ~seeds:f.seeds ~jobs:f.jobs
+  in
+  let ok_clean = clean_sweep ~seeds:f.seeds ~jobs:f.jobs ~repro_out:f.repro_out in
+  let ok_churn = churn_sweep ~seeds:f.seeds ~jobs:f.jobs ~repro_out:f.repro_out in
   let ok_fb = fallback_round_trip () in
   if ok_unsafe && ok_leaky && ok_clean && ok_churn && ok_fb then begin
     print_endline "explorer smoke: all checks passed";
@@ -210,17 +283,17 @@ let smoke args =
   else 1
 
 let corpus path args =
-  let _, repro_out = parse_flags 0 default_repro_out args in
+  let f = parse args in
   let cases = Explorer.load_corpus path in
-  Printf.printf "== corpus replay: %d cases from %s ==\n%!"
-    (List.length cases) path;
-  match Explorer.explore cases with
+  Printf.printf "== corpus replay: %d cases from %s (%d jobs) ==\n%!"
+    (List.length cases) path f.jobs;
+  match Explorer_pool.explore ~jobs:f.jobs cases with
   | [] ->
     print_endline "corpus clean";
     0
   | (c, o) :: _ as failures ->
     List.iter (fun (c, o) -> show_outcome c o) failures;
-    persist_failure ~repro_out c o;
+    persist_failure ~repro_out:f.repro_out c o;
     1
 
 let replay path args =
@@ -251,9 +324,331 @@ let replay path args =
   show_outcome c o;
   match o.verdict with Explorer.Pass -> 0 | _ -> 1
 
+(* --- profile: the sim-core micro-bench ----------------------------------- *)
+
+(* Representative case mix: fair, PCT and fault-plan schedules across the
+   three hazard-scanning schemes — the workloads corpus replay and smoke
+   sweeps are made of. Fixed, so numbers are comparable run to run. *)
+let profile_batch () =
+  clean_cases ~seeds:2 @ churn_cases ~seeds:1
+
+let wall_s () = float_of_int (Qs_real.Real_runtime.now ()) /. 1e9
+
+(* Raw dispatch cost: four fibers spinning plain reads/writes on private
+   cells — no data structure, no oracle, no history. Isolates the
+   scheduler's per-effect overhead (perform, handler dispatch, accounting,
+   pick) from everything the explorer builds on top.
+
+   Two cost models. [`Ties] charges every process identically, so clocks
+   march in lockstep and (almost) every pick is a tie: the owned-schedule
+   fast path never applies and the number is the pure suspension-path
+   cost. [`Corpus] uses the stall model the explorer's cases run under
+   (stall_prob 0.05, stall_max 600, as in [Explorer.run_one]), whose
+   stalls open the clock gaps that real schedules have — the blended cost
+   of inline and suspended dispatch at a representative mix. *)
+let raw_dispatch_ns model =
+  let open Qs_sim in
+  let cfg = Scheduler.default_config ~n_cores:4 ~seed:1 in
+  let cfg =
+    match model with
+    | `Ties -> cfg
+    | `Corpus ->
+      { cfg with
+        Scheduler.cost =
+          { Scheduler.default_cost with stall_prob = 0.05; stall_max = 600 } }
+  in
+  let sched = Scheduler.create cfg in
+  (* Disjoint per-process cell rings: writes spread over cells, as data
+     structure operations do, so store-buffer commits stay O(1). *)
+  let cells = Array.init 4 (fun _ -> Array.init 64 (fun _ -> Cell.make 0)) in
+  let iters = 75_000 in
+  for pid = 0 to 3 do
+    Scheduler.spawn sched ~pid (fun () ->
+        let ring = cells.(pid) in
+        for i = 1 to iters do
+          let c = ring.(i land 63) in
+          ignore (Scheduler.op_read c : int);
+          ignore (Scheduler.op_read c : int);
+          ignore (Scheduler.op_read c : int);
+          Scheduler.op_write c i
+        done)
+  done;
+  let t0 = wall_s () in
+  Scheduler.run_all sched;
+  let dt = wall_s () -. t0 in
+  dt *. 1e9 /. float_of_int (Scheduler.steps sched)
+
+(* Inline dispatch cost: the same op mix on a single fiber, which is
+   strictly clock-minimal throughout — every operation takes the
+   owned-schedule fast path. The gap between this and [raw_dispatch_ns]
+   is the price of a genuine suspension. *)
+let inline_dispatch_ns () =
+  let open Qs_sim in
+  let sched = Scheduler.create (Scheduler.default_config ~n_cores:1 ~seed:1) in
+  let ring = Array.init 64 (fun _ -> Cell.make 0) in
+  let iters = 300_000 in
+  Scheduler.spawn sched ~pid:0 (fun () ->
+      for i = 1 to iters do
+        let c = ring.(i land 63) in
+        ignore (Scheduler.op_read c : int);
+        ignore (Scheduler.op_read c : int);
+        ignore (Scheduler.op_read c : int);
+        Scheduler.op_write c i
+      done);
+  let t0 = wall_s () in
+  Scheduler.run_all sched;
+  let dt = wall_s () -. t0 in
+  dt *. 1e9 /. float_of_int (Scheduler.steps sched)
+
+let profile args =
+  let f = parse args in
+  let batch = profile_batch () in
+  let n_batch = List.length batch in
+  (* Per-step minor allocation on the scheduler fast path: one solo run of
+     a plain fair case, no sink, no trace ring. The CI pin on this number
+     is what keeps the dispatch/allocation work from regressing. *)
+  let alloc_case = Explorer.default_case ~ds:Cset.List ~scheme:Scheme.Hp ~seed:11 in
+  ignore (Explorer.run_one alloc_case);
+  let w0 = Gc.minor_words () in
+  let o_alloc = Explorer.run_one alloc_case in
+  let step_alloc_words = (Gc.minor_words () -. w0) /. float_of_int o_alloc.steps in
+  (* Solo: schedules/sec and effects/sec (a scheduler step dispatches one
+     suspended effect; sleep quanta are counted too, as they were in the
+     step counter all along). *)
+  let t0 = wall_s () in
+  let steps = ref 0 in
+  for _ = 1 to f.repeat do
+    List.iter (fun c -> steps := !steps + (Explorer.run_one c).Explorer.steps) batch
+  done;
+  let solo_dt = wall_s () -. t0 in
+  let runs = f.repeat * n_batch in
+  let solo_sched = float_of_int runs /. solo_dt in
+  let effects = float_of_int !steps /. solo_dt in
+  (* Pooled: same batch, same repeat count, through the worker domains. *)
+  let t1 = wall_s () in
+  for _ = 1 to f.repeat do
+    ignore (Explorer_pool.outcomes ~jobs:f.jobs batch)
+  done;
+  let pooled_dt = wall_s () -. t1 in
+  let pooled_sched = float_of_int runs /. pooled_dt in
+  let speedup = pooled_sched /. solo_sched in
+  let cores = Domain.recommended_domain_count () in
+  let dispatch_ns = raw_dispatch_ns `Ties in
+  let dispatch_corpus_ns = raw_dispatch_ns `Corpus in
+  let inline_ns = inline_dispatch_ns () in
+  Printf.printf
+    "== sim-core profile (%d cases x %d, %d jobs, %d cores) ==\n\
+     solo:   %8.1f schedules/sec  %10.0f effects/sec\n\
+     pooled: %8.1f schedules/sec  (speedup %.2fx)\n\
+     dispatch ns/effect: %.1f suspended (all-ties)  %.1f corpus cost model  \
+     %.1f inline\n\
+     step allocation: %.1f minor words/step\n%!"
+    n_batch f.repeat f.jobs cores solo_sched effects pooled_sched speedup
+    dispatch_ns dispatch_corpus_ns inline_ns step_alloc_words;
+  (match f.out with
+  | None -> ()
+  | Some path when Sys.file_exists path ->
+    let doc = Qs_util.Json.parse_exn (In_channel.with_open_text path In_channel.input_all) in
+    let num x = Qs_util.Json.Num x in
+    let section =
+      Qs_util.Json.Obj
+        [ ("cases", num (float_of_int n_batch));
+          ("repeat", num (float_of_int f.repeat));
+          ("jobs", num (float_of_int f.jobs));
+          ("cores", num (float_of_int cores));
+          ("effects_per_sec", num (Float.round effects));
+          ("schedules_per_sec_solo", num solo_sched);
+          ("schedules_per_sec_pooled", num pooled_sched);
+          ("pool_speedup", num speedup);
+          ("dispatch_ns_per_effect", num dispatch_ns);
+          ("dispatch_ns_corpus_cost", num dispatch_corpus_ns);
+          ("dispatch_ns_inline", num inline_ns);
+          ("step_alloc_words", num step_alloc_words) ]
+    in
+    let doc = Qs_util.Json.set_member "explorer" section doc in
+    let doc = Qs_util.Json.set_member "schema" (num 6.) doc in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Qs_util.Json.to_string doc));
+    Printf.printf "explorer section merged into %s\n%!" path
+  | Some path ->
+    Printf.eprintf "explore.exe: --out %s: no such file (run bench first)\n" path;
+    exit 1);
+  0
+
+(* --- grow: coverage-guided corpus growth --------------------------------- *)
+
+(* The deterministic base frontier: breadth across scheme x structure x
+   strategy x fault level, plus the shapes known to reach the rare event
+   classes (QSense under a long stall for fallback entry and eviction,
+   churn plans for unregister/adoption, small bag capacities for sealing). *)
+let grow_base () =
+  let sound = [ Scheme.Qsbr; Scheme.Ebr; Scheme.Hp; Scheme.Cadence; Scheme.Qsense ] in
+  let breadth =
+    List.concat_map
+      (fun scheme ->
+        List.concat_map
+          (fun ds ->
+            List.map
+              (fun seed -> Explorer.default_case ~ds ~scheme ~seed)
+              (Explorer.seeds ~base:11 ~count:2))
+          [ Cset.List; Cset.Skiplist; Cset.Bst; Cset.Hashtable ])
+      sound
+  in
+  let strategies =
+    List.map
+      (fun scheme ->
+        { (Explorer.default_case ~ds:Cset.List ~scheme ~seed:11) with
+          Explorer.strategy = Pct { depth = 3 } })
+      sound
+  in
+  let faults =
+    List.concat_map
+      (fun scheme ->
+        List.concat_map
+          (fun level ->
+            List.map
+              (fun seed ->
+                let dc = Explorer.default_case ~ds:Cset.List ~scheme ~seed in
+                { dc with
+                  Explorer.faults =
+                    Explorer.plan level ~n:dc.n_processes ~duration:dc.duration
+                      ~seed })
+              (Explorer.seeds ~base:11 ~count:2))
+          [ Explorer.Stalls; Explorer.Chaos; Explorer.Churn; Explorer.Victim_stall ])
+      [ Scheme.Hp; Scheme.Cadence; Scheme.Qsense ]
+  in
+  let churn_all =
+    List.map
+      (fun scheme ->
+        let dc = Explorer.default_case ~ds:Cset.Hashtable ~scheme ~seed:29 in
+        { dc with
+          Explorer.faults =
+            Explorer.plan Explorer.Churn ~n:dc.n_processes ~duration:dc.duration
+              ~seed:29 })
+      [ Scheme.Qsbr; Scheme.Ebr ]
+  in
+  let fallback =
+    (* the known fallback/eviction shapes: one process out cold while the
+       others run against a bounded arena; the [evict] variant arms the
+       §5.2 eviction timeout so the stalled victim's epoch is seized
+       mid-fallback (without it Ev_evict is unreachable — eviction is off
+       by default) *)
+    [ stall_case ~scheme:Scheme.Qsense;
+      { (stall_case ~scheme:Scheme.Qsense) with Explorer.seed = 6 };
+      { (stall_case ~scheme:Scheme.Qsense) with Explorer.evict = 200_000 } ]
+  in
+  let bags =
+    List.concat_map
+      (fun scheme ->
+        let dc = Explorer.default_case ~ds:Cset.List ~scheme ~seed:205 in
+        let churned =
+          { dc with
+            Explorer.faults =
+              Explorer.plan Explorer.Churn ~n:dc.n_processes ~duration:dc.duration
+                ~seed:205 }
+        in
+        [ { churned with Explorer.bags = 1 };
+          { churned with Explorer.bags = 4 };
+          { churned with Explorer.bags = 0 } ])
+      [ Scheme.Qsense; Scheme.Cadence; Scheme.Qsbr ]
+  in
+  breadth @ strategies @ faults @ churn_all @ fallback @ bags
+
+let grow out args =
+  let f = parse args in
+  let base =
+    (match f.base with None -> [] | Some path -> Explorer.load_corpus path)
+    @ grow_base ()
+  in
+  Printf.printf "== coverage-guided growth: target %d from %d base cases (%d jobs) ==\n%!"
+    f.target (List.length base) f.jobs;
+  let g = Coverage.grow ~jobs:f.jobs ~budget:f.budget ~target:f.target base in
+  let cases = List.map fst g.selected in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "# explorer seed corpus — replayed as a regression test\n\
+     # grown by: dune exec bench/explore.exe -- grow %s --target %d\n\
+     # coverage (cases reaching each rare event class):\n"
+    out f.target;
+  List.iter
+    (fun (name, i) ->
+      Printf.fprintf oc "#   %-15s %d\n" name g.class_counts.(i))
+    Coverage.rare_classes;
+  List.iter (fun c -> Printf.fprintf oc "%s\n" (Explorer.to_string c)) cases;
+  close_out oc;
+  Printf.printf "selected %d cases in %d runs -> %s\n" (List.length cases) g.runs out;
+  let missing =
+    List.filter (fun (_, i) -> g.class_counts.(i) = 0) Coverage.rare_classes
+  in
+  List.iter
+    (fun (name, i) ->
+      Printf.printf "  %-15s %4d cases%s\n" name g.class_counts.(i)
+        (if g.class_counts.(i) = 0 then "  <-- NO WITNESS" else ""))
+    Coverage.rare_classes;
+  if missing = [] && List.length cases >= f.target then begin
+    print_endline "all rare event classes witnessed";
+    0
+  end
+  else 1
+
+(* --- coverage: rare-class witness counts of an existing corpus ----------- *)
+
+let coverage path args =
+  let f = parse args in
+  let cases = Explorer.load_corpus path in
+  Printf.printf "== corpus coverage: %d cases from %s (%d jobs) ==\n%!"
+    (List.length cases) path f.jobs;
+  let results =
+    Explorer_pool.map ~jobs:f.jobs Coverage.run_covered (Array.of_list cases)
+  in
+  let class_counts = Array.make Coverage.n_events 0 in
+  let failed = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> incr failed
+      | Some ((o : Explorer.outcome), cov) ->
+        if not (Explorer.same_class o.Explorer.verdict Explorer.Pass) then begin
+          incr failed;
+          Printf.printf "  NOT CLEAN: %s -> %s\n"
+            (Explorer.to_string (List.nth cases i))
+            (Explorer.verdict_to_string o.Explorer.verdict)
+        end
+        else
+          List.iter
+            (fun (_, j) ->
+              if Coverage.covers cov j then
+                class_counts.(j) <- class_counts.(j) + 1)
+            Coverage.rare_classes)
+    results;
+  List.iter
+    (fun (name, i) ->
+      Printf.printf "  %-15s %d witness%s\n" name class_counts.(i)
+        (if class_counts.(i) = 1 then "" else "es"))
+    Coverage.rare_classes;
+  let missing =
+    List.filter (fun (_, i) -> class_counts.(i) = 0) Coverage.rare_classes
+  in
+  if !failed > 0 then begin
+    Printf.printf "%d case(s) not clean\n" !failed;
+    1
+  end
+  else if missing <> [] then begin
+    Printf.printf "MISSING witnesses: %s\n"
+      (String.concat ", " (List.map fst missing));
+    1
+  end
+  else begin
+    print_endline "all rare event classes witnessed";
+    0
+  end
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "smoke" :: args -> exit (smoke args)
   | _ :: "corpus" :: path :: args -> exit (corpus path args)
   | _ :: "replay" :: path :: args -> exit (replay path args)
+  | _ :: "profile" :: args -> exit (profile args)
+  | _ :: "grow" :: out :: args -> exit (grow out args)
+  | _ :: "coverage" :: path :: args -> exit (coverage path args)
   | _ -> usage ()

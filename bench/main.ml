@@ -894,21 +894,23 @@ module Observatory = struct
     qsense_fallback ()
 end
 
-(* --- JSON report (schema 5) ----------------------------------------------- *)
+(* --- JSON report (schema 6) ----------------------------------------------- *)
 
 (* Consumed by CI (regression guards) and by EXPERIMENTS.md readers.
-   Schema 5 = schema 4's sections ("retire_scan", "membership", "e2e",
-   "trace", the "churn" flag) plus a "bags" micro section: the DEBRA-style
-   limbo-bag retire/scan numbers against the vec reference per (scenario,
-   limbo) point, the block capacity, and the exact words allocated by a
-   steady-state window of the bag retire path (must be 0). The e2e sweep
-   itself now runs on bags (the config default), so its rows ARE the bag
-   numbers. *)
+   Schema 6 = schema 5's sections ("retire_scan", "bags", "membership",
+   "e2e", "trace", the "churn" flag) plus an "explorer" section: sim-core
+   effects/sec, schedules/sec solo and through the domain pool, the pool
+   speedup, dispatch ns/effect (suspended / corpus cost model / inline)
+   and minor words allocated per scheduler step. This binary emits the
+   section as [null]; [explore.exe profile --out BENCH_RESULTS.json] fills
+   it in (the numbers belong to the explorer binary, which owns the
+   representative case mix). *)
 let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
     ~e2e ~(trace : Observatory.overhead) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 5,\n";
+  Printf.fprintf oc "  \"schema\": 6,\n";
+  Printf.fprintf oc "  \"explorer\": null,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"churn\": %b,\n" churn;
   Printf.fprintf oc "  \"n_processes\": %d,\n" Micro.n_processes;

@@ -32,6 +32,7 @@ type case = {
   duration : int;  (** virtual-time budget; whichever bound hits first *)
   capacity : int;  (** arena capacity; 0 = unbounded *)
   switch : int;  (** QSense C; 0 = smallest legal (Property 4) *)
+  evict : int;  (** QSense eviction timeout dt (§5.2); 0 = eviction off *)
   bags : int;  (** limbo representation: 0 = vec reference, >0 = bag capacity *)
   strategy : strategy;
   faults : Scheduler.fault list;
@@ -48,6 +49,7 @@ let default_case ~ds ~scheme ~seed =
     duration = 400_000;
     capacity = 0;
     switch = 48;
+    evict = 0;
     bags = 64;
     strategy = Fair;
     faults = [];
@@ -172,11 +174,12 @@ let faults_of_string = function
 
 let to_string c =
   Printf.sprintf
-    "ds=%s scheme=%s n=%d keys=%d upd=%d ops=%d dur=%d cap=%d switch=%d bags=%d strat=%s faults=%s seed=%d"
+    "ds=%s scheme=%s n=%d keys=%d upd=%d ops=%d dur=%d cap=%d switch=%d evict=%d \
+     bags=%d strat=%s faults=%s seed=%d"
     (Cset.kind_to_string c.ds)
     (Qs_smr.Scheme.to_string c.scheme)
     c.n_processes c.key_range c.update_pct c.ops_per_proc c.duration c.capacity
-    c.switch c.bags
+    c.switch c.evict c.bags
     (strategy_to_string c.strategy)
     (faults_to_string c.faults)
     c.seed
@@ -218,9 +221,11 @@ let of_string line : (case, string) result =
         Some capacity,
         Some switch,
         Some seed ) ->
-      (* [bags] is optional so pre-bag corpus/repro lines keep parsing;
-         absent means the default bag representation *)
+      (* [bags] and [evict] are optional so older corpus/repro lines keep
+         parsing; absent means the default bag representation / no
+         eviction *)
       let bags = Option.value (int_field "bags") ~default:64 in
+      let evict = Option.value (int_field "evict") ~default:0 in
       Ok
         { ds;
           scheme;
@@ -231,6 +236,7 @@ let of_string line : (case, string) result =
           duration;
           capacity;
           switch;
+          evict;
           bags;
           strategy;
           faults;
@@ -333,6 +339,7 @@ let run_one ?sink (c : case) : outcome =
       rooster_interval = (if needs_roosters then t_rooster else 0);
       epsilon = (if needs_roosters then epsilon else 0);
       switch_threshold = c.switch;
+      eviction_timeout = (if c.evict > 0 then Some c.evict else None);
       limbo_bags = c.bags > 0;
       bag_capacity = (if c.bags > 0 then c.bags else 64) }
   in

@@ -43,8 +43,11 @@ type case = {
   ops_per_proc : int;  (** per-process operation budget *)
   duration : int;  (** virtual-time budget; whichever bound hits first *)
   capacity : int;  (** arena capacity; 0 = unbounded *)
-  switch : int;
-      (** QSense C; 0 = smallest legal (Property 4) *)
+  switch : int;  (** QSense C; 0 = smallest legal (Property 4) *)
+  evict : int;
+      (** QSense §5.2 eviction timeout dt; 0 = eviction off. Serialized as
+          an optional [evict=] field (absent = 0), so pre-eviction case
+          lines keep parsing. *)
   bags : int;
       (** limbo-list representation: [0] = the {!Qs_util.Vec} reference,
           [> 0] = {!Qs_util.Bag} with that block capacity. Serialized as an
@@ -57,7 +60,8 @@ type case = {
 
 val default_case : ds:Cset.kind -> scheme:Qs_smr.Scheme.kind -> seed:int -> case
 (** 4 processes, 32 keys, 50% updates, 150 ops/process, 400k ticks,
-    unbounded arena, C = 48, bags of 64, [Fair], no faults. *)
+    unbounded arena, C = 48, eviction off, bags of 64, [Fair], no
+    faults. *)
 
 type verdict =
   | Pass

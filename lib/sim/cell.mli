@@ -30,13 +30,18 @@ val read_committed : 'a t -> 'a
 val write_committed : 'a t -> 'a -> unit
 (** Store directly to main memory (used for SC stores and CAS results). *)
 
-val enqueue_write : int -> 'a t -> 'a -> buffered
-(** [enqueue_write pid c v] registers a pending write and returns the token
-    to put in [pid]'s store buffer. *)
+val enqueue_write : int -> 'a t -> 'a -> int
+(** [enqueue_write pid c v] registers a pending write and returns its uid,
+    to put (with the cell) in [pid]'s store buffer. *)
 
 val commit : buffered -> unit
 (** Make a pending write visible in main memory. Idempotent: committing a
     token twice is a no-op. *)
+
+val commit_erased : Obj.t -> int -> unit
+(** [commit_erased (Obj.repr c) uid] = [commit (B (c, uid))], for callers
+    that store cells type-erased to avoid allocating tokens (the
+    scheduler's store-buffer ring). *)
 
 val owner : _ t -> int
 (** Core that last wrote the cell, [-1] when shared/fresh. *)

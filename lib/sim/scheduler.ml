@@ -151,13 +151,66 @@ let default_config ~n_cores ~seed =
 
 type pstate = Idle | Ready | Sleeping of int | Done | Failed of exn | Crashed
 
+(* A suspended effect, waiting for its process to be scheduled — flattened
+   into scratch fields on [proc] instead of an allocated descriptor. The
+   [effc] case stores the payload (cell, value, amount) into the scratch
+   slots, tags the shape in [r_tag], and returns a PREALLOCATED handler
+   option whose closure only stashes the continuation: performing a hot
+   effect allocates nothing beyond the fiber suspension the effect
+   machinery itself requires. (The old representations allocated, per step,
+   either a closure chain + option, or — after the first flattening — a
+   GADT node + fresh closure + option: ~10 words/step of pure overhead.)
+
+   The scratch slots are [Obj.t]-typed because one set of slots serves
+   every effect shape; each tag maps to exactly one effect constructor, so
+   [run_resume] knows the stored types exactly and the [Obj] casts only
+   erase what the matching [effc] case wrote. *)
+let rt_none = 0
+
+let rt_read = 1
+
+let rt_write = 2
+
+let rt_aget = 3
+
+let rt_aset = 4
+
+let rt_cas = 5
+
+let rt_faa = 6
+
+let rt_fence = 7
+
+let rt_now = 8
+
+let rt_self = 9
+
+let rt_unit = 10 (* yield, and the wake-up of [E_sleep_until] *)
+
+let rt_charge = 11
+
 type proc = {
   pid : int;
   mutable clock : int;
   skew : int;
-  buffer : Cell.buffered Queue.t;
+  (* Store buffer: a preallocated ring of write tokens (capacity + slack for
+     the transient push-then-overflow state). The previous [Queue.t]
+     allocated a chain cell per buffered store. *)
+  buf_cell : Obj.t array; (* type-erased target cells *)
+  buf_uid : int array; (* matching pending-entry uids *)
+  mutable buf_head : int;
+  mutable buf_len : int;
   mutable state : pstate;
-  mutable resume : (unit -> unit) option;
+  (* Suspended-effect scratch slots (see the [rt_*] tags above). *)
+  mutable r_tag : int;
+  mutable r_k : Obj.t; (* the captured continuation *)
+  mutable r_cell : Obj.t; (* cell operand *)
+  mutable r_v : Obj.t; (* value operand (write / aset / cas-desired) *)
+  mutable r_v2 : Obj.t; (* cas-expected *)
+  mutable r_n : int; (* faa delta / charge amount *)
+  mutable h_defer : ((Obj.t, unit) continuation -> unit) option;
+      (* preallocated handler returned by [effc] for deferred effects;
+         its closure stores the continuation into [r_k], nothing else *)
   mutable next_rooster : int;
   prng : Qs_util.Prng.t;
   mutable flushes : int;
@@ -184,6 +237,23 @@ type t = {
   procs : proc array;
   prng : Qs_util.Prng.t;
   pct : pct_state option;
+  trace_on : bool; (* cfg.trace_capacity > 0, hoisted off the hot path *)
+  (* Flat copies of the hot [cfg.cost] fields: one load instead of three
+     ([t] -> [cfg] -> [cost] -> field) on every accounted step. *)
+  c_plain : int;
+  c_aload : int;
+  c_astore : int;
+  c_cas : int;
+  c_fence : int;
+  c_remote : int;
+  c_jitter : int;
+  c_stall_max : int;
+  stall_thresh : int;
+      (* stall_prob rescaled to [0, max_int]: the per-step stall roll is one
+         PRNG draw and an integer compare, no float arithmetic. -1 = never
+         (prob 0 draws nothing, as before). *)
+  drain_thresh : int; (* same encoding for the [Prob] drain policy *)
+  buf_capacity : int;
   mutable last_scheduled : int; (* pid of the last process stepped (PCT) *)
   mutable armed_faults : fault list; (* master copy, re-armed by reset_clocks *)
   mutable crashes : int;
@@ -193,6 +263,25 @@ type t = {
   trace : (int * int * event) array; (* ring: (pid, clock, event) *)
   mutable trace_pos : int;
   mutable trace_len : int;
+  mutable pick_best : int;
+  mutable pick_lim : int;
+  mutable pick_lim_steps : int;
+      (* Set by the pick that chose the process about to step: the minimum
+         clock among the OTHER active processes (second-min of the scan),
+         [max_int] under [exec] (which steps its one process
+         unconditionally), [min_int] when inline execution is illegal for
+         the dispatch (PCT, ties, > 62 processes). See the [op_*] fast
+         paths. *) (* scratch for [pick_*]: no per-step allocation *)
+  mutable pick_clock : int;
+  clocks : int array;
+      (* mirror of [procs.(i).clock], updated by [advance_to] /
+         [advance_rooster] / [reset_clocks]: the per-step fair pick scans
+         one flat cache line instead of touching every [proc] record *)
+  mutable active_mask : int;
+      (* bit [pid] set iff the process is Ready or Sleeping; maintained at
+         the (rare) state transitions, used by the (hot) picks. Only
+         trusted when [n_cores <= 62] — beyond that the picks fall back to
+         scanning [procs]. *)
   mutable sink : Qs_intf.Runtime_intf.sink option;
       (* trace sink for E_emit / rooster wake-ups; None = tracing off *)
 }
@@ -227,6 +316,99 @@ let draw_oversleep cfg prng =
     let lo = min cfg.rooster_oversleep_min cfg.rooster_oversleep in
     lo + Qs_util.Prng.int prng (cfg.rooster_oversleep - lo + 1)
 
+(* In-module copy of {!Qs_util.Prng}'s SplitMix advance — same constants,
+   same stream (Prng's stream-identity tests pin the constants; keep in
+   sync). The scheduler draws on every accounted step and on fair-pick
+   ties, and without flambda the cross-module [Prng.next] call is never
+   inlined; this local copy is. *)
+let sm_gamma = 0x1E3779B97F4A7C15
+
+let sm_mix_a = 0x2F58476D1CE4E5B9
+
+let sm_mix_b = 0x14D049BB133111EB
+
+(* --- owned-schedule cursor (see the op_* fast paths) --------------------
+
+   [step] publishes the scheduler and process whose fiber is currently
+   executing; the [op_*] entry points consult it to decide whether an
+   operation may run inline, without suspending. Domain-local because a
+   pool runs one isolated simulator per worker domain; the slots are
+   [Obj.t] so that per-step publication stores no allocated option. *)
+type cursor = {
+  mutable live : bool;
+      (* true only inside [step]'s dispatch. MUST stay the first field:
+         [my_cursor] may read it out of the DLS slot's uninitialized
+         sentinel (a [ref 0]), whose field 0 is [0] — i.e. [false], the
+         correct answer. *)
+  mutable cur_t : Obj.t; (* the scheduler driving the running fiber *)
+  mutable cur_p : Obj.t; (* its currently running process *)
+  mutable lim : int;
+      (* Fast-path clock limit, set per dispatch: the minimum clock of
+         every OTHER active process (fair mode), [max_int] under PCT or
+         [exec], [min_int] when inline execution is off the table for this
+         dispatch (pending faults, > 62 processes). Nothing can move
+         another process's clock while this fiber runs — only [step] does,
+         and only this process is stepping — so [p.clock < lim] is an
+         exact strict-minimality test for the whole inline run. A mid-run
+         [spawn] activates a new process and resets both limits. *)
+  mutable lim_steps : int;
+      (* Fast-path step limit: under PCT the running process keeps the
+         highest priority — and so keeps being picked, with no draws —
+         until the next change point fires, which happens at the first
+         pick with [t.steps >= cp]. Inline ops are legal exactly while
+         [t.steps < cp]. [max_int] in fair mode and under [exec],
+         [min_int] when disabled. *)
+}
+
+let cursor_key : cursor Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { live = false;
+        cur_t = Obj.repr 0;
+        cur_p = Obj.repr 0;
+        lim = min_int;
+        lim_steps = min_int })
+
+(* [Domain.DLS.get] is a cross-module call (no flambda) plus a growth
+   check — ~10ns on every operation, paid even when the fast path misses.
+   The primitive behind it compiles to a single register read, and a DLS
+   key is [(slot_index, initializer)] (pinned by OCaml 5.1, which the
+   toolchain image bakes in), so the hot entry points read the slot
+   directly. The run drivers ([run_all]/[exec]/[spawn]) still go through
+   [Domain.DLS.get], which initializes the slot; until that has happened
+   in a domain the slot is out of range or holds the stdlib sentinel, and
+   [my_cursor] answers with a dead cursor either way. *)
+external dls_state : unit -> Obj.t array = "%dls_get"
+
+let cursor_idx : int = fst (Obj.magic cursor_key : int * Obj.t)
+
+let dead_cursor : cursor =
+  { live = false;
+    cur_t = Obj.repr 0;
+    cur_p = Obj.repr 0;
+    lim = min_int;
+    lim_steps = min_int }
+
+let[@inline] my_cursor () : cursor =
+  let st = dls_state () in
+  if cursor_idx < Array.length st then
+    (Obj.magic (Array.unsafe_get st cursor_idx) : cursor)
+  else dead_cursor
+
+let[@inline] draw (g : Qs_util.Prng.t) =
+  let s = g.state + sm_gamma in
+  g.state <- s;
+  let z = (s lxor (s lsr 30)) * sm_mix_a in
+  let z = (z lxor (z lsr 27)) * sm_mix_b in
+  z lxor (z lsr 31)
+
+let obj_unit : Obj.t = Obj.repr 0
+
+(* Preallocated handler for the synchronous effects (E_hook / E_emit): all
+   their work happens in the [effc] body, so the returned closure only
+   resumes — it captures nothing and one copy serves every process. *)
+let sync_handler : ((unit, unit) continuation -> unit) option =
+  Some (fun k -> continue k ())
+
 let create cfg =
   let prng = Qs_util.Prng.create ~seed:cfg.seed in
   let make_proc pid =
@@ -237,20 +419,33 @@ let create cfg =
       | None -> max_int
       | Some iv -> iv + draw_oversleep cfg p_prng
     in
-    { pid;
-      clock = 0;
-      skew;
-      buffer = Queue.create ();
-      state = Idle;
-      resume = None;
-      next_rooster;
-      prng = p_prng;
-      flushes = 0;
-      extra_skew = 0;
-      extra_skew_until = 0;
-      pending_faults = [];
-      churn_pending = [];
-      hook_counts = Array.make 3 0 }
+    let p =
+      { pid;
+        clock = 0;
+        skew;
+        buf_cell = Array.make (cfg.store_buffer_capacity + 2) obj_unit;
+        buf_uid = Array.make (cfg.store_buffer_capacity + 2) 0;
+        buf_head = 0;
+        buf_len = 0;
+        state = Idle;
+        r_tag = rt_none;
+        r_k = obj_unit;
+        r_cell = obj_unit;
+        r_v = obj_unit;
+        r_v2 = obj_unit;
+        r_n = 0;
+        h_defer = None;
+        next_rooster;
+        prng = p_prng;
+        flushes = 0;
+        extra_skew = 0;
+        extra_skew_until = 0;
+        pending_faults = [];
+        churn_pending = [];
+        hook_counts = Array.make 3 0 }
+    in
+    p.h_defer <- Some (fun k -> p.r_k <- Obj.repr k);
+    p
   in
   let pct =
     match cfg.strategy with
@@ -268,10 +463,28 @@ let create cfg =
           demote_next = -1 }
     | Fair | Targeted _ -> None
   in
+  let thresh_of_prob p =
+    if p <= 0. then -1
+    else if p >= 1. then max_int
+    else int_of_float (p *. float_of_int max_int)
+  in
   { cfg;
     procs = Array.init cfg.n_cores make_proc;
     prng;
     pct;
+    trace_on = cfg.trace_capacity > 0;
+    c_plain = cfg.cost.plain_op;
+    c_aload = cfg.cost.atomic_load;
+    c_astore = cfg.cost.atomic_store;
+    c_cas = cfg.cost.cas;
+    c_fence = cfg.cost.fence;
+    c_remote = cfg.cost.remote_access;
+    c_jitter = cfg.cost.jitter;
+    c_stall_max = cfg.cost.stall_max;
+    stall_thresh = thresh_of_prob cfg.cost.stall_prob;
+    drain_thresh =
+      (match cfg.drain with No_drain -> -1 | Prob p -> thresh_of_prob p);
+    buf_capacity = cfg.store_buffer_capacity;
     last_scheduled = -1;
     armed_faults = [];
     crashes = 0;
@@ -281,9 +494,26 @@ let create cfg =
     trace = Array.make (max cfg.trace_capacity 1) (0, 0, Ev_read);
     trace_pos = 0;
     trace_len = 0;
+    pick_best = -1;
+      pick_lim = min_int;
+      pick_lim_steps = min_int;
+    pick_clock = 0;
+    clocks = Array.make cfg.n_cores 0;
+    active_mask = 0;
     sink = None }
 
 let set_sink t s = t.sink <- s
+
+(* Active = Ready or Sleeping (the states [pick_*] may schedule). The mask
+   is maintained at every state transition; transitions between Ready and
+   Sleeping don't change it. Pids above 62 would overflow the bit mask —
+   [pick_fair] scans [procs] directly for such configs, so the mask can
+   simply ignore them. *)
+let[@inline] set_active (t : t) (p : proc) =
+  if p.pid <= 62 then t.active_mask <- t.active_mask lor (1 lsl p.pid)
+
+let[@inline] clear_active (t : t) (p : proc) =
+  if p.pid <= 62 then t.active_mask <- t.active_mask land lnot (1 lsl p.pid)
 
 (* Forward a trace event to the installed sink. Stamped with the process's
    raw core clock (no skew): trace timelines should be comparable across
@@ -294,17 +524,39 @@ let emit_to_sink (t : t) (p : proc) ev a b =
   | None -> ()
   | Some s -> s.record ~pid:p.pid ~time:p.clock ~ev ~a ~b
 
+(* Callers gate on [t.trace_on] so that the [event] argument (some carry a
+   payload and would allocate) is never even constructed on untraced runs —
+   the common case: exploration leaves the debug ring off. *)
 let record (t : t) (p : proc) ev =
-  if t.cfg.trace_capacity > 0 then begin
-    t.trace.(t.trace_pos) <- (p.pid, p.clock, ev);
-    t.trace_pos <- (t.trace_pos + 1) mod t.cfg.trace_capacity;
-    if t.trace_len < t.cfg.trace_capacity then t.trace_len <- t.trace_len + 1
-  end
+  t.trace.(t.trace_pos) <- (p.pid, p.clock, ev);
+  t.trace_pos <- (t.trace_pos + 1) mod t.cfg.trace_capacity;
+  if t.trace_len < t.cfg.trace_capacity then t.trace_len <- t.trace_len + 1
+
+(* --- store-buffer ring --------------------------------------------------- *)
+
+let[@inline] buf_push (p : proc) cell uid =
+  let arr = p.buf_cell in
+  let i = p.buf_head + p.buf_len in
+  let i = if i >= Array.length arr then i - Array.length arr else i in
+  Array.unsafe_set arr i cell;
+  Array.unsafe_set p.buf_uid i uid;
+  p.buf_len <- p.buf_len + 1
+
+let[@inline] buf_pop_commit (p : proc) =
+  let arr = p.buf_cell in
+  let h = p.buf_head in
+  let cell = Array.unsafe_get arr h in
+  let uid = Array.unsafe_get p.buf_uid h in
+  Array.unsafe_set arr h obj_unit;
+  let h' = h + 1 in
+  p.buf_head <- (if h' >= Array.length arr then 0 else h');
+  p.buf_len <- p.buf_len - 1;
+  Cell.commit_erased cell uid
 
 let flush_buffer p =
-  if not (Queue.is_empty p.buffer) then begin
-    while not (Queue.is_empty p.buffer) do
-      Cell.commit (Queue.pop p.buffer)
+  if p.buf_len > 0 then begin
+    while p.buf_len > 0 do
+      buf_pop_commit p
     done;
     p.flushes <- p.flushes + 1
   end
@@ -314,210 +566,275 @@ let roosters_alive t fire_time =
 
 (* Advance [p]'s clock to [target], firing every rooster wake-up crossed on
    the way. A rooster wake-up forces a context switch on [p]'s core, which
-   drains [p]'s store buffer — the visibility guarantee Cadence needs. *)
-let rec advance_to (t : t) (p : proc) target =
+   drains [p]'s store buffer — the visibility guarantee Cadence needs.
+   [next_rooster] is [max_int] when roosters are off, so the hot path is a
+   single compare; the rooster-crossing loop lives out of line. *)
+let rec advance_rooster (t : t) (p : proc) target =
   match t.cfg.rooster_interval with
   | Some iv when p.next_rooster <= target && roosters_alive t p.next_rooster ->
     p.clock <- max p.clock p.next_rooster;
     flush_buffer p;
     t.rooster_fires <- t.rooster_fires + 1;
-    record t p Ev_rooster;
+    if t.trace_on then record t p Ev_rooster;
     emit_to_sink t p Qs_intf.Runtime_intf.Ev_rooster_wake (-1) (-1);
     p.clock <- p.clock + t.cfg.cost.ctx_switch;
     p.next_rooster <- p.next_rooster + iv + draw_oversleep t.cfg p.prng;
-    advance_to t p target
-  | _ -> p.clock <- max p.clock target
+    advance_rooster t p target
+  | _ ->
+    if target > p.clock then p.clock <- target;
+    t.clocks.(p.pid) <- p.clock
 
-let account (t : t) (p : proc) cost =
-  let jitter =
-    if t.cfg.cost.jitter = 0 then 0 else Qs_util.Prng.int p.prng (t.cfg.cost.jitter + 1)
-  in
-  (* Occasional long stalls model cache misses, interrupts and preemptions:
-     the asynchrony that lets one process race far ahead of another. *)
-  let stall =
-    if t.cfg.cost.stall_prob > 0. && Qs_util.Prng.float p.prng 1.0 < t.cfg.cost.stall_prob
-    then Qs_util.Prng.int p.prng (t.cfg.cost.stall_max + 1)
-    else 0
-  in
-  if stall > 0 then record t p (Ev_stall stall);
-  advance_to t p (p.clock + cost + jitter + stall)
+let[@inline] advance_to (t : t) (p : proc) target =
+  if p.next_rooster <= target then advance_rooster t p target
+  else if target > p.clock then begin
+    p.clock <- target;
+    Array.unsafe_set t.clocks p.pid target
+  end
+
+let[@inline] account (t : t) (p : proc) cost =
+  if t.c_jitter = 1 then begin
+    (* Fast path for the default cost model: ONE SplitMix draw serves both
+       per-step rolls. Bit 0 is the jitter coin; bits 1..62 are the stall
+       roll, whose range [0, max_int] matches the [stall_thresh] scale
+       exactly (63-bit ints: [d lsr 1] spans [0, 2^62-1] = [0, max_int]).
+       SplitMix output bits are independent, so the two decisions stay
+       uncorrelated. Occasional long stalls model cache misses, interrupts
+       and preemptions: the asynchrony that lets one process race far
+       ahead of another. *)
+    let d = draw p.prng in
+    if t.stall_thresh >= 0 && d lsr 1 < t.stall_thresh then begin
+      let stall = Qs_util.Prng.int p.prng (t.c_stall_max + 1) in
+      if stall > 0 && t.trace_on then record t p (Ev_stall stall);
+      advance_to t p (p.clock + cost + (d land 1) + stall)
+    end
+    else advance_to t p (p.clock + cost + (d land 1))
+  end
+  else begin
+    let jitter =
+      if t.c_jitter = 0 then 0 else Qs_util.Prng.int p.prng (t.c_jitter + 1)
+    in
+    let stall =
+      if
+        t.stall_thresh >= 0
+        && Qs_util.Prng.next p.prng land max_int < t.stall_thresh
+      then Qs_util.Prng.int p.prng (t.c_stall_max + 1)
+      else 0
+    in
+    if stall > 0 && t.trace_on then record t p (Ev_stall stall);
+    advance_to t p (p.clock + cost + jitter + stall)
+  end
 
 (* Cache-coherence cost model: accessing a line last written by another core
    costs a remote miss. Reads downgrade the line to shared; the next commit
    of a write re-acquires ownership (see Cell.commit). *)
-let read_extra (t : t) (p : proc) (c : _ Cell.t) =
+let[@inline] read_extra (t : t) (p : proc) (c : _ Cell.t) =
   let o = Cell.owner c in
   if o <> p.pid && o <> -1 then begin
     Cell.set_owner c (-1);
-    t.cfg.cost.remote_access
+    t.c_remote
   end
   else 0
 
-let write_extra (t : t) (p : proc) (c : _ Cell.t) =
+let[@inline] write_extra (t : t) (p : proc) (c : _ Cell.t) =
   let o = Cell.owner c in
-  let extra = if o <> p.pid && o <> -1 then t.cfg.cost.remote_access else 0 in
+  let extra = if o <> p.pid && o <> -1 then t.c_remote else 0 in
   Cell.set_owner c p.pid;
   extra
 
 let run_fiber (t : t) (p : proc) f =
   match_with f ()
-    { retc = (fun () -> p.state <- Done);
+    { retc =
+        (fun () ->
+          p.state <- Done;
+          clear_active t p);
       exnc =
         (fun e ->
           p.state <- Failed e;
+          clear_active t p;
           t.failures <- (p.pid, e) :: t.failures);
       effc =
         (fun (type a) (eff : a Effect.t) ->
+          (* Hot constructors first: the match compiles to a comparison
+             chain over extensible-variant tags, and E_read / E_write /
+             E_atomic_get dominate every workload profile. Each deferred
+             case stashes its payload into the scratch slots and returns
+             the process's preallocated [h_defer] — the whole dispatch
+             allocates nothing. The [Obj.magic] re-types the handler's
+             continuation argument from [Obj.t] to this effect's answer
+             type [a]; [run_resume] undoes the erasure tag by tag. Side
+             effects (E_sleep_until's state change, the synchronous
+             E_hook / E_emit bodies) run here in the [effc] body, which the
+             machinery calls at the same point it would call the returned
+             closure, so the observable order is unchanged. *)
           match eff with
           | E_read c ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      account t p (t.cfg.cost.plain_op + read_extra t p c);
-                      record t p Ev_read;
-                      continue k (Cell.read_own p.pid c)))
+            p.r_tag <- rt_read;
+            p.r_cell <- Obj.repr c;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
           | E_write (c, v) ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      account t p t.cfg.cost.plain_op;
-                      let token = Cell.enqueue_write p.pid c v in
-                      Queue.push token p.buffer;
-                      if Queue.length p.buffer > t.cfg.store_buffer_capacity then
-                        Cell.commit (Queue.pop p.buffer);
-                      record t p Ev_write;
-                      continue k ()))
+            p.r_tag <- rt_write;
+            p.r_cell <- Obj.repr c;
+            p.r_v <- Obj.repr v;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
           | E_atomic_get c ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      account t p (t.cfg.cost.atomic_load + read_extra t p c);
-                      record t p Ev_atomic_get;
-                      continue k (Cell.read_committed c)))
+            p.r_tag <- rt_aget;
+            p.r_cell <- Obj.repr c;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
           | E_atomic_set (c, v) ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      flush_buffer p;
-                      account t p (t.cfg.cost.atomic_store + write_extra t p c);
-                      Cell.write_committed c v;
-                      record t p Ev_atomic_set;
-                      continue k ()))
+            p.r_tag <- rt_aset;
+            p.r_cell <- Obj.repr c;
+            p.r_v <- Obj.repr v;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
           | E_cas (c, expected, desired) ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      flush_buffer p;
-                      account t p (t.cfg.cost.cas + write_extra t p c);
-                      let ok = Cell.read_committed c == expected in
-                      if ok then Cell.write_committed c desired;
-                      record t p (Ev_cas ok);
-                      continue k ok))
+            p.r_tag <- rt_cas;
+            p.r_cell <- Obj.repr c;
+            p.r_v2 <- Obj.repr expected;
+            p.r_v <- Obj.repr desired;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
           | E_faa (c, n) ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      flush_buffer p;
-                      account t p (t.cfg.cost.cas + write_extra t p c);
-                      let old = Cell.read_committed c in
-                      Cell.write_committed c (old + n);
-                      record t p Ev_faa;
-                      continue k old))
-          | E_fence ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      flush_buffer p;
-                      account t p t.cfg.cost.fence;
-                      record t p Ev_fence;
-                      continue k ()))
+            p.r_tag <- rt_faa;
+            p.r_cell <- Obj.repr c;
+            p.r_n <- n;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
           | E_now ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      account t p t.cfg.cost.plain_op;
-                      let burst =
-                        if p.clock < p.extra_skew_until then p.extra_skew else 0
-                      in
-                      continue k (p.clock + p.skew + burst)))
-          | E_self ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <- Some (fun () -> continue k p.pid))
-          | E_yield ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <- Some (fun () -> continue k ()))
-          | E_sleep_until target ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                record t p (Ev_sleep target);
-                p.state <- Sleeping target;
-                p.resume <- Some (fun () -> continue k ()))
-          | E_charge n ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                p.resume <-
-                  Some
-                    (fun () ->
-                      account t p n;
-                      continue k ()))
+            p.r_tag <- rt_now;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
+          | E_fence ->
+            p.r_tag <- rt_fence;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
           | E_hook hk ->
-            (* Handled synchronously — no [p.resume], no [account], no PRNG
+            (* Handled synchronously — no descriptor, no [account], no PRNG
                draw, no step: a hook is a free annotation and must not
                perturb existing seeded schedules. The only observable action
                is the [Targeted] stall, which advances the victim's clock in
                place (as an injected in-core stall would). *)
-            Some
-              (fun (k : (a, unit) continuation) ->
-                let i = hook_index hk in
-                p.hook_counts.(i) <- p.hook_counts.(i) + 1;
-                record t p (Ev_hook hk);
-                (match t.cfg.strategy with
-                | Targeted { victim; hook; skip; stall }
-                  when victim = p.pid && hook = hk && p.hook_counts.(i) = skip + 1
-                  ->
-                  record t p (Ev_stall stall);
-                  advance_to t p (p.clock + stall)
-                | _ -> ());
-                continue k ())
+            let i = hook_index hk in
+            p.hook_counts.(i) <- p.hook_counts.(i) + 1;
+            if t.trace_on then record t p (Ev_hook hk);
+            (match t.cfg.strategy with
+            | Targeted { victim; hook; skip; stall }
+              when victim = p.pid && hook = hk && p.hook_counts.(i) = skip + 1
+              ->
+              if t.trace_on then record t p (Ev_stall stall);
+              advance_rooster t p (p.clock + stall)
+            | _ -> ());
+            (Obj.magic sync_handler : ((a, unit) continuation -> unit) option)
           | E_emit (ev, pa, pb) ->
-            (* Handled synchronously, exactly like [E_hook]: no [p.resume],
+            (* Handled synchronously, exactly like [E_hook]: no descriptor,
                no [account], no PRNG draw, no step. Emitting a trace event
                costs no virtual time and is not a preemption point, so
                enabling tracing cannot perturb a seeded schedule. *)
-            Some
-              (fun (k : (a, unit) continuation) ->
-                emit_to_sink t p ev pa pb;
-                continue k ())
+            emit_to_sink t p ev pa pb;
+            (Obj.magic sync_handler : ((a, unit) continuation -> unit) option)
+          | E_self ->
+            p.r_tag <- rt_self;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
+          | E_yield ->
+            p.r_tag <- rt_unit;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
+          | E_sleep_until target ->
+            if t.trace_on then record t p (Ev_sleep target);
+            p.state <- Sleeping target;
+            p.r_tag <- rt_unit;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
+          | E_charge n ->
+            p.r_tag <- rt_charge;
+            p.r_n <- n;
+            (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
           | _ -> None) }
+
+(* Execute one suspended effect descriptor. Reentrant: [continue] runs the
+   fiber up to its next effect, which refills the scratch slots (or
+   finishes via retc/exnc) — so every slot must be read into a local
+   before [continue]. The [Obj.obj] casts restore exactly the types the
+   matching [effc] case erased: each tag maps to one effect constructor
+   with a fixed answer type (read/aget: the cell's element, erased to
+   [Obj.t] on both sides; cas: bool; faa/now/self: int; the rest: unit).
+   The match is a dense jump table over the [rt_*] tags. *)
+let run_resume (t : t) (p : proc) tag =
+  match tag with
+  | 1 (* rt_read *) ->
+    let c : Obj.t Cell.t = Obj.obj p.r_cell in
+    let k : (Obj.t, unit) continuation = Obj.obj p.r_k in
+    account t p (t.c_plain + read_extra t p c);
+    if t.trace_on then record t p Ev_read;
+    continue k (Cell.read_own p.pid c)
+  | 2 (* rt_write *) ->
+    let c : Obj.t Cell.t = Obj.obj p.r_cell in
+    let k : (unit, unit) continuation = Obj.obj p.r_k in
+    account t p t.c_plain;
+    buf_push p (Obj.repr c) (Cell.enqueue_write p.pid c (Obj.obj p.r_v : Obj.t));
+    if p.buf_len > t.buf_capacity then buf_pop_commit p;
+    if t.trace_on then record t p Ev_write;
+    continue k ()
+  | 3 (* rt_aget *) ->
+    let c : Obj.t Cell.t = Obj.obj p.r_cell in
+    let k : (Obj.t, unit) continuation = Obj.obj p.r_k in
+    account t p (t.c_aload + read_extra t p c);
+    if t.trace_on then record t p Ev_atomic_get;
+    continue k (Cell.read_committed c)
+  | 4 (* rt_aset *) ->
+    let c : Obj.t Cell.t = Obj.obj p.r_cell in
+    let k : (unit, unit) continuation = Obj.obj p.r_k in
+    flush_buffer p;
+    account t p (t.c_astore + write_extra t p c);
+    Cell.write_committed c (Obj.obj p.r_v : Obj.t);
+    if t.trace_on then record t p Ev_atomic_set;
+    continue k ()
+  | 5 (* rt_cas *) ->
+    let c : Obj.t Cell.t = Obj.obj p.r_cell in
+    let k : (bool, unit) continuation = Obj.obj p.r_k in
+    let expected : Obj.t = Obj.obj p.r_v2 in
+    let desired : Obj.t = Obj.obj p.r_v in
+    flush_buffer p;
+    account t p (t.c_cas + write_extra t p c);
+    let ok = Cell.read_committed c == expected in
+    if ok then Cell.write_committed c desired;
+    if t.trace_on then record t p (Ev_cas ok);
+    continue k ok
+  | 6 (* rt_faa *) ->
+    let c : int Cell.t = Obj.obj p.r_cell in
+    let k : (int, unit) continuation = Obj.obj p.r_k in
+    let n = p.r_n in
+    flush_buffer p;
+    account t p (t.c_cas + write_extra t p c);
+    let old = Cell.read_committed c in
+    Cell.write_committed c (old + n);
+    if t.trace_on then record t p Ev_faa;
+    continue k old
+  | 7 (* rt_fence *) ->
+    let k : (unit, unit) continuation = Obj.obj p.r_k in
+    flush_buffer p;
+    account t p t.c_fence;
+    if t.trace_on then record t p Ev_fence;
+    continue k ()
+  | 8 (* rt_now *) ->
+    let k : (int, unit) continuation = Obj.obj p.r_k in
+    account t p t.c_plain;
+    let burst = if p.clock < p.extra_skew_until then p.extra_skew else 0 in
+    continue k (p.clock + p.skew + burst)
+  | 9 (* rt_self *) ->
+    let k : (int, unit) continuation = Obj.obj p.r_k in
+    continue k p.pid
+  | 10 (* rt_unit *) ->
+    let k : (unit, unit) continuation = Obj.obj p.r_k in
+    continue k ()
+  | 11 (* rt_charge *) ->
+    let k : (unit, unit) continuation = Obj.obj p.r_k in
+    account t p p.r_n;
+    continue k ()
+  | _ (* rt_none *) -> ()
 
 (* A sleeping core advances in bounded quanta so that rooster wake-ups fire
    at (approximately) the right virtual time relative to the other cores. *)
 let sleep_quantum = 512
 
-let drain_maybe (t : t) (p : proc) =
-  match t.cfg.drain with
-  | No_drain -> ()
-  | Prob prob ->
-    if (not (Queue.is_empty p.buffer)) && Qs_util.Prng.float p.prng 1.0 < prob then
-      Cell.commit (Queue.pop p.buffer)
+let[@inline] drain_maybe (t : t) (p : proc) =
+  if
+    t.drain_thresh >= 0
+    && p.buf_len > 0
+    && draw p.prng land max_int < t.drain_thresh
+  then buf_pop_commit p
 
 let fault_pid = function
   | Stall_at { pid; _ }
@@ -549,86 +866,421 @@ let apply_faults (t : t) (p : proc) =
       p.pending_faults <- rest;
       (match f with
       | Stall_at { ticks; _ } ->
-        record t p (Ev_stall ticks);
+        if t.trace_on then record t p (Ev_stall ticks);
         advance_to t p (p.clock + ticks)
       | Crash_at _ ->
         flush_buffer p;
-        record t p Ev_crash;
+        if t.trace_on then record t p Ev_crash;
         t.crashes <- t.crashes + 1;
-        p.state <- Crashed
+        p.state <- Crashed;
+        clear_active t p
       | Oversleep_spike { extra; _ } ->
-        record t p (Ev_oversleep extra);
+        if t.trace_on then record t p (Ev_oversleep extra);
         if p.next_rooster <> max_int then p.next_rooster <- p.next_rooster + extra
       | Skew_burst { until_; extra; _ } ->
-        record t p (Ev_skew extra);
+        if t.trace_on then record t p (Ev_skew extra);
         p.extra_skew <- extra;
         p.extra_skew_until <- until_
       | Churn_at { ticks; _ } ->
-        record t p (Ev_churn ticks);
+        if t.trace_on then record t p (Ev_churn ticks);
         p.churn_pending <- p.churn_pending @ [ ticks ]);
       loop ()
     | _ -> ()
   in
   loop ()
 
-let step (t : t) (p : proc) =
+let step (t : t) (cur : cursor) (p : proc) =
   t.steps <- t.steps + 1;
-  if p.pending_faults <> [] then apply_faults t p;
+  (* Constructor match, not [<> []]: the polymorphic compare is a C call,
+     paid on every step. *)
+  (match p.pending_faults with [] -> () | _ :: _ -> apply_faults t p);
   match p.state with
   | Sleeping target ->
     advance_to t p (min target (p.clock + sleep_quantum));
     if p.clock >= target then begin
-      record t p Ev_wake;
+      if t.trace_on then record t p Ev_wake;
       p.state <- Ready
     end
   | Ready ->
     drain_maybe t p;
-    (match p.resume with
-    | Some r ->
-      p.resume <- None;
-      r ()
-    | None -> p.state <- Done)
+    let tag = p.r_tag in
+    if tag = rt_none then begin
+      p.state <- Done;
+      clear_active t p
+    end
+    else begin
+      p.r_tag <- rt_none;
+      cur.cur_t <- Obj.repr t;
+      cur.cur_p <- Obj.repr p;
+      (* A fault still pending after [apply_faults] has a future trigger
+         time; inline ops would sail past it without firing it, so they
+         stay disabled for this dispatch. *)
+      (match p.pending_faults with
+      | [] ->
+        cur.lim <- t.pick_lim;
+        cur.lim_steps <- t.pick_lim_steps
+      | _ :: _ ->
+        cur.lim <- min_int;
+        cur.lim_steps <- min_int);
+      cur.live <- true;
+      run_resume t p tag;
+      cur.live <- false
+    end
   | Idle | Done | Failed _ | Crashed -> ()
+
+(* --- owned-schedule fast paths ------------------------------------------
+
+   Deferred-resume semantics says an operation executes when the scheduler
+   NEXT schedules its process, with every other process free to interleave
+   in between. But when the running process's clock is strictly below every
+   other active clock, the fair pick is a foregone conclusion: it consumes
+   no randomness (unique minimum — see [pick_fair]) and returns the same
+   process. In that case performing the effect, parking the fiber, and
+   re-picking is pure overhead (~46ns of fiber switching per operation on
+   the reference box), so the [op_*] entry points execute the operation
+   inline instead — replicating [step]'s observable actions exactly (step
+   count, drain roll, accounting draws, trace records, in that order) and
+   skipping only the suspension. Outcomes are bit-identical either way;
+   test/test_sim.ml pins this.
+
+   Guards: Fair-family strategies only (PCT serializes differently and
+   does per-switch flushes), no pending faults on the running process (the
+   step preliminaries would fire them), and a strict (no-tie) minimum so
+   the skipped pick draws nothing. *)
+
+let[@inline] fast_ready (cur : cursor) =
+  cur.live
+  && (Obj.obj cur.cur_p : proc).clock < cur.lim
+  && (Obj.obj cur.cur_t : t).steps < cur.lim_steps
+
+let op_read (c : 'a Cell.t) : 'a =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    account t p (t.c_plain + read_extra t p c);
+    if t.trace_on then record t p Ev_read;
+    Cell.read_own p.pid c
+  end
+  else Effect.perform (E_read c)
+
+let op_write (c : 'a Cell.t) (v : 'a) : unit =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    account t p t.c_plain;
+    buf_push p (Obj.repr c) (Cell.enqueue_write p.pid c v);
+    if p.buf_len > t.buf_capacity then buf_pop_commit p;
+    if t.trace_on then record t p Ev_write
+  end
+  else Effect.perform (E_write (c, v))
+
+let op_get (c : 'a Cell.t) : 'a =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    account t p (t.c_aload + read_extra t p c);
+    if t.trace_on then record t p Ev_atomic_get;
+    Cell.read_committed c
+  end
+  else Effect.perform (E_atomic_get c)
+
+let op_set (c : 'a Cell.t) (v : 'a) : unit =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    flush_buffer p;
+    account t p (t.c_astore + write_extra t p c);
+    Cell.write_committed c v;
+    if t.trace_on then record t p Ev_atomic_set
+  end
+  else Effect.perform (E_atomic_set (c, v))
+
+let op_cas (c : 'a Cell.t) (expected : 'a) (desired : 'a) : bool =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    flush_buffer p;
+    account t p (t.c_cas + write_extra t p c);
+    let ok = Cell.read_committed c == expected in
+    if ok then Cell.write_committed c desired;
+    if t.trace_on then record t p (Ev_cas ok);
+    ok
+  end
+  else Effect.perform (E_cas (c, expected, desired))
+
+let op_faa (c : int Cell.t) (n : int) : int =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    flush_buffer p;
+    account t p (t.c_cas + write_extra t p c);
+    let old = Cell.read_committed c in
+    Cell.write_committed c (old + n);
+    if t.trace_on then record t p Ev_faa;
+    old
+  end
+  else Effect.perform (E_faa (c, n))
+
+let op_fence () : unit =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    flush_buffer p;
+    account t p t.c_fence;
+    if t.trace_on then record t p Ev_fence
+  end
+  else Effect.perform E_fence
+
+let op_now () : int =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    account t p t.c_plain;
+    let burst = if p.clock < p.extra_skew_until then p.extra_skew else 0 in
+    p.clock + p.skew + burst
+  end
+  else Effect.perform E_now
+
+let op_self () : int =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    p.pid
+  end
+  else Effect.perform E_self
+
+let op_charge (n : int) : unit =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p;
+    account t p n
+  end
+  else Effect.perform (E_charge n)
+
+let op_yield () : unit =
+  let cur = my_cursor () in
+  if fast_ready cur then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    t.steps <- t.steps + 1;
+    drain_maybe t p
+  end
+  else Effect.perform E_yield
+
+(* Hooks and trace emissions are not preemption points: their [effc] bodies
+   run synchronously, consume no step, no virtual time and no randomness,
+   and resume immediately. So whenever ANY dispatch is live — strategy,
+   faults and clock position irrelevant — they can run inline; the effect
+   round trip bought nothing but ~46ns of fiber switching. *)
+
+let op_hook (hk : Qs_intf.Runtime_intf.hook) : unit =
+  let cur = my_cursor () in
+  if cur.live then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    let i = hook_index hk in
+    p.hook_counts.(i) <- p.hook_counts.(i) + 1;
+    if t.trace_on then record t p (Ev_hook hk);
+    match t.cfg.strategy with
+    | Targeted { victim; hook; skip; stall }
+      when victim = p.pid && hook = hk && p.hook_counts.(i) = skip + 1 ->
+      if t.trace_on then record t p (Ev_stall stall);
+      advance_rooster t p (p.clock + stall)
+    | _ -> ()
+  end
+  else Effect.perform (E_hook hk)
+
+let op_emit (ev : Qs_intf.Runtime_intf.event) (pa : int) (pb : int) : unit =
+  let cur = my_cursor () in
+  if cur.live then begin
+    let t : t = Obj.obj cur.cur_t in
+    let p : proc = Obj.obj cur.cur_p in
+    emit_to_sink t p ev pa pb
+  end
+  else Effect.perform (E_emit (ev, pa, pb))
 
 let active p = match p.state with Ready | Sleeping _ -> true | _ -> false
 
 (* Historical smallest-clock policy: cores advance together in virtual
-   time, ties broken by a PRNG coin — true-parallelism modelling. *)
+   time, ties broken by a PRNG coin — true-parallelism modelling. Returns
+   the index of the chosen process, -1 when none is runnable; scratch
+   results live in mutable fields so a pick allocates nothing. *)
+(* Tie-breaking is uniform among the processes at the minimal clock, paid
+   for with a single draw — and only when there IS a tie. (The previous
+   sequential per-comparison coin was biased towards later pids — for three
+   tied processes it picked them with probabilities 1/4, 1/4, 1/2 — and
+   drew once per tied comparison.) A unique minimum consumes no randomness
+   at all, which is what lets the owned-schedule fast path below prove a
+   pick's outcome without running it. *)
+let pick_fair_slow t =
+  t.pick_best <- -1;
+  t.pick_lim <- min_int;
+  t.pick_lim_steps <- min_int;
+  let ties = ref 0 in
+  let procs = t.procs in
+  for i = 0 to Array.length procs - 1 do
+    let p = Array.unsafe_get procs i in
+    if active p then
+      if t.pick_best < 0 || p.clock < t.pick_clock then begin
+        t.pick_best <- i;
+        t.pick_clock <- p.clock;
+        ties := 1
+      end
+      else if p.clock = t.pick_clock then incr ties
+  done;
+  if !ties <= 1 then t.pick_best
+  else begin
+    let k = ref (Qs_util.Prng.int t.prng !ties) in
+    let best = ref t.pick_best in
+    (try
+       for i = 0 to Array.length procs - 1 do
+         let p = Array.unsafe_get procs i in
+         if active p && p.clock = t.pick_clock then begin
+           if !k = 0 then begin
+             best := i;
+             raise_notrace Exit
+           end;
+           decr k
+         end
+       done
+     with Exit -> ());
+    !best
+  end
+
+(* Same policy driven by the activity bit mask and the flat clock mirror:
+   the whole scan touches one or two cache lines instead of four-plus
+   [proc] records. *)
 let pick_fair t =
-  let best = ref None in
-  Array.iter
-    (fun p ->
-      if active p then
-        match !best with
-        | None -> best := Some p
-        | Some b ->
-          if p.clock < b.clock || (p.clock = b.clock && Qs_util.Prng.bool t.prng) then
-            best := Some p)
-    t.procs;
-  !best
+  let n = Array.length t.procs in
+  if n > 62 then pick_fair_slow t
+  else begin
+    let mask = t.active_mask in
+    if mask = 0 then -1
+    else begin
+      t.pick_best <- -1;
+      let ties = ref 0 in
+      let m2 = ref max_int in
+      let clocks = t.clocks in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          let c = Array.unsafe_get clocks i in
+          if t.pick_best < 0 || c < t.pick_clock then begin
+            if t.pick_best >= 0 then m2 := t.pick_clock;
+            t.pick_best <- i;
+            t.pick_clock <- c;
+            ties := 1
+          end
+          else begin
+            if c < !m2 then m2 := c;
+            if c = t.pick_clock then incr ties
+          end
+        end
+      done;
+      (* Second-lowest active clock doubles as the inline-execution limit
+         for the chosen process: while its clock stays strictly below every
+         other active clock, re-running this pick would choose it again
+         without drawing. A tie makes [m2] equal the minimum itself, which
+         correctly disables the fast path. *)
+      t.pick_lim <- !m2;
+      t.pick_lim_steps <- max_int;
+      if !ties <= 1 then t.pick_best
+      else begin
+        let k = ref (Qs_util.Prng.int t.prng !ties) in
+        let best = ref t.pick_best in
+        (try
+           for i = 0 to n - 1 do
+             if
+               mask land (1 lsl i) <> 0
+               && Array.unsafe_get clocks i = t.pick_clock
+             then begin
+               if !k = 0 then begin
+                 best := i;
+                 raise_notrace Exit
+               end;
+               decr k
+             end
+           done
+         with Exit -> ());
+        !best
+      end
+    end
+  end
 
 (* PCT: run the highest-priority runnable process; at each due change
    point, demote it below every priority handed out so far. *)
 let pick_pct t (ps : pct_state) =
+  (* Between change points the argmax is pinned to the running process, so
+     its ops may run inline until the step counter reaches the next change
+     point (clock position is irrelevant to a priority pick). *)
+  t.pick_lim <- max_int;
+  t.pick_lim_steps <-
+    (match ps.change_points with cp :: _ -> cp | [] -> max_int);
   let argmax () =
-    let best = ref None in
-    Array.iter
-      (fun p ->
-        if active p then
-          match !best with
-          | None -> best := Some p
-          | Some b -> if ps.prio.(p.pid) > ps.prio.(b.pid) then best := Some p)
-      t.procs;
-    !best
+    t.pick_best <- -1;
+    let n = Array.length t.procs in
+    if n > 62 then begin
+      let procs = t.procs in
+      for i = 0 to n - 1 do
+        let p = Array.unsafe_get procs i in
+        if active p && (t.pick_best < 0 || ps.prio.(p.pid) > t.pick_clock)
+        then begin
+          t.pick_best <- i;
+          t.pick_clock <- ps.prio.(p.pid)
+        end
+      done
+    end
+    else begin
+      let mask = t.active_mask in
+      for i = 0 to n - 1 do
+        if
+          mask land (1 lsl i) <> 0
+          && (t.pick_best < 0 || ps.prio.(i) > t.pick_clock)
+        then begin
+          t.pick_best <- i;
+          t.pick_clock <- ps.prio.(i)
+        end
+      done
+    end;
+    t.pick_best
   in
   (match ps.change_points with
   | cp :: rest when t.steps >= cp -> (
     ps.change_points <- rest;
-    match argmax () with
-    | Some p ->
-      ps.prio.(p.pid) <- ps.demote_next;
+    let i = argmax () in
+    if i >= 0 then begin
+      ps.prio.(t.procs.(i).pid) <- ps.demote_next;
       ps.demote_next <- ps.demote_next - 1
-    | None -> ())
+    end)
   | _ -> ());
   argmax ()
 
@@ -637,15 +1289,32 @@ let pick t = match t.pct with Some ps -> pick_pct t ps | None -> pick_fair t
 let spawn t ~pid f =
   let p = t.procs.(pid) in
   p.state <- Ready;
-  p.resume <- None;
-  run_fiber t p f
+  set_active t p;
+  p.r_tag <- rt_none;
+  (* The fiber runs here until its first suspension — possibly from inside
+     another process's step (dynamic membership spawns mid-run). Its
+     initial effects must take the suspension path, and the spawner's
+     cursor must come back intact. *)
+  let cur = Domain.DLS.get cursor_key in
+  let saved = cur.live in
+  cur.live <- false;
+  run_fiber t p f;
+  (* The new process is active now; any limit cached for the spawner's
+     dispatch (or an enclosing [exec] loop) is stale, so inline execution
+     stays off until the next pick. *)
+  cur.lim <- min_int;
+  cur.lim_steps <- min_int;
+  t.pick_lim <- min_int;
+  t.pick_lim_steps <- min_int;
+  cur.live <- saved
 
-let run_all t =
+let run_all_pct t =
+  let cur = Domain.DLS.get cursor_key in
   let pct_mode = match t.pct with Some _ -> true | None -> false in
   let rec loop () =
-    match pick t with
-    | None -> ()
-    | Some p ->
+    let i = pick t in
+    if i >= 0 then begin
+      let p = t.procs.(i) in
       (* Under PCT the schedule is serialized: when control moves to a
          different process, the one being descheduled takes a context
          switch, which drains its store buffer. Without this flush a
@@ -658,19 +1327,43 @@ let run_all t =
         if t.last_scheduled >= 0 then flush_buffer t.procs.(t.last_scheduled);
         t.last_scheduled <- p.pid
       end;
-      step t p;
+      step t cur p;
       loop ()
+    end
   in
   loop ();
   (* Commit leftovers so post-run inspection sees final memory. *)
   Array.iter flush_buffer t.procs
 
+let run_all t =
+  match t.pct with
+  | Some _ -> run_all_pct t
+  | None ->
+    (* Fair mode: the tight loop skips the per-step strategy dispatch and
+       the PCT context-switch bookkeeping entirely. *)
+    let cur = Domain.DLS.get cursor_key in
+    let rec loop () =
+      let i = pick_fair t in
+      if i >= 0 then begin
+        step t cur (Array.unsafe_get t.procs i);
+        loop ()
+      end
+    in
+    loop ();
+    Array.iter flush_buffer t.procs
+
 let exec t ~pid f =
   let p = t.procs.(pid) in
   let result = ref None in
   spawn t ~pid (fun () -> result := Some (f ()));
+  let cur = Domain.DLS.get cursor_key in
+  (* [exec] steps its one process unconditionally — no pick, no fairness —
+     so every operation is inline-eligible regardless of other clocks.
+     (A mid-run [spawn] resets this; see [spawn].) *)
+  t.pick_lim <- max_int;
+  t.pick_lim_steps <- max_int;
   while active p do
-    step t p
+    step t cur p
   done;
   match p.state with
   | Failed e ->
@@ -718,6 +1411,7 @@ let reset_clocks t =
     (fun p ->
       flush_buffer p;
       p.clock <- 0;
+      t.clocks.(p.pid) <- 0;
       p.extra_skew <- 0;
       p.extra_skew_until <- 0;
       Array.fill p.hook_counts 0 (Array.length p.hook_counts) 0;

@@ -215,6 +215,33 @@ val inject : t -> fault list -> unit
 
 (** {1 Running processes} *)
 
+(** {2 Operation entry points}
+
+    What {!Sim_runtime} calls. Each is semantically [Effect.perform] of the
+    corresponding effect — and that is exactly what it does whenever any
+    other process could legally run next. But when the calling process's
+    clock is strictly below every other active clock (so the fair pick is
+    deterministic and draw-free), the operation executes inline, skipping
+    the fiber suspension; outcomes are bit-identical either way. *)
+
+val op_read : 'a Cell.t -> 'a
+val op_write : 'a Cell.t -> 'a -> unit
+val op_get : 'a Cell.t -> 'a
+val op_set : 'a Cell.t -> 'a -> unit
+val op_cas : 'a Cell.t -> 'a -> 'a -> bool
+val op_faa : int Cell.t -> int -> int
+val op_fence : unit -> unit
+val op_now : unit -> int
+val op_self : unit -> int
+val op_charge : int -> unit
+val op_yield : unit -> unit
+
+val op_hook : Qs_intf.Runtime_intf.hook -> unit
+(** Hooks and emissions are not preemption points, so these two run inline
+    under any strategy whenever a dispatch is live. *)
+
+val op_emit : Qs_intf.Runtime_intf.event -> int -> int -> unit
+
 val exec : t -> pid:int -> (unit -> 'a) -> 'a
 (** [exec t ~pid f] runs [f] as process [pid]'s fiber to completion, alone,
     advancing that core's clock. Used for initialisation (the paper fills

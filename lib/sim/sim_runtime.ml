@@ -13,32 +13,32 @@ let plain v = Cell.make v
 (* The simulator models coherence per cell, so padding is a no-op. *)
 let atomic_padded v = atomic v
 let plain_padded v = plain v
-let get c = Effect.perform (Scheduler.E_atomic_get c)
-let set c v = Effect.perform (Scheduler.E_atomic_set (c, v))
-let cas c expected desired = Effect.perform (Scheduler.E_cas (c, expected, desired))
-let fetch_and_add c n = Effect.perform (Scheduler.E_faa (c, n))
-let read c = Effect.perform (Scheduler.E_read c)
-let write c v = Effect.perform (Scheduler.E_write (c, v))
-let fence () = Effect.perform Scheduler.E_fence
-let now () = Effect.perform Scheduler.E_now
+let get c = Scheduler.op_get c
+let set c v = Scheduler.op_set c v
+let cas c expected desired = Scheduler.op_cas c expected desired
+let fetch_and_add c n = Scheduler.op_faa c n
+let read c = Scheduler.op_read c
+let write c v = Scheduler.op_write c v
+let fence () = Scheduler.op_fence ()
+let now () = Scheduler.op_now ()
 
 (* Virtual time costs one tick to read either way; the coarse clock exists
    for the real runtime, where [now] is a syscall. Lag bound: zero. *)
 let now_coarse () = now ()
-let self () = Effect.perform Scheduler.E_self
-let yield () = Effect.perform Scheduler.E_yield
+let self () = Scheduler.op_self ()
+let yield () = Scheduler.op_yield ()
 
 (* Zero-cost labelled schedule point: handled synchronously by the
    scheduler (no preemption, no time, no PRNG), so schedules are identical
    with or without hooks — except under the [Targeted] strategy, which may
    turn one into an injected stall. *)
-let hook h = Effect.perform (Scheduler.E_hook h)
+let hook h = Scheduler.op_hook h
 
 (* Trace emission, handled synchronously like [hook]: with no sink
    installed it is a branch inside the scheduler; either way it costs no
    virtual time, performs no memory effect and is not a preemption point,
    so traced and untraced runs of the same seed are identical. *)
-let emit ev a b = Effect.perform (Scheduler.E_emit (ev, a, b))
+let emit ev a b = Scheduler.op_emit ev a b
 
 (* Always emit under simulation: [emit] is free and schedule-neutral here,
    and answering [true] keeps traced and untraced runs on one code path. *)
@@ -50,5 +50,5 @@ let sleep_until target = Effect.perform (Scheduler.E_sleep_until target)
 (** Block the calling process until its core clock reaches [target]; used
     for delay injection. *)
 
-let charge n = Effect.perform (Scheduler.E_charge n)
+let charge n = Scheduler.op_charge n
 (** Account [n] extra virtual ticks of application work to the caller. *)

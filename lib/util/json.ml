@@ -232,3 +232,74 @@ let member k = function
   | _ -> None
 
 let to_list = function Arr xs -> xs | _ -> []
+
+(* --- printing ------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+
+(* Two-space indented printer (BENCH_RESULTS.json is diffed by humans;
+   compact single-line output would bury every change). *)
+let to_string v =
+  let buf = Buffer.create 1024 in
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  let rec go ind = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> add_num buf f
+    | Str s -> escape_string buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr xs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (ind + 2);
+          go (ind + 2) x)
+        xs;
+      Buffer.add_char buf '\n';
+      pad ind;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (ind + 2);
+          escape_string buf k;
+          Buffer.add_string buf ": ";
+          go (ind + 2) x)
+        fields;
+      Buffer.add_char buf '\n';
+      pad ind;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let set_member k v = function
+  | Obj fields ->
+    if List.mem_assoc k fields then
+      Obj (List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) fields)
+    else Obj (fields @ [ (k, v) ])
+  | _ -> Obj [ (k, v) ]

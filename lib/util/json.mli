@@ -26,3 +26,11 @@ val member : string -> t -> t option
 
 val to_list : t -> t list
 (** Elements of an [Arr]; [\[\]] on anything else. *)
+
+val to_string : t -> string
+(** Two-space indented serialization (ends with a newline); parses back to
+    an equal value. Numbers print as integers when integral. *)
+
+val set_member : string -> t -> t -> t
+(** [set_member k v obj] replaces field [k] (or appends it) in an [Obj],
+    preserving field order; on a non-object it returns [Obj [(k, v)]]. *)

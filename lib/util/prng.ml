@@ -1,30 +1,49 @@
-type t = { mutable state : int64 }
+(* SplitMix-style generator on native ints. The original implementation
+   used boxed [int64] arithmetic: every draw allocated a handful of boxed
+   words, and the simulator draws from a PRNG on almost every scheduled
+   step (cost jitter, stall rolls, fair-tie coins), which made the PRNG a
+   measurable slice of the allocation profile of schedule exploration.
+   Native [int] arithmetic wraps modulo 2^63 on 64-bit platforms, which is
+   exactly the truncation SplitMix tolerates: the constants below are the
+   SplitMix64 constants with their top bits dropped to fit OCaml's 63-bit
+   immediates. Draws allocate nothing. *)
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+type t = { mutable state : int }
 
-let create ~seed = { state = Int64.of_int seed }
+(* 0x9E3779B97F4A7C15 (the 64-bit golden gamma) truncated to 61 bits so the
+   literal is a valid OCaml immediate; it stays odd, which is the property
+   the Weyl sequence needs. *)
+let golden_gamma = 0x1E3779B97F4A7C15
 
-let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
+let mix_a = 0x2F58476D1CE4E5B9 (* 0xBF58476D1CE4E5B9 truncated, odd *)
+let mix_b = 0x14D049BB133111EB (* 0x94D049BB133111EB truncated, odd *)
+
+let create ~seed = { state = seed }
+
+let[@inline] next t =
+  t.state <- t.state + golden_gamma;
   let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  let z = (z lxor (z lsr 30)) * mix_a in
+  let z = (z lxor (z lsr 27)) * mix_b in
+  z lxor (z lsr 31)
 
-let split t =
-  let seed = next_int64 t in
-  { state = seed }
+let next_int64 t = Int64.of_int (next t)
 
-let int t bound =
+let split t = { state = next t }
+
+let[@inline] int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  let r = Int64.to_int (next_int64 t) land max_int in
-  r mod bound
+  next t land max_int mod bound
 
-let float t bound =
-  let r = Int64.to_int (next_int64 t) land max_int in
-  bound *. (float_of_int r /. float_of_int max_int)
+let float t bound = bound *. (float_of_int (next t land max_int) /. float_of_int max_int)
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+(* [chance t p] = [float t 1.0 < p] (same single draw, same decision), but
+   the float comparison happens inside this compilation unit, so without
+   flambda no boxed float crosses the module boundary. The simulator rolls
+   a stall chance on every scheduled step. *)
+let chance t p = float_of_int (next t land max_int) /. float_of_int max_int < p
+
+let[@inline] bool t = next t land 1 = 1
 
 let percent t = int t 100
 

@@ -2,12 +2,19 @@
 
     All randomness in the repository flows through this module so that every
     experiment and every simulator schedule is reproducible from a single
-    seed. The generator is SplitMix64, which is fast, has a 64-bit state and
-    supports cheap splitting into independent streams (one per simulated
-    process). *)
+    seed. The generator is a SplitMix variant on native 63-bit ints — fast,
+    allocation-free per draw (the simulator draws on almost every scheduled
+    step), and supporting cheap splitting into independent streams (one per
+    simulated process). *)
 
-type t
-(** A mutable PRNG state. Not thread-safe; use one [t] per process/domain. *)
+type t = { mutable state : int }
+(** A mutable PRNG state. Not thread-safe; use one [t] per process/domain.
+    The representation is exposed so that the simulator's step accounting —
+    which draws on every scheduled step — can inline the SplitMix advance
+    without a cross-module call (no flambda: [next] is not inlined across
+    compilation units). Treat it as abstract everywhere else; the mixing
+    constants live in {!Scheduler} as well and the stream-identity tests
+    pin both. *)
 
 val create : seed:int -> t
 (** [create ~seed] returns a fresh generator determined entirely by [seed]. *)
@@ -17,14 +24,23 @@ val split : t -> t
     independent of the remainder of [t]'s stream. Used to derive per-process
     streams from an experiment master seed. *)
 
+val next : t -> int
+(** Next raw 63-bit output (may be negative: all 63 bits are random).
+    Allocation-free. *)
+
 val next_int64 : t -> int64
-(** Next raw 64-bit output. *)
+(** {!next} as an [int64] (boxed); kept for stream-identity tests. *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
+
+val chance : t -> float -> bool
+(** [chance t p] draws once and is [true] with probability [p] — the exact
+    decision [float t 1.0 < p] would make, without the boxed float return
+    crossing the module boundary (hot in the simulator's step accounting). *)
 
 val bool : t -> bool
 

@@ -15,6 +15,7 @@ let () =
       ("workload", Test_workload.suite);
       ("differential", Test_differential.suite);
       ("explorer", Test_explorer.suite);
+      ("explorer_pool", Test_explorer_pool.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
       ("real", Test_real.suite)
