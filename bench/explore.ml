@@ -6,9 +6,10 @@
    - [smoke [--seeds N] [--jobs N] [--repro-out PATH]] — the CI smoke
      budget: positive controls (the explorer must find the planted unsafety
      in the leaky and unsafe-hp baselines within N seeds), a clean sweep
-     over hp / cadence / qsense (fair, PCT and fault-plan schedules; any
-     failure is shrunk and saved to PATH), a churn sweep over the sound
-     schemes (the [Churn] fault level: leave/rejoin + orphan adoption under
+     over hp / cadence / qsense and the rival schemes debra-plus / hyaline
+     (fair, PCT, fault-plan and [Neutralize] schedules; any failure is
+     shrunk and saved to PATH), a churn sweep over the sound schemes
+     (the [Churn] fault level: leave/rejoin + orphan adoption under
      a stall), and the QSense fallback round-trip with its QSBR
      differential. Sweeps run through the worker-domain pool ([--jobs],
      default cores-1); shrinking stays on the coordinator. Exit 1 on any
@@ -28,12 +29,13 @@
      micro-bench: effects/sec and schedules/sec on a representative case
      mix, solo and through the pool, plus minor-allocation words per
      scheduler step; merges an "explorer" section into PATH
-     (BENCH_RESULTS.json, schema 6) when it exists.
+     (BENCH_RESULTS.json, schema 7) when it exists.
    - [grow OUT [--target N] [--jobs N] [--budget N] [--base PATH]] —
      coverage-guided corpus growth: breed [--target] known-clean cases from
      a deterministic frontier (plus [--base] corpus, if given), keeping
      witnesses for every rare event class (fallback entry, eviction-seize,
-     unregister, adoption, bag sealing); writes the corpus to OUT. Exit 1
+     unregister, adoption, bag sealing, neutralization); writes the corpus
+     to OUT. Exit 1
      if a rare class ends up with no witness.
    - [coverage PATH [--jobs N]] — replay a corpus with the counting sink
      and report how many cases witness each rare event class; exit 1 if
@@ -181,9 +183,17 @@ let clean_cases ~seeds =
             { dc with
               Explorer.faults =
                 Explorer.plan Explorer.Chaos ~n:dc.n_processes
+                  ~duration:dc.duration ~seed };
+            (* poison deliveries discontinue whatever operation is in
+               flight — under every scheme, not just DEBRA+: the unwind
+               handlers in the structures must hold across the zoo *)
+            { dc with
+              Explorer.faults =
+                Explorer.plan Explorer.Neutralize ~n:dc.n_processes
                   ~duration:dc.duration ~seed } ])
         (Explorer.seeds ~base:11 ~count:seeds))
-    [ Scheme.Hp; Scheme.Cadence; Scheme.Qsense ]
+    [ Scheme.Hp; Scheme.Cadence; Scheme.Qsense; Scheme.Debra_plus;
+      Scheme.Hyaline ]
 
 let clean_sweep ~seeds ~jobs ~repro_out =
   let cases = clean_cases ~seeds in
@@ -217,7 +227,8 @@ let churn_cases ~seeds =
               Explorer.plan Explorer.Churn ~n:dc.n_processes
                 ~duration:dc.duration ~seed })
         (Explorer.seeds ~base:29 ~count:seeds))
-    [ Scheme.Qsbr; Scheme.Ebr; Scheme.Hp; Scheme.Cadence; Scheme.Qsense ]
+    [ Scheme.Qsbr; Scheme.Ebr; Scheme.Hp; Scheme.Cadence; Scheme.Qsense;
+      Scheme.Debra_plus; Scheme.Hyaline ]
 
 let churn_sweep ~seeds ~jobs ~repro_out =
   let cases = churn_cases ~seeds in
@@ -466,7 +477,7 @@ let profile args =
           ("step_alloc_words", num step_alloc_words) ]
     in
     let doc = Qs_util.Json.set_member "explorer" section doc in
-    let doc = Qs_util.Json.set_member "schema" (num 6.) doc in
+    let doc = Qs_util.Json.set_member "schema" (num 7.) doc in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (Qs_util.Json.to_string doc));
     Printf.printf "explorer section merged into %s\n%!" path
@@ -480,9 +491,49 @@ let profile args =
 (* The deterministic base frontier: breadth across scheme x structure x
    strategy x fault level, plus the shapes known to reach the rare event
    classes (QSense under a long stall for fallback entry and eviction,
-   churn plans for unregister/adoption, small bag capacities for sealing). *)
+   churn plans for unregister/adoption, small bag capacities for sealing,
+   [Neutralize] plans for poison delivery). The rival-scheme shapes lead
+   the frontier so a regrow anchored on an existing corpus ([--base])
+   admits them before the size target fills up on breadth alone. *)
 let grow_base () =
-  let sound = [ Scheme.Qsbr; Scheme.Ebr; Scheme.Hp; Scheme.Cadence; Scheme.Qsense ] in
+  let rival_shapes =
+    let neutralized ~ds ~scheme ~seed =
+      let dc = Explorer.default_case ~ds ~scheme ~seed in
+      { dc with
+        Explorer.faults =
+          Explorer.plan Explorer.Neutralize ~n:dc.n_processes
+            ~duration:dc.duration ~seed }
+    in
+    let churned ~ds ~scheme ~seed ~bags =
+      let dc = Explorer.default_case ~ds ~scheme ~seed in
+      { dc with
+        Explorer.bags;
+        faults =
+          Explorer.plan Explorer.Churn ~n:dc.n_processes ~duration:dc.duration
+            ~seed }
+    in
+    [ (* injected poison deliveries: the neutralize witnesses — both at
+         the scheme that restarts (DEBRA+) and at an incumbent, where the
+         delivery exercises only the unwind handlers *)
+      neutralized ~ds:Cset.List ~scheme:Scheme.Debra_plus ~seed:41;
+      neutralized ~ds:Cset.Bst ~scheme:Scheme.Debra_plus ~seed:42;
+      neutralized ~ds:Cset.List ~scheme:Scheme.Qsense ~seed:41;
+      (* Hyaline under membership churn: unregister donates the open
+         batch, small blocks so sealing fires within the op budget *)
+      churned ~ds:Cset.List ~scheme:Scheme.Hyaline ~seed:43 ~bags:4;
+      churned ~ds:Cset.Hashtable ~scheme:Scheme.Debra_plus ~seed:44 ~bags:4;
+      (* plain breadth for both rivals *)
+      Explorer.default_case ~ds:Cset.List ~scheme:Scheme.Hyaline ~seed:45;
+      { (Explorer.default_case ~ds:Cset.Bst ~scheme:Scheme.Hyaline ~seed:46) with
+        Explorer.strategy = Pct { depth = 3 } };
+      { (Explorer.default_case ~ds:Cset.Skiplist ~scheme:Scheme.Debra_plus
+           ~seed:47) with
+        Explorer.bags = 1 } ]
+  in
+  let sound =
+    [ Scheme.Qsbr; Scheme.Ebr; Scheme.Hp; Scheme.Cadence; Scheme.Qsense;
+      Scheme.Debra_plus; Scheme.Hyaline ]
+  in
   let breadth =
     List.concat_map
       (fun scheme ->
@@ -552,7 +603,7 @@ let grow_base () =
           { churned with Explorer.bags = 0 } ])
       [ Scheme.Qsense; Scheme.Cadence; Scheme.Qsbr ]
   in
-  breadth @ strategies @ faults @ churn_all @ fallback @ bags
+  rival_shapes @ breadth @ strategies @ faults @ churn_all @ fallback @ bags
 
 let grow out args =
   let f = parse args in

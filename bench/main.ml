@@ -595,6 +595,11 @@ module E2e = struct
     [ Qs_smr.Scheme.Qsbr; Qs_smr.Scheme.Hp; Qs_smr.Scheme.Cadence;
       Qs_smr.Scheme.Qsense ]
 
+  (* The rival-scheme zoo (cross-paper comparison, DESIGN.md §13): same
+     matrix, reported in the JSON's separate "rivals" section so the CI
+     guard over the incumbents' numbers is not disturbed. *)
+  let rival_schemes = [ Qs_smr.Scheme.Debra_plus; Qs_smr.Scheme.Hyaline ]
+
   let structures = [ Qs_harness.Cset.List; Qs_harness.Cset.Hashtable ]
 
   let domain_counts ~quick =
@@ -639,7 +644,7 @@ module E2e = struct
       failed = r.failed;
       churn_events = r.churn_events }
 
-  let run ~quick ~churn =
+  let run_matrix ~quick ~churn schemes =
     List.concat_map
       (fun ds ->
         List.concat_map
@@ -658,6 +663,9 @@ module E2e = struct
               (domain_counts ~quick))
           schemes)
       structures
+
+  let run ~quick ~churn = run_matrix ~quick ~churn schemes
+  let run_rivals ~quick ~churn = run_matrix ~quick ~churn rival_schemes
 
   let print_table results =
     let tbl =
@@ -894,22 +902,23 @@ module Observatory = struct
     qsense_fallback ()
 end
 
-(* --- JSON report (schema 6) ----------------------------------------------- *)
+(* --- JSON report (schema 7) ----------------------------------------------- *)
 
 (* Consumed by CI (regression guards) and by EXPERIMENTS.md readers.
-   Schema 6 = schema 5's sections ("retire_scan", "bags", "membership",
-   "e2e", "trace", the "churn" flag) plus an "explorer" section: sim-core
-   effects/sec, schedules/sec solo and through the domain pool, the pool
-   speedup, dispatch ns/effect (suspended / corpus cost model / inline)
-   and minor words allocated per scheduler step. This binary emits the
-   section as [null]; [explore.exe profile --out BENCH_RESULTS.json] fills
-   it in (the numbers belong to the explorer binary, which owns the
+   Schema 7 = schema 6's sections ("retire_scan", "bags", "membership",
+   "e2e", "trace", "explorer", the "churn" flag) plus a "rivals" section:
+   the e2e matrix re-run under the rival schemes (debra-plus, hyaline),
+   same row shape as "e2e". CI guards that every rival row completed
+   safely (no violations, not failed) across the full
+   {scheme} x {structure} x {domains} matrix. The "explorer" section is
+   emitted as [null] here; [explore.exe profile --out BENCH_RESULTS.json]
+   fills it in (the numbers belong to the explorer binary, which owns the
    representative case mix). *)
 let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
-    ~e2e ~(trace : Observatory.overhead) =
+    ~e2e ~rivals ~(trace : Observatory.overhead) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 6,\n";
+  Printf.fprintf oc "  \"schema\": 7,\n";
   Printf.fprintf oc "  \"explorer\": null,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"churn\": %b,\n" churn;
@@ -957,20 +966,26 @@ let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
         (if i = n - 1 then "" else ","))
     membership;
   Printf.fprintf oc "  ],\n";
+  let emit_e2e_rows rows =
+    let n = List.length rows in
+    List.iteri
+      (fun i (r : E2e.result) ->
+        Printf.fprintf oc
+          "    {\"ds\": \"%s\", \"scheme\": \"%s\", \"domains\": %d, \
+           \"throughput_mops\": %.4f, \"retired_peak\": %d, \"reuse_ratio\": \
+           %.4f, \"violations\": %d, \"failed\": %b, \"churn_events\": %d}%s\n"
+          (Qs_harness.Cset.kind_to_string r.ds)
+          (Qs_smr.Scheme.to_string r.scheme)
+          r.n_domains r.throughput_mops r.retired_peak r.reuse_ratio
+          r.violations r.failed r.churn_events
+          (if i = n - 1 then "" else ","))
+      rows
+  in
   Printf.fprintf oc "  \"e2e\": [\n";
-  let n = List.length e2e in
-  List.iteri
-    (fun i (r : E2e.result) ->
-      Printf.fprintf oc
-        "    {\"ds\": \"%s\", \"scheme\": \"%s\", \"domains\": %d, \
-         \"throughput_mops\": %.4f, \"retired_peak\": %d, \"reuse_ratio\": \
-         %.4f, \"violations\": %d, \"failed\": %b, \"churn_events\": %d}%s\n"
-        (Qs_harness.Cset.kind_to_string r.ds)
-        (Qs_smr.Scheme.to_string r.scheme)
-        r.n_domains r.throughput_mops r.retired_peak r.reuse_ratio
-        r.violations r.failed r.churn_events
-        (if i = n - 1 then "" else ","))
-    e2e;
+  emit_e2e_rows e2e;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"rivals\": [\n";
+  emit_e2e_rows rivals;
   Printf.fprintf oc "  ],\n";
   Printf.fprintf oc "  \"trace\": {\n";
   Printf.fprintf oc "    \"alloc_words_per_event_disabled\": %.4f,\n"
@@ -1042,12 +1057,22 @@ let () =
     end
     else []
   in
+  let rival_results =
+    if e2e then begin
+      Printf.printf "== rival schemes on real domains (debra-plus, hyaline) ==\n%!";
+      let rs = E2e.run_rivals ~quick ~churn in
+      E2e.print_table rs;
+      rs
+    end
+    else []
+  in
   if trace then Observatory.dashboard ();
   Printf.printf "== tracing overhead (sink off vs on, alloc per event) ==\n%!";
   let trace_overhead = Observatory.overhead ~quick in
   Observatory.print_overhead trace_overhead;
   emit_json ~path:"BENCH_RESULTS.json" ~quick ~churn ~retire_scan:results
-    ~bag_alloc_words ~membership ~e2e:e2e_results ~trace:trace_overhead;
+    ~bag_alloc_words ~membership ~e2e:e2e_results ~rivals:rival_results
+    ~trace:trace_overhead;
   Qs_real.Roosters.stop roosters;
   (* The multi-core figures come from the simulator: *)
   print_endline "Scalability and robustness figures (multi-core) are produced by the";

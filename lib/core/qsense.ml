@@ -655,6 +655,7 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
         | Smr_intf.Fallback -> Some t.fallback_since_shadow
         | Smr_intf.Fast -> None);
       evictions = fold t (fun h -> h.evictions) + t.legacy_evictions;
+      neutralizations = 0;
       retired_now = retired_count t;
       retired_peak =
         fold t (fun h -> h.retired_peak) + t.legacy_retired_peak;

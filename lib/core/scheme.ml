@@ -10,13 +10,17 @@ type kind =
   | Unsafe_hp  (** hazard pointers without the fence — broken, demo only *)
   | Qsbr
   | Ebr  (** per-operation epochs (Fraser), §8's epoch-based baseline *)
+  | Debra_plus  (** EBR + neutralization (Brown) — rival robust scheme *)
+  | Hyaline  (** reference-counted batches, no scan phase — rival scheme *)
   | Cadence
   | Qsense
   | Naive_hybrid
       (** the rejected §4.1 hybrid (HPs only in fallback mode) — broken,
           demo only *)
 
-let all = [ None_; Hp; Unsafe_hp; Qsbr; Ebr; Cadence; Qsense; Naive_hybrid ]
+let all =
+  [ None_; Hp; Unsafe_hp; Qsbr; Ebr; Debra_plus; Hyaline; Cadence; Qsense;
+    Naive_hybrid ]
 
 let to_string = function
   | None_ -> "none"
@@ -24,6 +28,8 @@ let to_string = function
   | Unsafe_hp -> "unsafe-hp"
   | Qsbr -> "qsbr"
   | Ebr -> "ebr"
+  | Debra_plus -> "debra-plus"
+  | Hyaline -> "hyaline"
   | Cadence -> "cadence"
   | Qsense -> "qsense"
   | Naive_hybrid -> "naive-hybrid"
@@ -34,6 +40,8 @@ let of_string = function
   | "unsafe-hp" -> Some Unsafe_hp
   | "qsbr" -> Some Qsbr
   | "ebr" -> Some Ebr
+  | "debra-plus" -> Some Debra_plus
+  | "hyaline" -> Some Hyaline
   | "cadence" -> Some Cadence
   | "qsense" -> Some Qsense
   | "naive-hybrid" -> Some Naive_hybrid
@@ -42,15 +50,18 @@ let of_string = function
 (** Whether the scheme needs rooster processes running for safety. *)
 let needs_roosters = function
   | Cadence | Qsense | Naive_hybrid -> true
-  | None_ | Hp | Unsafe_hp | Qsbr | Ebr -> false
+  | None_ | Hp | Unsafe_hp | Qsbr | Ebr | Debra_plus | Hyaline -> false
 
 (** Whether the scheme survives prolonged process delays with bounded
     memory (the paper's robustness property). *)
 (* EBR is robust to processes stalled BETWEEN operations but not to
    processes stalled inside one; it does not get the paper's robustness
-   label. *)
+   label. DEBRA+ earns it by neutralizing in-operation laggards (in the
+   real runtime only cooperatively — see {!Debra_plus}). Hyaline earns it
+   the hazard-pointer way: a stalled process delays only the batches
+   inserted into its own slot. *)
 let robust = function
-  | Hp | Cadence | Qsense -> true
+  | Hp | Debra_plus | Hyaline | Cadence | Qsense -> true
   | None_ | Unsafe_hp | Qsbr | Ebr | Naive_hybrid -> false
 
 module Dispatch (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
@@ -62,6 +73,8 @@ module Dispatch (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
     | Unsafe_hp -> (module Unsafe_hp.Make (R) (N))
     | Qsbr -> (module Qsbr.Make (R) (N))
     | Ebr -> (module Ebr.Make (R) (N))
+    | Debra_plus -> (module Debra_plus.Make (R) (N))
+    | Hyaline -> (module Hyaline.Make (R) (N))
     | Cadence -> (module Cadence.Make (R) (N))
     | Qsense -> (module Qsense.Make (R) (N))
     | Naive_hybrid -> (module Naive_hybrid.Make (R) (N))

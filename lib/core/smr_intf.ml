@@ -161,6 +161,12 @@ type stats = {
           complete ([fallback_ticks] keeps its exit-only semantics).
           [None]: on the fast path (or the scheme has no fallback). *)
   evictions : int;
+  neutralizations : int;
+      (** DEBRA+-style neutralizations performed by this scheme: delayed
+          processes whose epoch was forcibly unpinned after a restart
+          signal was posted to them. 0 for every other scheme. Monotone
+          across churn: counts performed by since-departed handles are
+          folded into the instance at {!S.unregister}. *)
   retired_now : int;  (** removed-but-unfreed nodes at this instant *)
   retired_peak : int;
   scan_threshold_eff : int;
@@ -182,6 +188,7 @@ let zero_stats =
     fallback_ticks = 0;
     fallback_since = None;
     evictions = 0;
+    neutralizations = 0;
     retired_now = 0;
     retired_peak = 0;
     scan_threshold_eff = 0;

@@ -173,6 +173,30 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     p_left_side : bool; (* which gp edge leads to p *)
   }
 
+  (* --- helping (part 1: what traversals need) --------------------------- *)
+
+  let rec poison_edge cell =
+    match R.get cell with
+    | Child { dest; marked = false } as c ->
+      if not (R.cas cell c (Child { dest; marked = true })) then poison_edge cell
+    | Nil | Child { marked = true; _ } -> ()
+
+  let dest_of = function Child c -> c.dest | Nil -> assert false
+
+  (* Complete a delete whose parent is already marked. Mark is final and
+     the update word monotone, so dp's edges can no longer change except for
+     the poisoning below: the sibling read is stable. Poisoning precedes the
+     grandparent swing (and hence the retire point), so traversals that
+     validated an edge into dp/dl did so before the nodes could be freed. *)
+  let help_marked (op : dinfo) =
+    poison_edge op.dp.left;
+    poison_edge op.dp.right;
+    let left = R.get op.dp.left and right = R.get op.dp.right in
+    let sibling = if dest_of left == op.dl then dest_of right else dest_of left in
+    let gp_edge = if op.d_left_side then op.dgp.left else op.dgp.right in
+    ignore (R.cas gp_edge op.dp_link (Child { dest = sibling; marked = false }));
+    ignore (R.cas op.dgp.upd op.dflag (clean ()))
+
   (* Traverse to the leaf position for [key], protecting (gp, p, l) in
      rotating hazard slots 0-2, validating each edge after protection. *)
   let rec locate ctx key : found =
@@ -194,7 +218,20 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
         | Child { dest = l'; marked } ->
           let sl' = sgp in
           ctx.smr_h.assign_hp ~slot:sl' l';
-          if marked then locate ctx key (* p' removed: edges poisoned *)
+          if marked then begin
+            (* p' removed: edges poisoned. Normally the mark's owner (or a
+               helper that found the DFlag/Mark) swings the grandparent
+               edge promptly and the restart routes around p' — but a
+               neutralized owner abandons the removal between poisoning
+               and the swing, and a traversal that merely restarts then
+               livelocks. Complete the removal ourselves: marking precedes
+               poisoning and Mark is final, so a pass that reaches the
+               poisoned edge re-reads p'.upd as the Mark (p' and its
+               parent — the descriptor's dgp — are the protected p'/gp' of
+               this frame, exactly what help_marked needs). *)
+            (match R.get p'.upd with Mark o -> help_marked o | _ -> ());
+            locate ctx key
+          end
           else if R.get edge != edge_link then locate ctx key
           else begin
             touch ctx l';
@@ -205,15 +242,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     let pu0 = R.get root.upd in
     go root pu0 root pu0 Nil true Nil true root 0 1 2
 
-  (* --- helping ---------------------------------------------------------- *)
-
-  let rec poison_edge cell =
-    match R.get cell with
-    | Child { dest; marked = false } as c ->
-      if not (R.cas cell c (Child { dest; marked = true })) then poison_edge cell
-    | Nil | Child { marked = true; _ } -> ()
-
-  let dest_of = function Child c -> c.dest | Nil -> assert false
+  (* --- helping (part 2) ------------------------------------------------- *)
 
   (* Complete an insert: splice the new internal in, unflag. Idempotent —
      stale CASes fail on physical witnesses. *)
@@ -221,20 +250,6 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     let edge = if op.i_left_side then op.ip.left else op.ip.right in
     ignore (R.cas edge op.il_link (Child { dest = op.new_internal; marked = false }));
     ignore (R.cas op.ip.upd op.iflag (clean ()))
-
-  (* Complete a delete whose parent is already marked. Mark is final and
-     the update word monotone, so dp's edges can no longer change except for
-     the poisoning below: the sibling read is stable. Poisoning precedes the
-     grandparent swing (and hence the retire point), so traversals that
-     validated an edge into dp/dl did so before the nodes could be freed. *)
-  let help_marked (op : dinfo) =
-    poison_edge op.dp.left;
-    poison_edge op.dp.right;
-    let left = R.get op.dp.left and right = R.get op.dp.right in
-    let sibling = if dest_of left == op.dl then dest_of right else dest_of left in
-    let gp_edge = if op.d_left_side then op.dgp.left else op.dgp.right in
-    ignore (R.cas gp_edge op.dp_link (Child { dest = sibling; marked = false }));
-    ignore (R.cas op.dgp.upd op.dflag (clean ()))
 
   (* Returns whether the delete completed (parent marked) or aborted.
      Caller must have op.dp and op.dgp protected. *)
@@ -300,15 +315,23 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   let insert ctx key =
     if key > max_real_key then invalid_arg "Bst.insert: key too large";
     ctx.smr_h.manage_state ();
-    let rec attempt fresh =
+    (* The not-yet-published pair lives in [fresh] (cleared the moment the
+       IFlag CAS wins — from then on helpers may splice the nodes in) so a
+       neutralization signal aborting this operation returns both to the
+       arena instead of leaking them; simulator delivery replaces a pending
+       effect, so it cannot land between the CAS executing and the
+       meta-level clear. *)
+    let fresh = ref None in
+    let rec attempt () =
       let s = locate ctx key in
       touch ctx s.l;
       if s.l.key = key then begin
-        (match fresh with
+        (match !fresh with
         | Some (nleaf, nint) ->
           Arena.free ctx.arena_h nleaf;
           Arena.free ctx.arena_h nint
         | None -> ());
+        fresh := None;
         ctx.smr_h.clear_hps ();
         false
       end
@@ -316,9 +339,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
         match s.pu with
         | Clean _ ->
           let nleaf, nint =
-            match fresh with
+            match !fresh with
             | Some pair -> pair
-            | None -> (alloc_leaf ctx key, alloc_leaf ctx 0)
+            | None ->
+              let pair = (alloc_leaf ctx key, alloc_leaf ctx 0) in
+              fresh := Some pair;
+              pair
           in
           nint.key <- max key s.l.key;
           nint.is_leaf <- false;
@@ -339,19 +365,27 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
               iflag = IFlag op }
           in
           if R.cas s.p.upd s.pu op.iflag then begin
+            fresh := None;
             help_insert op;
             nleaf.state <- Qs_arena.Node_state.Reachable;
             nint.state <- Qs_arena.Node_state.Reachable;
             ctx.smr_h.clear_hps ();
             true
           end
-          else attempt (Some (nleaf, nint))
+          else attempt ()
         | u ->
           help ctx u;
-          attempt fresh
+          attempt ()
       end
     in
-    attempt None
+    try attempt ()
+    with Qs_intf.Runtime_intf.Neutralized as e ->
+      (match !fresh with
+      | Some (nleaf, nint) ->
+        Arena.free ctx.arena_h nleaf;
+        Arena.free ctx.arena_h nint
+      | None -> ());
+      raise e
 
   let delete ctx key =
     ctx.smr_h.manage_state ();
@@ -381,8 +415,24 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
               if help_delete op then begin
                 s.p.state <- Qs_arena.Node_state.Removed;
                 s.l.state <- Qs_arena.Node_state.Removed;
-                ctx.smr_h.retire s.p;
-                ctx.smr_h.retire s.l;
+                (* This delete owns BOTH removals (m = 2); bank the second
+                   even if a neutralization signal aborts between the two
+                   retire calls. DEBRA+'s retire only raises with its node
+                   already banked, so "retire s.p raised" never needs a
+                   compensating retire of s.p — only an s.l whose retire
+                   was never entered is at risk, and retiring it from the
+                   handler is safe in every scheme (a never-entered retire
+                   banked nothing). *)
+                let entered_l = ref false in
+                (try
+                   ctx.smr_h.retire s.p;
+                   entered_l := true;
+                   ctx.smr_h.retire s.l
+                 with Qs_intf.Runtime_intf.Neutralized as e ->
+                   if not !entered_l then (
+                     try ctx.smr_h.retire s.l
+                     with Qs_intf.Runtime_intf.Neutralized -> ());
+                   raise e);
                 ctx.smr_h.clear_hps ();
                 true
               end

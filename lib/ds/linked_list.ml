@@ -169,36 +169,50 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   let insert_in ctx ~bucket key =
     ctx.smr_h.manage_state ();
-    let rec attempt fresh =
+    (* The not-yet-published node lives in [fresh] (cleared the moment the
+       publishing CAS wins) so that a neutralization signal aborting this
+       operation can return it to the arena instead of leaking it: in the
+       simulator, delivery replaces a pending effect — it can never land
+       between the CAS executing and the meta-level clear below. *)
+    let fresh = ref None in
+    let rec attempt () =
       let pred, pred_link, curr = find ctx bucket key in
       if curr.key = key then begin
         (* Already present; a node allocated by an earlier attempt was never
            linked, so it is freed directly (paper: "free the node directly"). *)
-        (match fresh with
+        (match !fresh with
         | Some n -> Arena.free ctx.arena_h n
         | None -> ());
+        fresh := None;
         ctx.smr_h.clear_hps ();
         false
       end
       else begin
         let n =
-          match fresh with
+          match !fresh with
           | Some n -> n
           | None ->
             let n = Arena.alloc ctx.arena_h in
             n.key <- key;
+            fresh := Some n;
             n
         in
         R.set n.next (Ptr { dest = curr; marked = false });
         if R.cas pred.next pred_link (Ptr { dest = n; marked = false }) then begin
+          fresh := None;
           n.state <- Qs_arena.Node_state.Reachable;
           ctx.smr_h.clear_hps ();
           true
         end
-        else attempt (Some n)
+        else attempt ()
       end
     in
-    attempt None
+    try attempt ()
+    with Qs_intf.Runtime_intf.Neutralized as e ->
+      (match !fresh with
+      | Some n -> Arena.free ctx.arena_h n
+      | None -> ());
+      raise e
 
   let delete_in ctx ~bucket key =
     ctx.smr_h.manage_state ();

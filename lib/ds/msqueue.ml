@@ -106,7 +106,10 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     let t = ctx.queue in
     let n = Arena.alloc ctx.arena_h in
     n.value <- value;
-    R.set n.next Null;
+    (* [published] flips (meta-level, no effect in between) right after the
+       linking CAS wins, so a neutralization signal aborting this operation
+       returns the still-private node to the arena instead of leaking it. *)
+    let published = ref false in
     let rec attempt () =
       let tail_link = R.get t.tail in
       let tl = dest tail_link in
@@ -117,6 +120,7 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
         match R.get tl.next with
         | Null ->
           if R.cas tl.next Null (Ptr n) then begin
+            published := true;
             n.state <- Qs_arena.Node_state.Reachable;
             (* swing the tail; helpers may already have done it *)
             ignore (R.cas t.tail tail_link (Ptr n))
@@ -128,7 +132,10 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
           attempt ()
       end
     in
-    attempt ();
+    (try R.set n.next Null; attempt ()
+     with Qs_intf.Runtime_intf.Neutralized as e ->
+       if not !published then Arena.free ctx.arena_h n;
+       raise e);
     ctx.smr_h.clear_hps ()
 
   let dequeue ctx =

@@ -226,21 +226,29 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   let insert ctx key =
     ctx.smr_h.manage_state ();
-    let rec attempt fresh =
+    (* The not-yet-published node lives in [fresh] (cleared the moment the
+       bottom-level CAS wins) so a neutralization signal aborting this
+       operation returns it to the arena instead of leaking it; simulator
+       delivery replaces a pending effect, so it cannot land between the
+       CAS executing and the meta-level clear. *)
+    let fresh = ref None in
+    let rec attempt () =
       ignore (find ctx key);
       if found ctx key then begin
-        (match fresh with Some n -> Arena.free ctx.arena_h n | None -> ());
+        (match !fresh with Some n -> Arena.free ctx.arena_h n | None -> ());
+        fresh := None;
         ctx.smr_h.clear_hps ();
         false
       end
       else begin
         let n =
-          match fresh with
+          match !fresh with
           | Some n -> n
           | None ->
             let n = Arena.alloc ctx.arena_h in
             n.key <- key;
             n.top <- random_level ctx;
+            fresh := Some n;
             n
         in
         (* prepare all levels before the bottom CAS publishes the node *)
@@ -251,15 +259,21 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
           R.cas ctx.preds.(0).next.(0) ctx.pred_links.(0)
             (Ptr { dest = n; marked = false })
         then begin
+          fresh := None;
           n.state <- Qs_arena.Node_state.Reachable;
           link_upper ctx n 1;
           ctx.smr_h.clear_hps ();
           true
         end
-        else attempt (Some n)
+        else attempt ()
       end
     in
-    attempt None
+    try attempt ()
+    with Qs_intf.Runtime_intf.Neutralized as e ->
+      (match !fresh with
+      | Some n -> Arena.free ctx.arena_h n
+      | None -> ());
+      raise e
 
   let delete ctx key =
     ctx.smr_h.manage_state ();

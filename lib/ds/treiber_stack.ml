@@ -99,14 +99,23 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     ctx.smr_h.manage_state ();
     let n = Arena.alloc ctx.arena_h in
     n.value <- value;
+    (* [published] flips (meta-level, no effect in between) right after the
+       publishing CAS wins, so a neutralization signal aborting this
+       operation returns the still-private node to the arena. *)
+    let published = ref false in
     let rec attempt () =
       let old = R.get ctx.stack.top in
       n.next <- old;
-      if R.cas ctx.stack.top old (Ptr n) then
+      if R.cas ctx.stack.top old (Ptr n) then begin
+        published := true;
         n.state <- Qs_arena.Node_state.Reachable
+      end
       else attempt ()
     in
-    attempt ();
+    (try attempt ()
+     with Qs_intf.Runtime_intf.Neutralized as e ->
+       if not !published then Arena.free ctx.arena_h n;
+       raise e);
     (* end-of-operation hook: drops protections / unpins epoch schemes *)
     ctx.smr_h.clear_hps ()
 

@@ -16,7 +16,7 @@
 
 module RI = Qs_intf.Runtime_intf
 
-let n_events = 14
+let n_events = 15
 
 (* Keep [n_events] in sync with Runtime_intf.event. *)
 let () =
@@ -41,13 +41,15 @@ let covers cov i = cov.counts.(i) > 0
 (* The rare-event classes the corpus must keep witnesses for: each marks a
    scheme transition whose safety argument is non-trivial (fallback entry:
    QSense's HP switch; evict: §5.2 seizure; unregister/adopt: dynamic
-   membership and orphan limbo; bag_seal: batched-reclamation stamping). *)
+   membership and orphan limbo; bag_seal: batched-reclamation stamping;
+   neutralize: DEBRA+ restart delivery at a poisoned victim). *)
 let rare_classes =
   [ ("fallback_enter", RI.event_index RI.Ev_fallback_enter);
     ("evict", RI.event_index RI.Ev_evict);
     ("unregister", RI.event_index RI.Ev_unregister);
     ("adopt", RI.event_index RI.Ev_adopt);
-    ("bag_seal", RI.event_index RI.Ev_bag_seal) ]
+    ("bag_seal", RI.event_index RI.Ev_bag_seal);
+    ("neutralize", RI.event_index RI.Ev_neutralize) ]
 
 let rare_mask cov =
   List.fold_left

@@ -134,6 +134,7 @@ let fault_to_string : Scheduler.fault -> string = function
   | Skew_burst { pid; at; until_; extra } ->
     Printf.sprintf "skew:%d:%d:%d:%d" pid at until_ extra
   | Churn_at { pid; at; ticks } -> Printf.sprintf "churn:%d:%d:%d" pid at ticks
+  | Neutralize_at { pid; at } -> Printf.sprintf "neut:%d:%d" pid at
 
 let fault_of_string s : Scheduler.fault option =
   let i = int_of_string_opt in
@@ -158,6 +159,10 @@ let fault_of_string s : Scheduler.fault option =
   | [ "churn"; p; a; t ] -> (
     match (i p, i a, i t) with
     | Some pid, Some at, Some ticks -> Some (Churn_at { pid; at; ticks })
+    | _ -> None)
+  | [ "neut"; p; a ] -> (
+    match (i p, i a) with
+    | Some pid, Some at -> Some (Neutralize_at { pid; at })
     | _ -> None)
   | _ -> None
 
@@ -246,7 +251,13 @@ let of_string line : (case, string) result =
 
 (* --- fault-plan generation ---------------------------------------------- *)
 
-type fault_level = No_faults | Stalls | Victim_stall | Chaos | Churn
+type fault_level =
+  | No_faults
+  | Stalls
+  | Victim_stall
+  | Chaos
+  | Churn
+  | Neutralize
 
 let fault_level_to_string = function
   | No_faults -> "none"
@@ -254,6 +265,7 @@ let fault_level_to_string = function
   | Victim_stall -> "victim-stall"
   | Chaos -> "chaos"
   | Churn -> "churn"
+  | Neutralize -> "neutralize"
 
 (* A deterministic fault plan for the given level; everything is drawn from
    [seed] so the plan is reproducible from the case line alone (the plan is
@@ -293,6 +305,18 @@ let plan level ~n ~duration ~seed : Scheduler.fault list =
           ticks = duration / 6 + Qs_util.Prng.int prng (max 1 (duration / 8)) };
       Scheduler.Stall_at
         { pid = pid (); at = at (); ticks = duration / 8 + Qs_util.Prng.int prng (duration / 4) } ]
+  | Neutralize ->
+    (* rival-scheme delivery: restart signals land mid-operation (the
+       victim's in-flight op is discontinued and retried), plus one long
+       stall so a pinned laggard exists for schemes that neutralize on
+       their own (DEBRA+). Aborted ops make histories incomplete, so this
+       level — like crashes — skips the linearizability oracle and hunts
+       memory-safety classes: the restart-then-double-free and the
+       unwind-path leak. *)
+    [ Scheduler.Neutralize_at { pid = pid (); at = at () };
+      Scheduler.Neutralize_at { pid = pid (); at = at () };
+      Scheduler.Stall_at
+        { pid = pid (); at = at (); ticks = duration / 8 + Qs_util.Prng.int prng (duration / 4) } ]
 
 (* --- the runner --------------------------------------------------------- *)
 
@@ -301,6 +325,9 @@ let has_crash faults =
 
 let has_skew faults =
   List.exists (function Scheduler.Skew_burst _ -> true | _ -> false) faults
+
+let has_neutralize faults =
+  List.exists (function Scheduler.Neutralize_at _ -> true | _ -> false) faults
 
 (* Scheme-appropriate operating point (mirrors Sim_exp): rooster-dependent
    schemes get roosters at T with oversleep <= epsilon/2; the others get no
@@ -385,6 +412,14 @@ let run_one ?sink (c : case) : outcome =
           let t = Sim_runtime.now () in
           if per_worker_ops.(pid) < c.ops_per_proc && t < c.duration && !failed_at = None
           then begin
+            (* The operation body is the interruptible region: a posted
+               neutralization signal (a [Neutralize_at] fault, or DEBRA+
+               restarting a laggard) is delivered while — and only while —
+               the opt-in flag is up. An aborted operation is retried by
+               the loop and is neither recorded nor counted: it may have
+               half-applied, which is exactly why neutralizing runs skip
+               the linearizability oracle. *)
+            Scheduler.set_neutralizable sched ~pid true;
             (try
                let op, key, result =
                  match Spec.pick prng spec with
@@ -395,8 +430,11 @@ let run_one ?sink (c : case) : outcome =
                let t' = Sim_runtime.now () in
                Qs_verify.History.record history ~pid ~op ~key ~inv:t ~res:t' ~result;
                per_worker_ops.(pid) <- per_worker_ops.(pid) + 1
-             with Qs_arena.Arena.Exhausted ->
-               if !failed_at = None then failed_at := Some t);
+             with
+             | Qs_arena.Arena.Exhausted ->
+               if !failed_at = None then failed_at := Some t
+             | Qs_intf.Runtime_intf.Neutralized -> ());
+            Scheduler.set_neutralizable sched ~pid false;
             loop ()
           end
         in
@@ -407,7 +445,14 @@ let run_one ?sink (c : case) : outcome =
   let report = C.report set in
   let violations = C.violations set in
   let worker_failures = Scheduler.failures sched in
-  let lin_blocked_by_faults = has_crash c.faults || has_skew c.faults in
+  (* Neutralization — injected or performed by the scheme itself — aborts
+     operations after real effects (a delete may have unlinked and retired
+     before the restart), so the recorded history is incomplete and the
+     check must not run. *)
+  let lin_blocked_by_faults =
+    has_crash c.faults || has_skew c.faults || has_neutralize c.faults
+    || report.smr.neutralizations > 0
+  in
   (* PCT also blocks the check: priorities decouple execution order from
      the per-process virtual clocks, so the recorded intervals no longer
      approximate real-time order (a low-priority process runs late in the
@@ -470,7 +515,7 @@ let restrict_procs c n' =
       (fun (f : Scheduler.fault) ->
         match f with
         | Stall_at { pid; _ } | Crash_at { pid; _ } | Oversleep_spike { pid; _ }
-        | Skew_burst { pid; _ } | Churn_at { pid; _ } ->
+        | Skew_burst { pid; _ } | Churn_at { pid; _ } | Neutralize_at { pid; _ } ->
           ok_pid pid)
       c.faults
   in

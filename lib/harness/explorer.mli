@@ -109,6 +109,11 @@ type fault_level =
       (** dynamic membership: two processes leave and rejoin mid-run plus
           one random stall — hunts the adopted-node UAF class. Unlike
           crash/skew, churn does not block the linearizability check. *)
+  | Neutralize
+      (** two poison deliveries plus one stall — hunts the
+          restart-then-double-free and unwind-path-leak classes introduced
+          by DEBRA+-style neutralization. Restarted operations can
+          double-apply, so this level blocks the linearizability check. *)
 
 val fault_level_to_string : fault_level -> string
 

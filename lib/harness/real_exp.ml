@@ -125,11 +125,18 @@ let run (setup : setup) : result =
              | None -> ()
          end;
          if !running then begin
-           (match Qs_workload.Spec.pick prng setup.workload with
-           | Search k -> ignore (C.search ctx k)
-           | Insert k -> ignore (C.insert ctx k)
-           | Delete k -> ignore (C.delete ctx k));
-           incr count
+           (* DEBRA+ restarts are cooperative on real domains: the victim
+              raises [Neutralized] out of its own protection checks. The
+              aborted operation is simply retried (and not counted) — an
+              installed OCaml exception handler is push-one-trap-frame
+              cheap, so this does not tax the measured loop. *)
+           (try
+              (match Qs_workload.Spec.pick prng setup.workload with
+              | Search k -> ignore (C.search ctx k)
+              | Insert k -> ignore (C.insert ctx k)
+              | Delete k -> ignore (C.delete ctx k));
+              incr count
+            with Qs_intf.Runtime_intf.Neutralized -> ())
          end
        done
      with Qs_arena.Arena.Exhausted ->

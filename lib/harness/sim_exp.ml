@@ -168,6 +168,13 @@ let run (setup : setup) : result =
               (* clamp: no point sleeping past the end of the experiment *)
               Sim_runtime.sleep_until (min b setup.duration)
             | None ->
+              (* The operation body is the interruptible region for
+                 neutralization signals (DEBRA+ restarting a laggard, or an
+                 injected [Neutralize_at] fault): delivery only happens
+                 while the opt-in flag is up, never during the churn
+                 leave/rejoin or the delay sleep. An aborted operation is
+                 retried by the loop and not counted. *)
+              Scheduler.set_neutralizable sched ~pid true;
               (try
                  (match Qs_workload.Spec.pick prng setup.workload with
                  | Search k -> ignore (C.search !ctx k)
@@ -183,8 +190,11 @@ let run (setup : setup) : result =
                    if b < Array.length buckets then
                      buckets.(b) <- buckets.(b) + 1
                  end
-               with Qs_arena.Arena.Exhausted ->
-                 if !failed_at = None then failed_at := Some t));
+               with
+              | Qs_arena.Arena.Exhausted ->
+                if !failed_at = None then failed_at := Some t
+              | Qs_intf.Runtime_intf.Neutralized -> ());
+              Scheduler.set_neutralizable sched ~pid false);
             loop ()
           end
         in

@@ -83,7 +83,12 @@ type hook = Hook_retire | Hook_scan | Hook_quiesce
       bag's age at free in clock units when the reclamation test had the
       seal stamp and the clock in hand (Cadence/QSense scans), else [-1].
       Per-node [Ev_free] events are still emitted alongside, so depth and
-      age-at-free metrics stay exact. *)
+      age-at-free metrics stay exact.
+    - [Ev_neutralize] — DEBRA+ neutralized a delayed process: the scheme
+      posted a restart signal to the victim and force-unpinned its epoch
+      so the global epoch can advance past it. [a] = pid of the victim,
+      [b] = the epoch the victim was pinned to ([-1] if it was already
+      unpinned when the signal landed). *)
 type event =
   | Ev_retire
   | Ev_free
@@ -99,6 +104,19 @@ type event =
   | Ev_adopt
   | Ev_bag_seal
   | Ev_bag_free
+  | Ev_neutralize
+
+(** Raised {e inside the victim} when a DEBRA+ neutralization signal lands:
+    the victim's current operation is abandoned mid-flight and restarted
+    from scratch by the caller (data structures unwind to a clean state on
+    the way out; see [lib/ds/*]). On the simulator the scheduler
+    discontinues the victim's suspended effect with this exception at its
+    next delivery point while the victim has declared itself interruptible
+    ([Qs_sim.Scheduler.set_neutralizable]); on the real runtime the victim
+    polls its poisoned flag at protect/retire points and raises it
+    cooperatively (the portable stand-in for Brown's [sigsetjmp] +
+    [SIGQUIT]). *)
+exception Neutralized
 
 let event_index = function
   | Ev_retire -> 0
@@ -115,6 +133,7 @@ let event_index = function
   | Ev_adopt -> 11
   | Ev_bag_seal -> 12
   | Ev_bag_free -> 13
+  | Ev_neutralize -> 14
 
 let event_of_index = function
   | 0 -> Some Ev_retire
@@ -131,6 +150,7 @@ let event_of_index = function
   | 11 -> Some Ev_adopt
   | 12 -> Some Ev_bag_seal
   | 13 -> Some Ev_bag_free
+  | 14 -> Some Ev_neutralize
   | _ -> None
 
 let event_name = function
@@ -148,6 +168,7 @@ let event_name = function
   | Ev_adopt -> "adopt"
   | Ev_bag_seal -> "bag_seal"
   | Ev_bag_free -> "bag_free"
+  | Ev_neutralize -> "neutralize"
 
 (** A trace sink: where {!RUNTIME.emit} delivers events when tracing is
     installed. The runtime supplies the emitter's [pid] and a timestamp;
@@ -261,6 +282,34 @@ module type RUNTIME = sig
       cannot perturb a seeded schedule. Timestamps come from the cheap
       clock ({!now_coarse} on the real runtime; the virtual clock on the
       simulator), keeping the disabled and enabled paths allocation-free. *)
+
+  val neutralize : pid:int -> unit
+  (** [neutralize ~pid] posts a restart signal to process [pid] (DEBRA+'s
+      [pthread_kill] analogue). Simulator: marks the target so that the
+      scheduler discontinues its suspended computation with {!Neutralized}
+      at its next delivery point {e while the target has opted in} via
+      [Qs_sim.Scheduler.set_neutralizable] — a target outside an
+      interruptible region keeps the signal pending, exactly like a
+      masked POSIX signal. Real runtime: a no-op — delivery there is
+      purely cooperative, via the scheme's poisoned flag checked at
+      protect/retire points (the signal-free fallback Brown describes for
+      platforms without per-thread signals). Never raises in the caller;
+      costs no virtual time and is not a preemption point for the
+      caller. *)
+
+  val neutralize_is_preemptive : bool
+  (** Whether {!neutralize} interrupts the victim before its next
+      shared-memory access. The simulator says [true]: it discontinues the
+      victim's fiber at its next effect, modelling
+      [pthread_kill]+[siglongjmp]. The real runtime says [false]: delivery
+      is cooperative, so the victim only learns of the restart at its own
+      next poisoned-flag check — and between that check and the
+      dereference it guards lies a preemption window of unbounded length.
+      A scheme must therefore never revoke a victim's protection on its
+      behalf when this is [false] (a force-unpinned epoch can cycle and
+      reclaim the very node the victim is about to touch); it must fall
+      back to acknowledgment — poison, and let the victim unpin itself at
+      its next check. *)
 
   val tracing : unit -> bool
   (** Whether {!emit} currently delivers anywhere — a hint for skipping

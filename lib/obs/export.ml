@@ -85,7 +85,7 @@ let chrome_to_buffer ?(ts_div = 1) tracer buf =
         end
       | (RI.Ev_free | RI.Ev_epoch_advance | RI.Ev_quiesce | RI.Ev_evict
         | RI.Ev_rooster_wake | RI.Ev_unregister | RI.Ev_adopt
-        | RI.Ev_bag_seal | RI.Ev_bag_free) as ev ->
+        | RI.Ev_bag_seal | RI.Ev_bag_free | RI.Ev_neutralize) as ev ->
         sep ();
         add_instant buf ~name:(RI.event_name ev) ~ts ~tid ~a:e.Tracer.a
           ~b:e.Tracer.b)

@@ -93,6 +93,18 @@ let emit_pid pid ev a b =
 let tracing () =
   match Atomic.get sink with None -> false | Some _ -> true
 
+(* Neutralization on real domains is purely cooperative: OCaml gives no
+   per-domain asynchronous signal delivery, so the scheme's poisoned flag
+   (written by the neutralizer before this call, checked by the victim at
+   protect/retire points) carries the whole signal — the signal-free
+   fallback DEBRA+ describes for platforms without [pthread_kill]. This
+   hook only exists for runtimes that can interrupt mid-flight operations
+   (the simulator can); here the victim keeps its epoch pin until it
+   acknowledges the restart itself, which is why
+   [neutralize_is_preemptive] below is [false]. *)
+let neutralize ~pid:_ = ()
+let neutralize_is_preemptive = false
+
 (* The sink check comes first so the pid lookup ([Domain.DLS.get]) is only
    paid when a sink is actually attached — retire/free emit on every node,
    so with tracing off this must really be one atomic load and a branch. *)

@@ -74,6 +74,16 @@ type fault =
          request — the worker body polls {!take_churn} between operations
          and performs the leave/rejoin itself, because registration is a
          property of the SMR scheme, not of the core. *)
+  | Neutralize_at of { pid : int; at : int }
+      (* a DEBRA+-style neutralization signal lands on the process: its
+         in-flight operation is discontinued with
+         [Runtime_intf.Neutralized] at its next delivery point — the first
+         dispatch where the process has opted in via {!set_neutralizable}
+         (a masked signal stays pending, like a blocked POSIX signal).
+         Delivery replaces the suspended effect: the pending memory access
+         never executes, which is what makes restarting safe after the
+         scheme has reclaimed past the victim. The store buffer does NOT
+         drain (an async signal is not a context switch). *)
 
 type config = {
   n_cores : int;
@@ -108,6 +118,8 @@ type event =
   | Ev_oversleep of int
   | Ev_skew of int
   | Ev_churn of int
+  | Ev_poison  (* a neutralization signal was posted to this process *)
+  | Ev_neutralized  (* the signal was delivered: operation discontinued *)
 
 let pp_hook fmt (h : Qs_intf.Runtime_intf.hook) =
   Format.pp_print_string fmt
@@ -133,6 +145,8 @@ let pp_event fmt = function
   | Ev_oversleep n -> Format.fprintf fmt "oversleep-spike(%d)" n
   | Ev_skew n -> Format.fprintf fmt "skew-burst(%d)" n
   | Ev_churn n -> Format.fprintf fmt "churn(%d)" n
+  | Ev_poison -> Format.pp_print_string fmt "poison"
+  | Ev_neutralized -> Format.pp_print_string fmt "neutralized"
 
 let default_config ~n_cores ~seed =
   { n_cores;
@@ -220,6 +234,14 @@ type proc = {
   mutable churn_pending : int list;
       (* fired [Churn_at] downtimes awaiting pickup by the worker body via
          {!take_churn}; meta-level state, polling it costs no effects *)
+  mutable poison_pending : bool;
+      (* a neutralization signal posted ([Neutralize_at] fault or
+         [E_neutralize] from a scheme) and not yet delivered *)
+  mutable neutralizable : bool;
+      (* has the process opted in to signal delivery ({!set_neutralizable})?
+         While false the signal stays pending, like a masked POSIX signal.
+         While [poison_pending] the process never runs inline (see [step]),
+         so delivery timing is identical on both execution paths. *)
   hook_counts : int array; (* per hook kind, for the Targeted strategy *)
 }
 
@@ -257,6 +279,7 @@ type t = {
   mutable last_scheduled : int; (* pid of the last process stepped (PCT) *)
   mutable armed_faults : fault list; (* master copy, re-armed by reset_clocks *)
   mutable crashes : int;
+  mutable neutralize_fires : int; (* delivered (not merely posted) signals *)
   mutable rooster_fires : int;
   mutable steps : int;
   mutable failures : (int * exn) list;
@@ -301,6 +324,7 @@ type _ Effect.t +=
   | E_charge : int -> unit Effect.t
   | E_hook : Qs_intf.Runtime_intf.hook -> unit Effect.t
   | E_emit : Qs_intf.Runtime_intf.event * int * int -> unit Effect.t
+  | E_neutralize : int -> unit Effect.t
 
 let hook_index : Qs_intf.Runtime_intf.hook -> int = function
   | Hook_retire -> 0
@@ -442,6 +466,8 @@ let create cfg =
         extra_skew_until = 0;
         pending_faults = [];
         churn_pending = [];
+        poison_pending = false;
+        neutralizable = false;
         hook_counts = Array.make 3 0 }
     in
     p.h_defer <- Some (fun k -> p.r_k <- Obj.repr k);
@@ -488,6 +514,7 @@ let create cfg =
     last_scheduled = -1;
     armed_faults = [];
     crashes = 0;
+    neutralize_fires = 0;
     rooster_fires = 0;
     steps = 0;
     failures = [];
@@ -531,6 +558,27 @@ let record (t : t) (p : proc) ev =
   t.trace.(t.trace_pos) <- (p.pid, p.clock, ev);
   t.trace_pos <- (t.trace_pos + 1) mod t.cfg.trace_capacity;
   if t.trace_len < t.cfg.trace_capacity then t.trace_len <- t.trace_len + 1
+
+(* Post a neutralization signal to [pid]. Meta-level state only: no virtual
+   time, no PRNG draw, no memory effect — posting is schedule-neutral, like
+   [emit]. If the target is the process currently running a fiber, its
+   cursor's inline limits are cleared so that its next operation suspends
+   (and hence passes the delivery check in [step]) on both execution
+   paths. *)
+let post_poison (t : t) pid =
+  if pid >= 0 && pid < Array.length t.procs then begin
+    let v = t.procs.(pid) in
+    match v.state with
+    | Ready | Sleeping _ ->
+      v.poison_pending <- true;
+      if t.trace_on then record t v Ev_poison;
+      let cur = my_cursor () in
+      if cur.live && Obj.repr v == cur.cur_p then begin
+        cur.lim <- min_int;
+        cur.lim_steps <- min_int
+      end
+    | Idle | Done | Failed _ | Crashed -> ()
+  end
 
 (* --- store-buffer ring --------------------------------------------------- *)
 
@@ -726,6 +774,12 @@ let run_fiber (t : t) (p : proc) f =
                enabling tracing cannot perturb a seeded schedule. *)
             emit_to_sink t p ev pa pb;
             (Obj.magic sync_handler : ((a, unit) continuation -> unit) option)
+          | E_neutralize target ->
+            (* Synchronous, like [E_emit]: posting a signal is meta-level
+               state, free of virtual time and randomness. Delivery to the
+               target happens at ITS next dispatch (see [step]). *)
+            post_poison t target;
+            (Obj.magic sync_handler : ((a, unit) continuation -> unit) option)
           | E_self ->
             p.r_tag <- rt_self;
             (Obj.magic p.h_defer : ((a, unit) continuation -> unit) option)
@@ -841,7 +895,8 @@ let fault_pid = function
   | Crash_at { pid; _ }
   | Oversleep_spike { pid; _ }
   | Skew_burst { pid; _ }
-  | Churn_at { pid; _ } ->
+  | Churn_at { pid; _ }
+  | Neutralize_at { pid; _ } ->
     pid
 
 let fault_at = function
@@ -849,7 +904,8 @@ let fault_at = function
   | Crash_at { at; _ }
   | Oversleep_spike { at; _ }
   | Skew_burst { at; _ }
-  | Churn_at { at; _ } ->
+  | Churn_at { at; _ }
+  | Neutralize_at { at; _ } ->
     at
 
 (* Fire every pending fault whose trigger time has been reached. A stall is
@@ -883,7 +939,14 @@ let apply_faults (t : t) (p : proc) =
         p.extra_skew_until <- until_
       | Churn_at { ticks; _ } ->
         if t.trace_on then record t p (Ev_churn ticks);
-        p.churn_pending <- p.churn_pending @ [ ticks ]);
+        p.churn_pending <- p.churn_pending @ [ ticks ]
+      | Neutralize_at _ ->
+        (* The signal lands now; delivery happens in [step]'s Ready branch
+           once the process is inside an interruptible region. Observable
+           in the trace sink so the explorer's coverage sees
+           fault-injected neutralizations too. *)
+        emit_to_sink t p Qs_intf.Runtime_intf.Ev_neutralize p.pid (-1);
+        post_poison t p.pid);
       loop ()
     | _ -> ()
   in
@@ -908,18 +971,41 @@ let step (t : t) (cur : cursor) (p : proc) =
       p.state <- Done;
       clear_active t p
     end
+    else if p.poison_pending && p.neutralizable then begin
+      (* Deliver the neutralization signal: the suspended effect never
+         executes — its continuation is discontinued with [Neutralized],
+         unwinding the victim's operation (data structures release
+         unpublished nodes on the way out) so the caller can restart it.
+         No virtual time, no drain: an async signal is not a context
+         switch. *)
+      p.r_tag <- rt_none;
+      p.poison_pending <- false;
+      t.neutralize_fires <- t.neutralize_fires + 1;
+      if t.trace_on then record t p Ev_neutralized;
+      let k : (Obj.t, unit) continuation = Obj.obj p.r_k in
+      cur.cur_t <- Obj.repr t;
+      cur.cur_p <- Obj.repr p;
+      cur.lim <- min_int;
+      cur.lim_steps <- min_int;
+      cur.live <- true;
+      discontinue k Qs_intf.Runtime_intf.Neutralized;
+      cur.live <- false
+    end
     else begin
       p.r_tag <- rt_none;
       cur.cur_t <- Obj.repr t;
       cur.cur_p <- Obj.repr p;
       (* A fault still pending after [apply_faults] has a future trigger
          time; inline ops would sail past it without firing it, so they
-         stay disabled for this dispatch. *)
+         stay disabled for this dispatch. A pending-but-masked poison also
+         disables inline execution: delivery is checked here, at dispatch,
+         and the suspended and inline paths must reach that check at the
+         same operations. *)
       (match p.pending_faults with
-      | [] ->
+      | [] when not p.poison_pending ->
         cur.lim <- t.pick_lim;
         cur.lim_steps <- t.pick_lim_steps
-      | _ :: _ ->
+      | _ ->
         cur.lim <- min_int;
         cur.lim_steps <- min_int);
       cur.live <- true;
@@ -1128,6 +1214,14 @@ let op_emit (ev : Qs_intf.Runtime_intf.event) (pa : int) (pb : int) : unit =
     emit_to_sink t p ev pa pb
   end
   else Effect.perform (E_emit (ev, pa, pb))
+
+let op_neutralize (target : int) : unit =
+  let cur = my_cursor () in
+  if cur.live then begin
+    let t : t = Obj.obj cur.cur_t in
+    post_poison t target
+  end
+  else Effect.perform (E_neutralize target)
 
 let active p = match p.state with Ready | Sleeping _ -> true | _ -> false
 
@@ -1381,7 +1475,9 @@ let rearm_faults t =
   Array.iter
     (fun p ->
       p.pending_faults <- [];
-      p.churn_pending <- [])
+      p.churn_pending <- [];
+      p.poison_pending <- false;
+      p.neutralizable <- false)
     t.procs;
   List.iter
     (fun f ->
@@ -1448,6 +1544,13 @@ let take_churn t ~pid =
   | ticks :: rest ->
     p.churn_pending <- rest;
     Some ticks
+
+(* Opt in to (or mask) neutralization-signal delivery for this process.
+   Plain meta-level state, exactly like {!take_churn}: toggling it performs
+   no effect and costs no virtual time, so worker loops can bracket every
+   operation without perturbing seeded schedules. *)
+let set_neutralizable t ~pid v = t.procs.(pid).neutralizable <- v
+let neutralize_fires t = t.neutralize_fires
 let hook_count t ~pid h = t.procs.(pid).hook_counts.(hook_index h)
 
 (* Oldest-first contents of the event ring. *)

@@ -109,13 +109,22 @@ type strategy =
       orphan pool), stay away for [ticks] virtual time, then re-register.
       The scheduler only {e queues} the request; the worker body polls
       {!take_churn} between operations and performs the leave/rejoin
-      itself (registration belongs to the SMR scheme, not the core). *)
+      itself (registration belongs to the SMR scheme, not the core).
+    - [Neutralize_at] — a DEBRA+-style neutralization signal lands on the
+      process: its in-flight operation is discontinued with
+      {!Qs_intf.Runtime_intf.Neutralized} at its next dispatch {e inside an
+      interruptible region} (see {!set_neutralizable}; a masked signal
+      stays pending, like a blocked POSIX signal). The suspended memory
+      access never executes — which is what makes restarting safe after the
+      scheme has reclaimed past the victim — and the store buffer does not
+      drain (an async signal is not a context switch). *)
 type fault =
   | Stall_at of { pid : int; at : int; ticks : int }
   | Crash_at of { pid : int; at : int }
   | Oversleep_spike of { pid : int; at : int; extra : int }
   | Skew_burst of { pid : int; at : int; until_ : int; extra : int }
   | Churn_at of { pid : int; at : int; ticks : int }
+  | Neutralize_at of { pid : int; at : int }
 
 type config = {
   n_cores : int;
@@ -168,6 +177,8 @@ type event =
   | Ev_oversleep of int
   | Ev_skew of int
   | Ev_churn of int
+  | Ev_poison  (** a neutralization signal was posted to this process *)
+  | Ev_neutralized  (** delivery: the victim's operation was discontinued *)
 
 val pp_hook : Format.formatter -> Qs_intf.Runtime_intf.hook -> unit
 val pp_event : Format.formatter -> event -> unit
@@ -195,6 +206,7 @@ type _ Effect.t +=
   | E_charge : int -> unit Effect.t
   | E_hook : Qs_intf.Runtime_intf.hook -> unit Effect.t
   | E_emit : Qs_intf.Runtime_intf.event * int * int -> unit Effect.t
+  | E_neutralize : int -> unit Effect.t
 
 (** {1 Trace sink} *)
 
@@ -241,6 +253,15 @@ val op_hook : Qs_intf.Runtime_intf.hook -> unit
     under any strategy whenever a dispatch is live. *)
 
 val op_emit : Qs_intf.Runtime_intf.event -> int -> int -> unit
+
+val op_neutralize : int -> unit
+(** Post a neutralization signal to the given pid (DEBRA+'s
+    [pthread_kill] analogue — what {!Qs_intf.Runtime_intf.RUNTIME.neutralize}
+    performs on the simulator). Posting is synchronous and schedule-neutral
+    (no virtual time, no PRNG draw, not a preemption point for the caller);
+    delivery to the target happens at its next dispatch inside an
+    interruptible region. Posting to a finished/crashed/unspawned process
+    is a no-op. *)
 
 val exec : t -> pid:int -> (unit -> 'a) -> 'a
 (** [exec t ~pid f] runs [f] as process [pid]'s fiber to completion, alone,
@@ -291,6 +312,19 @@ val take_churn : t -> pid:int -> int option
     process ([Some downtime_ticks]), or [None]. Plain meta-level state:
     polling performs no effect and costs no virtual time, so worker loops
     may poll every operation without perturbing seeded schedules. *)
+
+val set_neutralizable : t -> pid:int -> bool -> unit
+(** Opt the process in to (or mask it from) neutralization-signal delivery.
+    Worker bodies bracket each data-structure operation with
+    [set_neutralizable t ~pid true ... false]; a signal landing while
+    masked stays pending and is delivered at the first dispatch after the
+    next opt-in. Plain meta-level state, like {!take_churn}: toggling
+    performs no effect and costs no virtual time, so churn-free and
+    neutralization-free runs execute bit-identically to older schedules. *)
+
+val neutralize_fires : t -> int
+(** Number of neutralization signals {e delivered} (operations actually
+    discontinued) — posted-but-still-pending signals don't count. *)
 
 val hook_count : t -> pid:int -> Qs_intf.Runtime_intf.hook -> int
 (** How many times this process has performed the given labelled hook since

@@ -44,6 +44,17 @@ let emit ev a b = Scheduler.op_emit ev a b
    and answering [true] keeps traced and untraced runs on one code path. *)
 let tracing () = true
 
+(* Post a DEBRA+ neutralization signal (see [Scheduler.op_neutralize]).
+   Synchronous and schedule-neutral for the caller, like [emit]; the victim
+   is discontinued with [Runtime_intf.Neutralized] at its next dispatch
+   inside an interruptible region. *)
+let neutralize ~pid = Scheduler.op_neutralize pid
+
+(* The discontinuation above lands before the victim's next shared-memory
+   access (its next effect), so a neutralizer may safely revoke the
+   victim's protection on its behalf — the full DEBRA+ signal model. *)
+let neutralize_is_preemptive = true
+
 (* Simulator extras, not part of RUNTIME. *)
 
 let sleep_until target = Effect.perform (Scheduler.E_sleep_until target)

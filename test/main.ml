@@ -18,5 +18,6 @@ let () =
       ("explorer_pool", Test_explorer_pool.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
-      ("real", Test_real.suite)
+      ("real", Test_real.suite);
+      ("rivals", Test_rivals.suite)
     ]
