@@ -29,7 +29,7 @@
      micro-bench: effects/sec and schedules/sec on a representative case
      mix, solo and through the pool, plus minor-allocation words per
      scheduler step; merges an "explorer" section into PATH
-     (BENCH_RESULTS.json, schema 7) when it exists.
+     (out/BENCH_RESULTS.json, schema 8) when it exists.
    - [grow OUT [--target N] [--jobs N] [--budget N] [--base PATH]] —
      coverage-guided corpus growth: breed [--target] known-clean cases from
      a deterministic frontier (plus [--base] corpus, if given), keeping
@@ -50,7 +50,15 @@ open Qs_harness
 module Scheme = Qs_smr.Scheme
 module Scheduler = Qs_sim.Scheduler
 
-let default_repro_out = "explorer_failure.repro"
+(* Default outputs land in the gitignored [out/] directory (created on
+   first write) rather than the repo root; explicit [--repro-out]/[--out]
+   /[--trace] paths are used as given. *)
+let ensure_parent path =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
+    Sys.mkdir dir 0o755
+
+let default_repro_out = Filename.concat "out" "explorer_failure.repro"
 
 let usage () =
   prerr_endline
@@ -133,6 +141,7 @@ let show_outcome (c : Explorer.case) (o : Explorer.outcome) =
 let persist_failure ~repro_out (c : Explorer.case) (o : Explorer.outcome) =
   let small, spent = Explorer.shrink c o.verdict in
   let o' = Explorer.run_one small in
+  ensure_parent repro_out;
   Explorer.save_repro repro_out small o';
   Printf.printf "  shrunk in %d extra runs; repro saved to %s\n" spent repro_out;
   Printf.printf "  replay with: dune exec bench/explore.exe -- replay %s\n%!"
@@ -324,6 +333,7 @@ let replay path args =
           ~capacity:(1 lsl 16) ()
       in
       let o = Explorer.run_one ~sink:(Qs_obs.Tracer.sink tracer) c in
+      ensure_parent out;
       Qs_obs.Export.save_chrome tracer out;
       Printf.printf
         "  trace: %d events (%d dropped) -> %s (load in ui.perfetto.dev)\n%!"
@@ -477,7 +487,7 @@ let profile args =
           ("step_alloc_words", num step_alloc_words) ]
     in
     let doc = Qs_util.Json.set_member "explorer" section doc in
-    let doc = Qs_util.Json.set_member "schema" (num 7.) doc in
+    let doc = Qs_util.Json.set_member "schema" (num 8.) doc in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (Qs_util.Json.to_string doc));
     Printf.printf "explorer section merged into %s\n%!" path
@@ -615,6 +625,7 @@ let grow out args =
     f.target (List.length base) f.jobs;
   let g = Coverage.grow ~jobs:f.jobs ~budget:f.budget ~target:f.target base in
   let cases = List.map fst g.selected in
+  ensure_parent out;
   let oc = open_out out in
   Printf.fprintf oc
     "# explorer seed corpus — replayed as a regression test\n\

@@ -22,6 +22,13 @@ open Bechamel
 open Toolkit
 module R = Qs_real.Real_runtime
 
+(* Every generated artifact (JSON report, Perfetto traces, CSVs) lands in
+   the gitignored [out/] directory instead of littering the repo root. *)
+let out_path name =
+  let dir = "out" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Filename.concat dir name
+
 (* --- primitives ---------------------------------------------------------- *)
 
 let plain_cell = R.plain 0
@@ -775,9 +782,9 @@ module Observatory = struct
         (Qs_obs.Metrics.max_limbo entries ~pid)
     done;
     ignore r.Qs_harness.Sim_exp.ops_total;
-    Qs_obs.Export.save_chrome tracer "cadence_age.trace.json";
-    Qs_obs.Export.save_csv tracer "cadence_age.csv";
-    Printf.printf "wrote cadence_age.trace.json, cadence_age.csv\n\n%!"
+    Qs_obs.Export.save_chrome tracer (out_path "cadence_age.trace.json");
+    Qs_obs.Export.save_csv tracer (out_path "cadence_age.csv");
+    Printf.printf "wrote out/cadence_age.trace.json, out/cadence_age.csv\n\n%!"
 
   let qsense_fallback () =
     Printf.printf
@@ -821,8 +828,8 @@ module Observatory = struct
         (Qs_util.Stats.percentile fl 99.)
         (Qs_util.Stats.percentile fl 100.)
     end;
-    Qs_obs.Export.save_chrome tracer "qsense_fallback.trace.json";
-    Printf.printf "wrote qsense_fallback.trace.json\n\n%!"
+    Qs_obs.Export.save_chrome tracer (out_path "qsense_fallback.trace.json");
+    Printf.printf "wrote out/qsense_fallback.trace.json\n\n%!"
 
   (* Minor words allocated per recorded event, measured through the sink
      exactly as the runtimes use it. Must be 0.0 enabled or disabled; the
@@ -902,23 +909,263 @@ module Observatory = struct
     qsense_fallback ()
 end
 
-(* --- JSON report (schema 7) ----------------------------------------------- *)
+(* --- latency observatory (--latency) -------------------------------------- *)
 
-(* Consumed by CI (regression guards) and by EXPERIMENTS.md readers.
-   Schema 7 = schema 6's sections ("retire_scan", "bags", "membership",
-   "e2e", "trace", "explorer", the "churn" flag) plus a "rivals" section:
-   the e2e matrix re-run under the rival schemes (debra-plus, hyaline),
-   same row shape as "e2e". CI guards that every rival row completed
-   safely (no violations, not failed) across the full
-   {scheme} x {structure} x {domains} matrix. The "explorer" section is
-   emitted as [null] here; [explore.exe profile --out BENCH_RESULTS.json]
-   fills it in (the numbers belong to the explorer binary, which owns the
-   representative case mix). *)
+(* Per-operation latency histograms on both runtimes (DESIGN.md §14):
+
+   - a sim matrix {qsbr, hp, cadence, qsense} × {list, hashtable} ×
+     process counts, each run recording per-{pid × op-kind} online
+     histograms (durations in virtual ticks; end timestamps are
+     meta-level clock reads, so the seeded schedule is byte-identical
+     with the recorder on or off) with the tracer installed — every row
+     carries p50/p99/p999/max plus a p999 spike attribution joining the
+     recorder's top-K outliers against the reclamation event stream;
+   - the robustness row ("stall"): QSense at C = 48 with a stalled
+     victim that never resumes, so the scheme sits in fallback from
+     ~150k ticks to the end of the run and the tail of the latency
+     distribution IS fallback dwell. The CI gate asserts ≥ 80% of the
+     p999-bucket spikes in this row carry a named cause;
+   - the overhead A/B the zero-cost claim rests on: minor words
+     allocated per recorded op (must be exactly 0 — [Latency.observe]
+     is integer arithmetic over flat arrays) and real-runtime
+     throughput with the recorder off vs on. *)
+module Latency_obs = struct
+  module L = Qs_obs.Latency
+  module M = Qs_obs.Metrics
+
+  type row = {
+    ds : Qs_harness.Cset.kind;
+    scheme : Qs_smr.Scheme.kind;
+    n : int;
+    stall : bool;
+    ops : int;
+    p50 : int;
+    p99 : int;
+    p999 : int;
+    lmax : int;
+    attr : M.attribution;
+  }
+
+  (* Shorter list than the throughput sweeps (128-key range): per-op
+     latency on a 256-node list is thousands of ticks, which starves the
+     histogram of samples inside the run budget. *)
+  let key_range = function Qs_harness.Cset.List -> 128 | _ -> 4_096
+
+  (* The stall row replays the calibrated robustness scenario from
+     test/test_latency.ml: key range 32 keeps the victim's pinned epoch
+     hot, C = 48 pushes QSense over the switch threshold well inside the
+     run, and the never-ending stall leaves the fallback episode open to
+     the end of the trace. *)
+  let sim_row ~quick ~ds ~scheme ~n ~stall =
+    let rec_ =
+      L.recorder ~n_processes:n ~n_kinds:Qs_workload.Spec.n_kinds ()
+    in
+    let tracer = Qs_obs.Tracer.create ~n_processes:n ~capacity:(1 lsl 15) () in
+    let workload =
+      Qs_workload.Spec.make
+        ~key_range:(if stall then 32 else key_range ds)
+        ~update_pct:50
+    in
+    let duration =
+      if stall then 600_000 else if quick then 150_000 else 400_000
+    in
+    let setup =
+      { (Qs_harness.Sim_exp.default_setup ~ds ~scheme ~n_processes:n ~workload) with
+        duration;
+        seed = 23;
+        latency = Some rec_;
+        sink = Some (Qs_obs.Tracer.sink tracer);
+        faults =
+          (if stall then
+             [ Qs_sim.Scheduler.Stall_at { pid = n - 1; at = 20_000; ticks = duration } ]
+           else []);
+        smr_tweak =
+          (if stall then fun c -> { c with Qs_smr.Smr_intf.switch_threshold = 48 }
+           else Fun.id) }
+    in
+    let r = Qs_harness.Sim_exp.run setup in
+    let merged = L.merged rec_ in
+    let threshold = L.lower_edge (L.percentile_bucket merged 99.9) in
+    let attr =
+      M.attribute_spikes
+        (Qs_obs.Tracer.to_array tracer)
+        ~outliers:(L.outliers rec_) ~threshold
+    in
+    { ds;
+      scheme;
+      n;
+      stall;
+      ops = r.Qs_harness.Sim_exp.ops_total;
+      p50 = L.percentile merged 50.;
+      p99 = L.percentile merged 99.;
+      p999 = L.percentile merged 99.9;
+      lmax = L.max_value merged;
+      attr }
+
+  let top_cause (a : M.attribution) =
+    let named =
+      List.filter
+        (fun (c, k) -> c <> M.Unattributed && k > 0)
+        a.M.attr_counts
+    in
+    match List.sort (fun (_, x) (_, y) -> compare y x) named with
+    | (c, _) :: _ -> M.cause_name c
+    | [] -> "-"
+
+  let schemes =
+    [ Qs_smr.Scheme.Qsbr; Qs_smr.Scheme.Hp; Qs_smr.Scheme.Cadence;
+      Qs_smr.Scheme.Qsense ]
+
+  let rows ~quick =
+    let domain_counts = if quick then [ 2 ] else [ 2; 4 ] in
+    let clean =
+      List.concat_map
+        (fun ds ->
+          List.concat_map
+            (fun scheme ->
+              List.map
+                (fun n ->
+                  let r = sim_row ~quick ~ds ~scheme ~n ~stall:false in
+                  Printf.printf
+                    "  %-9s %-9s %d procs: p999 %7d ticks, %d ops\n%!"
+                    (Qs_harness.Cset.kind_to_string ds)
+                    (Qs_smr.Scheme.to_string scheme)
+                    n r.p999 r.ops;
+                  r)
+                domain_counts)
+            schemes)
+        [ Qs_harness.Cset.List; Qs_harness.Cset.Hashtable ]
+    in
+    let stall =
+      sim_row ~quick ~ds:Qs_harness.Cset.List ~scheme:Qs_smr.Scheme.Qsense
+        ~n:4 ~stall:true
+    in
+    Printf.printf
+      "  stall row: p999 %d ticks, %d/%d spikes attributed (%.0f%%, top %s)\n%!"
+      stall.p999
+      (stall.attr.M.attr_total
+      - List.assoc M.Unattributed stall.attr.M.attr_counts)
+      stall.attr.M.attr_total
+      (M.attributed_pct stall.attr)
+      (top_cause stall.attr);
+    clean @ [ stall ]
+
+  (* Minor words per recorded op, measured exactly like the test-suite
+     pin: warm the top-K rings first, then a 100k-op window that must
+     allocate literally nothing. *)
+  let alloc_words_per_record () =
+    let r = L.recorder ~n_processes:1 ~n_kinds:Qs_workload.Spec.n_kinds () in
+    for i = 1 to 1_024 do
+      L.observe r ~pid:0 ~kind:(i mod 3) ~start:i ~dur:(i land 4095)
+    done;
+    let n = 100_000 in
+    let w0 = Gc.minor_words () in
+    for i = 1 to n do
+      L.observe r ~pid:0 ~kind:(i mod 3) ~start:i ~dur:(i land 4095)
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int n
+
+  (* Same real-domain run with and without the recorder: the off run is
+     the product configuration, the on run bounds what always-on latency
+     recording costs (one coarse-clock read per side of the op plus the
+     histogram increment). *)
+  let throughput_ab ~quick =
+    let ds = Qs_harness.Cset.List and scheme = Qs_smr.Scheme.Cadence in
+    let workload = Qs_workload.Spec.make ~key_range:512 ~update_pct:50 in
+    let duration_ms = if quick then 50 else 200 in
+    let base =
+      { (Qs_harness.Real_exp.default_setup ~ds ~scheme ~n_domains:2 ~workload) with
+        duration_ms;
+        seed = 42 }
+    in
+    let off = Qs_harness.Real_exp.run base in
+    let rec_ =
+      L.recorder ~n_processes:2 ~n_kinds:Qs_workload.Spec.n_kinds ()
+    in
+    let on = Qs_harness.Real_exp.run { base with latency = Some rec_ } in
+    ( off.Qs_harness.Real_exp.throughput_mops,
+      on.Qs_harness.Real_exp.throughput_mops,
+      L.count (L.merged rec_) )
+
+  type report = {
+    lat_rows : row list;
+    alloc_words : float;
+    mops_off : float;
+    mops_on : float;
+    recorded_on : int;
+  }
+
+  let overhead_pct rep =
+    if rep.mops_off <= 0. then 0.
+    else 100. *. (1. -. (rep.mops_on /. rep.mops_off))
+
+  let run ~quick =
+    let lat_rows = rows ~quick in
+    let alloc_words = alloc_words_per_record () in
+    let mops_off, mops_on, recorded_on = throughput_ab ~quick in
+    { lat_rows; alloc_words; mops_off; mops_on; recorded_on }
+
+  let print_tables rep =
+    let tbl =
+      Qs_util.Table.create
+        [ "structure"; "scheme"; "procs"; "stall"; "ops"; "p50"; "p99";
+          "p999"; "max"; "spikes"; "attr %"; "top cause" ]
+    in
+    List.iter
+      (fun r ->
+        Qs_util.Table.add_row tbl
+          [ Qs_harness.Cset.kind_to_string r.ds;
+            Qs_smr.Scheme.to_string r.scheme;
+            string_of_int r.n;
+            string_of_bool r.stall;
+            string_of_int r.ops;
+            string_of_int r.p50;
+            string_of_int r.p99;
+            string_of_int r.p999;
+            string_of_int r.lmax;
+            string_of_int r.attr.M.attr_total;
+            Printf.sprintf "%.0f" (M.attributed_pct r.attr);
+            top_cause r.attr ])
+      rep.lat_rows;
+    Qs_util.Table.print tbl;
+    let ov = Qs_util.Table.create [ "metric"; "value" ] in
+    Qs_util.Table.add_row ov
+      [ "minor words/recorded op"; Printf.sprintf "%.4f" rep.alloc_words ];
+    Qs_util.Table.add_row ov
+      [ "real cadence/list Mops/s (recorder off)";
+        Printf.sprintf "%.2f" rep.mops_off ];
+    Qs_util.Table.add_row ov
+      [ "real cadence/list Mops/s (recorder on)";
+        Printf.sprintf "%.2f" rep.mops_on ];
+    Qs_util.Table.add_row ov
+      [ "recorder overhead (%)"; Printf.sprintf "%.1f" (overhead_pct rep) ];
+    Qs_util.Table.add_row ov
+      [ "ops recorded (on run)"; string_of_int rep.recorded_on ];
+    Qs_util.Table.print ov;
+    print_newline ()
+end
+
+(* --- JSON report (schema 8) ----------------------------------------------- *)
+
+(* Consumed by CI (regression guards), by [bench/trend.exe] (committed
+   BENCH_HISTORY.jsonl diffing) and by EXPERIMENTS.md readers.
+   Schema 8 = schema 7's sections ("retire_scan", "bags", "membership",
+   "e2e", "rivals", "trace", "explorer", the "churn" flag) plus a
+   "latency" section ([null] unless the bench ran with [--latency]): the
+   recorder's zero-alloc pin, the real-runtime recorder-off/on A/B, and
+   one row per {structure × scheme × procs} sim run — p50/p99/p999/max
+   in virtual ticks plus the p999 spike-attribution columns (total
+   spikes, attributed %, per-cause counts). The last row is the QSense
+   stall scenario; CI gates its attribution ≥ 80%. The "explorer"
+   section is emitted as [null] here; [explore.exe profile --out
+   out/BENCH_RESULTS.json] fills it in (the numbers belong to the
+   explorer binary, which owns the representative case mix). *)
 let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
-    ~e2e ~rivals ~(trace : Observatory.overhead) =
+    ~e2e ~rivals ~(trace : Observatory.overhead)
+    ~(latency : Latency_obs.report option) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 7,\n";
+  Printf.fprintf oc "  \"schema\": 8,\n";
   Printf.fprintf oc "  \"explorer\": null,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"churn\": %b,\n" churn;
@@ -998,7 +1245,48 @@ let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
     trace.Observatory.mops_sink_on;
   Printf.fprintf oc "    \"events_recorded_sink_on\": %d\n"
     trace.Observatory.events_on;
-  Printf.fprintf oc "  }\n}\n";
+  Printf.fprintf oc "  },\n";
+  (match latency with
+  | None -> Printf.fprintf oc "  \"latency\": null\n"
+  | Some rep ->
+    Printf.fprintf oc "  \"latency\": {\n";
+    Printf.fprintf oc "    \"alloc_words_per_record\": %.4f,\n"
+      rep.Latency_obs.alloc_words;
+    Printf.fprintf oc "    \"real_mops_recorder_off\": %.4f,\n"
+      rep.Latency_obs.mops_off;
+    Printf.fprintf oc "    \"real_mops_recorder_on\": %.4f,\n"
+      rep.Latency_obs.mops_on;
+    Printf.fprintf oc "    \"overhead_pct\": %.2f,\n"
+      (Latency_obs.overhead_pct rep);
+    Printf.fprintf oc "    \"ops_recorded_on\": %d,\n"
+      rep.Latency_obs.recorded_on;
+    Printf.fprintf oc "    \"rows\": [\n";
+    let n = List.length rep.Latency_obs.lat_rows in
+    List.iteri
+      (fun i (r : Latency_obs.row) ->
+        let attr_fields =
+          String.concat ", "
+            (List.map
+               (fun (c, k) ->
+                 Printf.sprintf "\"%s\": %d" (Qs_obs.Metrics.cause_name c) k)
+               r.attr.Qs_obs.Metrics.attr_counts)
+        in
+        Printf.fprintf oc
+          "      {\"ds\": \"%s\", \"scheme\": \"%s\", \"procs\": %d, \
+           \"stall\": %b, \"ops\": %d, \"p50\": %d, \"p99\": %d, \
+           \"p999\": %d, \"max\": %d, \"p999_samples\": %d, \
+           \"attr_pct\": %.2f, \"attr\": {%s}}%s\n"
+          (Qs_harness.Cset.kind_to_string r.ds)
+          (Qs_smr.Scheme.to_string r.scheme)
+          r.n r.stall r.ops r.p50 r.p99 r.p999 r.lmax
+          r.attr.Qs_obs.Metrics.attr_total
+          (Qs_obs.Metrics.attributed_pct r.attr)
+          attr_fields
+          (if i = n - 1 then "" else ","))
+      rep.Latency_obs.lat_rows;
+    Printf.fprintf oc "    ]\n";
+    Printf.fprintf oc "  }\n");
+  Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
@@ -1009,6 +1297,7 @@ let () =
   let e2e = List.mem "--e2e" argv in
   let churn = List.mem "--churn" argv in
   let trace = List.mem "--trace" argv in
+  let latency = List.mem "--latency" argv in
   R.register_self 0;
   (* roosters give Cadence/QSense their coarse clock and wake-up guarantee *)
   let roosters = Qs_real.Roosters.start ~interval_ns:2_000_000 ~n:1 in
@@ -1070,9 +1359,20 @@ let () =
   Printf.printf "== tracing overhead (sink off vs on, alloc per event) ==\n%!";
   let trace_overhead = Observatory.overhead ~quick in
   Observatory.print_overhead trace_overhead;
-  emit_json ~path:"BENCH_RESULTS.json" ~quick ~churn ~retire_scan:results
-    ~bag_alloc_words ~membership ~e2e:e2e_results ~rivals:rival_results
-    ~trace:trace_overhead;
+  let latency_report =
+    if latency then begin
+      Printf.printf
+        "== latency observatory (--latency): per-op histograms + p999 \
+         attribution ==\n%!";
+      let rep = Latency_obs.run ~quick in
+      Latency_obs.print_tables rep;
+      Some rep
+    end
+    else None
+  in
+  emit_json ~path:(out_path "BENCH_RESULTS.json") ~quick ~churn
+    ~retire_scan:results ~bag_alloc_words ~membership ~e2e:e2e_results
+    ~rivals:rival_results ~trace:trace_overhead ~latency:latency_report;
   Qs_real.Roosters.stop roosters;
   (* The multi-core figures come from the simulator: *)
   print_endline "Scalability and robustness figures (multi-core) are produced by the";

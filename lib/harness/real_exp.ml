@@ -26,6 +26,12 @@ type setup = {
           domains over the duration, each generation unregistering its SMR
           slot on exit (donating limbo lists to the orphan pool) and the
           next one re-registering under the same pid after [downtime_ms] *)
+  latency : Qs_obs.Latency.recorder option;
+      (** per-{pid × op-kind} histograms + outliers, timed with the
+          allocation-free coarse clock ({!Qs_real.Real_runtime.now_coarse},
+          one atomic load per read) — quantized to the rooster interval,
+          so real-runtime percentiles are coarse; the simulator supplies
+          exact ones. Forces rooster domains on (they feed the clock). *)
   sink : Qs_intf.Runtime_intf.sink option;
       (** trace sink (e.g. [Qs_obs.Tracer.sink]), installed for the worker
           phase (after the fill) and removed before return *)
@@ -42,6 +48,7 @@ let default_setup ~ds ~scheme ~n_domains ~workload =
     capacity = None;
     stall_victim_after_ms = None;
     churn = None;
+    latency = None;
     sink = None;
     smr_tweak = Fun.id }
 
@@ -85,7 +92,10 @@ let run (setup : setup) : result =
      setup, not measured behaviour. *)
   Qs_real.Real_runtime.set_sink setup.sink;
   let roosters =
-    if Qs_smr.Scheme.needs_roosters setup.scheme then
+    (* Latency recording reads the coarse clock, which only roosters
+       refresh — so a recorder forces them on even for schemes that do
+       not otherwise need them. *)
+    if Qs_smr.Scheme.needs_roosters setup.scheme || setup.latency <> None then
       Some (Qs_real.Roosters.start ~interval_ns:rooster_interval_ns ~n:1)
     else None
   in
@@ -131,10 +141,25 @@ let run (setup : setup) : result =
               installed OCaml exception handler is push-one-trap-frame
               cheap, so this does not tax the measured loop. *)
            (try
-              (match Qs_workload.Spec.pick prng setup.workload with
+              let op = Qs_workload.Spec.pick prng setup.workload in
+              let ls =
+                (* coarse clock: one atomic load, no boxed float — the
+                   recording path must stay at 0 minor words per op *)
+                match setup.latency with
+                | Some _ -> Qs_real.Real_runtime.now_coarse ()
+                | None -> 0
+              in
+              (match op with
               | Search k -> ignore (C.search ctx k)
               | Insert k -> ignore (C.insert ctx k)
               | Delete k -> ignore (C.delete ctx k));
+              (match setup.latency with
+              | Some r ->
+                Qs_obs.Latency.observe r ~pid
+                  ~kind:(Qs_workload.Spec.kind_index op)
+                  ~start:ls
+                  ~dur:(Qs_real.Real_runtime.now_coarse () - ls)
+              | None -> ());
               incr count
             with Qs_intf.Runtime_intf.Neutralized -> ())
          end

@@ -27,6 +27,15 @@ type setup = {
           duration; every generation but the last unregisters its SMR slot
           on exit (limbo lists donated to the orphan pool), and the next
           generation re-registers under the same pid after [downtime_ms] *)
+  latency : Qs_obs.Latency.recorder option;
+      (** per-{pid × op-kind} latency histograms + top-K outliers, timed
+          with the allocation-free coarse clock
+          ({!Qs_real.Real_runtime.now_coarse}: one atomic load) so the
+          recording path stays at 0 minor words per op. Durations are
+          quantized to the rooster interval — use the simulator for exact
+          percentiles; this measures recording overhead and catches
+          rooster-interval-scale stalls. Forces roosters on (they feed
+          the coarse clock). *)
   sink : Qs_intf.Runtime_intf.sink option;
       (** trace sink (e.g. [Qs_obs.Tracer.sink]) installed for the worker
           phase and removed before return; [None] = tracing off. Event

@@ -30,6 +30,17 @@ type setup = {
           pid. Pid 0 stays put so the fill/teardown context stays alive. *)
   sample_every : int;  (** bucket width of the throughput series; 0 = none *)
   record_latency : bool;  (** collect per-operation latencies (in ticks) *)
+  latency : Qs_obs.Latency.recorder option;
+      (** per-{pid × op-kind} online histograms + top-K outliers, recorded
+          via meta-level clock reads ([Scheduler.clock_of]) so schedules
+          are byte-identical with the recorder on or off *)
+  generator : Qs_workload.Generator.t option;
+      (** pre-generated op streams (cyclic, indexed by completed ops) in
+          place of on-line [Spec.pick] draws — the same logical sequence
+          replayable across schemes for latency comparisons *)
+  faults : Scheduler.fault list;
+      (** injected after the fill, re-armed by the clock reset, so fault
+          times are in measured time *)
   sink : Qs_intf.Runtime_intf.sink option;
       (** trace sink (e.g. [Qs_obs.Tracer.sink]), installed after the fill
           so the trace covers measured time only; [None] = tracing off *)
@@ -49,6 +60,9 @@ let default_setup ~ds ~scheme ~n_processes ~workload =
     churn = None;
     sample_every = 0;
     record_latency = false;
+    latency = None;
+    generator = None;
+    faults = [];
     sink = None;
     smr_tweak = Fun.id;
     sched_tweak = Fun.id }
@@ -115,6 +129,9 @@ let run (setup : setup) : result =
       let keys = Array.of_list (Qs_workload.Spec.initial_keys setup.workload) in
       Qs_util.Prng.shuffle (Qs_util.Prng.create ~seed:setup.seed) keys;
       Array.iter (fun k -> ignore (C.insert ctxs.(0) k)) keys);
+  (* faults go in after the fill (so they cannot fire during it) and
+     before the clock reset, which re-arms them on the measured time base *)
+  if setup.faults <> [] then Scheduler.inject sched setup.faults;
   (* measured time starts now, not after the fill *)
   Scheduler.reset_clocks sched;
   (* install the trace sink only now, so traces cover measured time only
@@ -176,10 +193,29 @@ let run (setup : setup) : result =
                  retried by the loop and not counted. *)
               Scheduler.set_neutralizable sched ~pid true;
               (try
-                 (match Qs_workload.Spec.pick prng setup.workload with
+                 (* Index pre-generated streams by *completed* ops so an
+                    aborted (neutralized) operation is retried, keeping
+                    the logical sequence identical across schemes. *)
+                 let op =
+                   match setup.generator with
+                   | Some g ->
+                     Qs_workload.Generator.op g ~pid ~i:per_worker_ops.(pid)
+                   | None -> Qs_workload.Spec.pick prng setup.workload
+                 in
+                 (match op with
                  | Search k -> ignore (C.search !ctx k)
                  | Insert k -> ignore (C.insert !ctx k)
                  | Delete k -> ignore (C.delete !ctx k));
+                 (match setup.latency with
+                 | Some r ->
+                   (* [clock_of] is a meta-level read of the core clock —
+                      no effect is performed, so recording cannot shift
+                      the seeded schedule (same contract as [E_emit]). *)
+                   let t1 = Scheduler.clock_of sched ~pid in
+                   Qs_obs.Latency.observe r ~pid
+                     ~kind:(Qs_workload.Spec.kind_index op)
+                     ~start:t ~dur:(t1 - t)
+                 | None -> ());
                  if setup.record_latency then begin
                    let log = latency_logs.(pid) in
                    log := (Sim_runtime.now () - t) :: !log

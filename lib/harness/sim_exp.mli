@@ -39,6 +39,22 @@ type setup = {
           Pid 0 never churns, keeping the fill/teardown context alive. *)
   sample_every : int;  (** bucket width of the throughput series; 0 = none *)
   record_latency : bool;  (** collect per-operation latencies (in ticks) *)
+  latency : Qs_obs.Latency.recorder option;
+      (** per-{pid × op-kind} online histograms + top-K outlier buffers.
+          End timestamps come from meta-level clock reads
+          ([Scheduler.clock_of]) rather than a [now] effect, so seeded
+          schedules are byte-identical with the recorder on or off, and
+          outlier windows share the trace's time base (both start at the
+          post-fill clock reset) for {!Qs_obs.Metrics.attribute_spikes}. *)
+  generator : Qs_workload.Generator.t option;
+      (** pre-generated operation streams (cyclic, indexed by the worker's
+          completed-op count, so an aborted op is retried) in place of
+          on-line [Spec.pick] draws — the same logical op sequence
+          replayable across schemes. *)
+  faults : Scheduler.fault list;
+      (** scheduler fault injection (e.g. [Stall_at]), installed after the
+          fill and re-armed by the clock reset: fault times are measured
+          time. [[]] = none. *)
   sink : Qs_intf.Runtime_intf.sink option;
       (** trace sink (e.g. [Qs_obs.Tracer.sink]); installed after the fill
           so the trace covers measured time only. [None] = tracing off —

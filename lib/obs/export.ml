@@ -32,14 +32,20 @@ let chrome_to_buffer ?(ts_div = 1) tracer buf =
   let ts_div = max 1 ts_div in
   let es = Tracer.to_array tracer in
   let n = Tracer.n_processes tracer in
-  (* Open-span state, to keep B/E strictly matched even on ring-truncated
-     traces: an E without a B is dropped, unmatched Bs are closed at trace
-     end. Scans are per-lane; fallback mode is global to the scheme (the
-     exiting process need not be the entering one — see
-     {!Metrics.fallback_episodes}), so its span is drawn once on the
+  (* Open-span state, to keep B/E matched even on ring-truncated traces:
+     an E whose B wrapped out of the ring gets a synthetic B at the first
+     retained timestamp (the span started at or before the ring's
+     horizon — drawing it from there is the honest lower bound, and beats
+     dropping the E, which silently erased whole episodes); unmatched Bs
+     are closed at trace end. Scans are per-lane; fallback mode is global
+     to the scheme (the exiting process need not be the entering one —
+     see {!Metrics.fallback_episodes}), so its span is drawn once on the
      system lane (tid [n]) with the entering/exiting pid in [args]. *)
   let scan_open = Array.make (n + 1) false in
   let fb_open = ref false in
+  let first_ts =
+    if Array.length es = 0 then 0 else es.(0).Tracer.time / ts_div
+  in
   let last_ts = ref 0 in
   let first = ref true in
   Buffer.add_string buf "{\"traceEvents\":[";
@@ -58,11 +64,13 @@ let chrome_to_buffer ?(ts_div = 1) tracer buf =
           scan_open.(tid) <- true
         end
       | RI.Ev_scan_end ->
-        if scan_open.(tid) then begin
+        if not scan_open.(tid) then begin
           sep ();
-          add_end buf ~name:"scan" ~ts ~tid ~a:e.Tracer.a ~b:e.Tracer.b;
-          scan_open.(tid) <- false
-        end
+          add_begin buf ~name:"scan" ~ts:first_ts ~tid ~a:(-1)
+        end;
+        sep ();
+        add_end buf ~name:"scan" ~ts ~tid ~a:e.Tracer.a ~b:e.Tracer.b;
+        scan_open.(tid) <- false
       | RI.Ev_fallback_enter ->
         if not !fb_open then begin
           sep ();
@@ -70,11 +78,13 @@ let chrome_to_buffer ?(ts_div = 1) tracer buf =
           fb_open := true
         end
       | RI.Ev_fallback_exit ->
-        if !fb_open then begin
+        if not !fb_open then begin
           sep ();
-          add_end buf ~name:"fallback" ~ts ~tid:n ~a:e.Tracer.a ~b:e.Tracer.b;
-          fb_open := false
-        end
+          add_begin buf ~name:"fallback" ~ts:first_ts ~tid:n ~a:(-1)
+        end;
+        sep ();
+        add_end buf ~name:"fallback" ~ts ~tid:n ~a:e.Tracer.a ~b:e.Tracer.b;
+        fb_open := false
       | RI.Ev_retire ->
         sep ();
         add_instant buf ~name:"retire" ~ts ~tid ~a:e.Tracer.a ~b:e.Tracer.b;

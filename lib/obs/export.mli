@@ -6,9 +6,11 @@
       duration pairs ("B"/"E") for scans (per process lane) and fallback
       episodes (on the system lane, since the hybrid schemes' mode is
       global and the exiting process need not be the entering one;
-      unmatched opens are closed at trace end so the file always
-      validates), and counter events ("C") tracking each process's limbo
-      depth.
+      unmatched opens are closed at trace end, and a close whose open
+      wrapped out of the ring gets a synthetic span start at the first
+      retained timestamp, so the file always validates even for traces
+      that begin mid-episode), and counter events ("C") tracking each
+      process's limbo depth.
     - {!csv}: flat [time,pid,event,a,b] time series for
       spreadsheet/gnuplot post-processing.
 

@@ -153,6 +153,143 @@ let fallback_episodes (es : entry array) =
     (fun a b -> compare (a.enter_time, a.ep_pid) (b.enter_time, b.ep_pid))
     (still_open @ !out)
 
+(* ---- Spike attribution ---------------------------------------------- *)
+
+type cause =
+  | Fallback
+  | Neutralize
+  | Scan
+  | Epoch
+  | Churn
+  | Bag_seal
+  | Unattributed
+
+let cause_name = function
+  | Fallback -> "fallback"
+  | Neutralize -> "neutralize"
+  | Scan -> "scan"
+  | Epoch -> "epoch"
+  | Churn -> "churn"
+  | Bag_seal -> "bag_seal"
+  | Unattributed -> "unattributed"
+
+let all_causes =
+  [ Fallback; Neutralize; Scan; Epoch; Churn; Bag_seal; Unattributed ]
+
+type attribution = {
+  attr_threshold : int;
+  attr_total : int;
+  attr_counts : (cause * int) list;
+}
+
+let attributed_pct a =
+  if a.attr_total = 0 then 0.
+  else begin
+    let un =
+      try List.assoc Unattributed a.attr_counts with Not_found -> 0
+    in
+    float_of_int (a.attr_total - un) /. float_of_int a.attr_total *. 100.
+  end
+
+let attribute_spikes (es : entry array) ~outliers ~threshold =
+  (* Join each outlier's window [start, start + dur] against the event
+     stream. Fallback episodes are global spans (the whole scheme is in
+     robust mode, every op pays); scans are same-pid spans (the op's own
+     process was inside a scan); neutralization hits its victim ([a]);
+     epoch adoption ([Ev_quiesce b=1]), churn ([Ev_unregister]/[Ev_adopt])
+     and bag seals are same-pid instants. When several causes overlap one
+     window, the first in priority order (the list below) wins — fallback
+     dwell subsumes the scans it runs. *)
+  let end_of_trace =
+    Array.fold_left (fun acc (e : entry) -> max acc e.Tracer.time) 0 es
+  in
+  let fb_spans =
+    List.map
+      (fun ep ->
+        (ep.enter_time, match ep.exit_time with Some t -> t | None -> end_of_trace))
+      (fallback_episodes es)
+  in
+  (* Same-pid scan spans: pair begin/end per process in timeline order. *)
+  let open_scan : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let scan_spans = ref [] in
+  let inst_neutralize = ref [] (* (victim, time) *)
+  and inst_epoch = ref [] (* (pid, time) *)
+  and inst_churn = ref []
+  and inst_seal = ref [] in
+  Array.iter
+    (fun (e : entry) ->
+      match e.Tracer.ev with
+      | RI.Ev_scan_begin -> Hashtbl.replace open_scan e.Tracer.pid e.Tracer.time
+      | RI.Ev_scan_end ->
+        (match Hashtbl.find_opt open_scan e.Tracer.pid with
+        | Some t0 ->
+          Hashtbl.remove open_scan e.Tracer.pid;
+          scan_spans := (e.Tracer.pid, t0, e.Tracer.time) :: !scan_spans
+        | None ->
+          (* begin fell out of the ring: span from trace start *)
+          scan_spans := (e.Tracer.pid, 0, e.Tracer.time) :: !scan_spans)
+      | RI.Ev_neutralize ->
+        inst_neutralize := (e.Tracer.a, e.Tracer.time) :: !inst_neutralize
+      | RI.Ev_quiesce when e.Tracer.b = 1 ->
+        inst_epoch := (e.Tracer.pid, e.Tracer.time) :: !inst_epoch
+      | RI.Ev_unregister | RI.Ev_adopt ->
+        inst_churn := (e.Tracer.pid, e.Tracer.time) :: !inst_churn
+      | RI.Ev_bag_seal ->
+        inst_seal := (e.Tracer.pid, e.Tracer.time) :: !inst_seal
+      | _ -> ())
+    es;
+  Hashtbl.iter
+    (fun pid t0 -> scan_spans := (pid, t0, end_of_trace) :: !scan_spans)
+    open_scan;
+  let scan_spans = !scan_spans in
+  let overlaps ~t0 ~t1 ~lo ~hi = t0 <= hi && lo <= t1 in
+  let cause_of (o : Latency.outlier) =
+    let lo = o.Latency.o_start and hi = o.Latency.o_start + o.Latency.o_dur in
+    if List.exists (fun (t0, t1) -> overlaps ~t0 ~t1 ~lo ~hi) fb_spans then
+      Fallback
+    else if
+      List.exists (fun (p, t) -> p = o.Latency.o_pid && lo <= t && t <= hi)
+        !inst_neutralize
+    then Neutralize
+    else if
+      List.exists
+        (fun (p, t0, t1) -> p = o.Latency.o_pid && overlaps ~t0 ~t1 ~lo ~hi)
+        scan_spans
+    then Scan
+    else if
+      List.exists (fun (p, t) -> p = o.Latency.o_pid && lo <= t && t <= hi)
+        !inst_epoch
+    then Epoch
+    else if
+      List.exists (fun (p, t) -> p = o.Latency.o_pid && lo <= t && t <= hi)
+        !inst_churn
+    then Churn
+    else if
+      List.exists (fun (p, t) -> p = o.Latency.o_pid && lo <= t && t <= hi)
+        !inst_seal
+    then Bag_seal
+    else Unattributed
+  in
+  let tally = Hashtbl.create 8 in
+  let total = ref 0 in
+  List.iter
+    (fun (o : Latency.outlier) ->
+      if o.Latency.o_dur >= threshold then begin
+        incr total;
+        let c = cause_of o in
+        Hashtbl.replace tally c
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally c))
+      end)
+    outliers;
+  {
+    attr_threshold = threshold;
+    attr_total = !total;
+    attr_counts =
+      List.map
+        (fun c -> (c, Option.value ~default:0 (Hashtbl.find_opt tally c)))
+        all_causes;
+  }
+
 let epoch_lags (es : entry array) =
   (* For each epoch advance, collect the first adopting quiesce of each
      process before the next advance. *)

@@ -53,6 +53,51 @@ val fallback_episodes : entry array -> episode list
     enterer). An unmatched enter at the end of the trace yields an open
     episode. *)
 
+(** {1 Spike attribution}
+
+    Joins per-op latency outliers (the {!Latency.recorder}'s top-K
+    buffers) against the event stream to name the reclamation activity
+    concurrent with each tail spike — the empirical counterpart of the
+    paper's fast-path/robust-path trade-off. *)
+
+type cause =
+  | Fallback  (** a global QSense fallback episode overlapped the op *)
+  | Neutralize  (** the op's process was neutralized (DEBRA+) mid-op *)
+  | Scan  (** the op's own process ran a scan during the op *)
+  | Epoch  (** the process adopted an epoch and bulk-freed ([Ev_quiesce b=1]) *)
+  | Churn  (** the process unregistered or adopted orphans mid-op *)
+  | Bag_seal  (** a limbo bag sealed on the process mid-op *)
+  | Unattributed  (** no recorded reclamation activity overlapped *)
+
+val cause_name : cause -> string
+
+val all_causes : cause list
+(** In attribution priority order, [Unattributed] last. *)
+
+type attribution = {
+  attr_threshold : int;  (** minimum duration considered a spike *)
+  attr_total : int;  (** outliers at/above the threshold *)
+  attr_counts : (cause * int) list;  (** every cause, priority order *)
+}
+
+val attributed_pct : attribution -> float
+(** Share (0..100) of spikes with a named cause. 0 when no spikes. *)
+
+val attribute_spikes :
+  entry array ->
+  outliers:Latency.outlier list ->
+  threshold:int ->
+  attribution
+(** Classify each outlier with [o_dur >= threshold] by the highest-priority
+    cause whose span or instant intersects the op window
+    [\[o_start, o_start + o_dur\]]. Fallback episodes are global spans;
+    scans are same-pid spans; the rest are same-pid instants (neutralize
+    matches the {e victim} pid). Priority: fallback > neutralize > scan >
+    epoch > churn > bag seal — a fallback dwell subsumes the scans it
+    contains. The usual [threshold] is the lower edge of the merged
+    histogram's p999 bucket:
+    [Latency.lower_edge (Latency.percentile_bucket merged 99.9)]. *)
+
 (** {1 Epoch lag} *)
 
 val epoch_lags : entry array -> int array

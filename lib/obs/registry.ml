@@ -1,0 +1,173 @@
+(* Metrics registry. See the .mli for the concurrency story: atomics for
+   scalars, DLS-sharded Latency.t for histograms, one registry mutex for
+   name lookup and a per-histogram mutex for the shard list. Lookup
+   (counter/gauge/histogram) is expected at setup time, not in hot
+   loops — callers keep the returned handle. *)
+
+type counter = { c_name : string; c : int Atomic.t }
+type gauge = { g_name : string; g : int Atomic.t }
+
+type histo = {
+  h_name : string;
+  h_key : Latency.t Domain.DLS.key;
+  h_mu : Mutex.t;
+  h_shards : Latency.t list ref;
+}
+
+type t = {
+  mu : Mutex.t;
+  mutable counters : counter list;
+  mutable gauges : gauge list;
+  mutable histos : histo list;
+}
+
+let create () =
+  { mu = Mutex.create (); counters = []; gauges = []; histos = [] }
+
+let global = create ()
+
+let rec find_name name proj = function
+  | [] -> None
+  | x :: rest -> if proj x = name then Some x else find_name name proj rest
+
+let counter t name =
+  Mutex.protect t.mu @@ fun () ->
+  match find_name name (fun c -> c.c_name) t.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c = Atomic.make 0 } in
+      t.counters <- c :: t.counters;
+      c
+
+let incr c = ignore (Atomic.fetch_and_add c.c 1)
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+let counter_value c = Atomic.get c.c
+
+let gauge t name =
+  Mutex.protect t.mu @@ fun () ->
+  match find_name name (fun g -> g.g_name) t.gauges with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g = Atomic.make 0 } in
+      t.gauges <- g :: t.gauges;
+      g
+
+let set_gauge g v = Atomic.set g.g v
+let gauge_value g = Atomic.get g.g
+
+let histogram t name =
+  Mutex.protect t.mu @@ fun () ->
+  match find_name name (fun h -> h.h_name) t.histos with
+  | Some h -> h
+  | None ->
+      let h_mu = Mutex.create () in
+      let h_shards = ref [] in
+      (* The DLS initialiser runs once per domain touching this
+         histogram; it registers the fresh shard for snapshot merging. *)
+      let h_key =
+        Domain.DLS.new_key (fun () ->
+            let s = Latency.create () in
+            Mutex.protect h_mu (fun () -> h_shards := s :: !h_shards);
+            s)
+      in
+      let h = { h_name = name; h_key; h_mu; h_shards } in
+      t.histos <- h :: t.histos;
+      h
+
+let local_shard h = Domain.DLS.get h.h_key
+let observe h v = Latency.record (Domain.DLS.get h.h_key) v
+
+let merged h =
+  let dst = Latency.create () in
+  Mutex.protect h.h_mu (fun () ->
+      List.iter (fun s -> Latency.merge_into ~dst s) !(h.h_shards));
+  dst
+
+(* ---- Export --------------------------------------------------------- *)
+
+(* Sorted-by-name views so export order is stable across runs. *)
+let snapshot t =
+  Mutex.protect t.mu @@ fun () ->
+  let by f a b = compare (f a) (f b) in
+  ( List.sort (by (fun c -> c.c_name)) t.counters,
+    List.sort (by (fun g -> g.g_name)) t.gauges,
+    List.sort (by (fun h -> h.h_name)) t.histos )
+
+let to_prometheus t =
+  let counters, gauges, histos = snapshot t in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" c.c_name (Atomic.get c.c)))
+    counters;
+  List.iter
+    (fun g ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" g.g_name);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" g.g_name (Atomic.get g.g)))
+    gauges;
+  List.iter
+    (fun h ->
+      let m = merged h in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" h.h_name);
+      let counts = Latency.bucket_counts m in
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            cum := !cum + c;
+            (* Integer samples in bucket i are ≤ lower_edge (i+1) - 1. *)
+            let le =
+              if i >= Latency.n_buckets - 1 then Latency.max_value m
+              else Latency.lower_edge (i + 1) - 1
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" h.h_name le !cum)
+          end)
+        counts;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.h_name (Latency.count m));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %d\n" h.h_name (Latency.sum m));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count %d\n" h.h_name (Latency.count m)))
+    histos;
+  Buffer.contents buf
+
+let to_json t =
+  let module J = Qs_util.Json in
+  let counters, gauges, histos = snapshot t in
+  let num i = J.Num (float_of_int i) in
+  J.Obj
+    [
+      ( "counters",
+        J.Obj (List.map (fun c -> (c.c_name, num (Atomic.get c.c))) counters) );
+      ( "gauges",
+        J.Obj (List.map (fun g -> (g.g_name, num (Atomic.get g.g))) gauges) );
+      ( "histograms",
+        J.Obj
+          (List.map
+             (fun h ->
+               let m = merged h in
+               ( h.h_name,
+                 J.Obj
+                   [
+                     ("count", num (Latency.count m));
+                     ("sum", num (Latency.sum m));
+                     ("max", num (Latency.max_value m));
+                     ("p50", num (Latency.percentile m 50.));
+                     ("p99", num (Latency.percentile m 99.));
+                     ("p999", num (Latency.percentile m 99.9));
+                   ] ))
+             histos) );
+    ]
+
+let reset t =
+  let counters, gauges, histos = snapshot t in
+  List.iter (fun c -> Atomic.set c.c 0) counters;
+  List.iter (fun g -> Atomic.set g.g 0) gauges;
+  List.iter
+    (fun h ->
+      Mutex.protect h.h_mu (fun () -> List.iter Latency.reset !(h.h_shards)))
+    histos

@@ -1,0 +1,73 @@
+(** Process-global metrics registry: named counters, gauges and
+    latency histograms, registered once and updated from any domain,
+    with snapshot-consistent export.
+
+    Counters and gauges are single atomics (wait-free updates from any
+    domain). Histograms are domain-sharded: each domain lazily gets a
+    private {!Latency.t} shard via domain-local storage, so the hot
+    {!observe} path is an unsynchronised bucket increment (0 minor words
+    after the shard exists); shards are merged under the registry lock
+    at snapshot time.
+
+    Exports: Prometheus text format ([name_bucket{le="..."}] cumulative
+    rows for non-empty buckets plus [+Inf], [_sum], [_count]) and JSON
+    via {!Qs_util.Json}. *)
+
+type t
+
+val create : unit -> t
+
+val global : t
+(** The default process-wide registry (schemes and harnesses that don't
+    thread an explicit registry use this one). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or create the counter named [name]. Idempotent. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {1 Histograms} *)
+
+type histo
+
+val histogram : t -> string -> histo
+(** Get or create the histogram named [name]. Idempotent. *)
+
+val observe : histo -> int -> unit
+(** Record one sample into the calling domain's shard. After the first
+    call on a given domain, allocates 0 minor words. *)
+
+val local_shard : histo -> Latency.t
+(** The calling domain's shard — grab once outside a hot loop and feed
+    it {!Latency.record} directly for the tightest path. *)
+
+val merged : histo -> Latency.t
+(** Fresh histogram merging every domain's shard (taken under the
+    shard lock). *)
+
+(** {1 Snapshot export} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition of every registered metric. *)
+
+val to_json : t -> Qs_util.Json.t
+(** JSON object [{counters; gauges; histograms}]; each histogram
+    reports count/sum/max/p50/p99/p999. *)
+
+val reset : t -> unit
+(** Zero every counter, gauge and histogram shard (names and handles
+    stay registered) — for reuse across experiment runs. *)

@@ -1,0 +1,78 @@
+(* Bucket-edge labels. A fixed "%10.2f" breaks down at narrow ranges: with
+   gaps < 0.005 adjacent edges round to the same label, and at wide ranges
+   it wastes columns on irrelevant decimals. Instead, pick the smallest
+   number of decimals (capped at 9) that keeps all adjacent edge labels
+   distinct — starting from the significant digits of the smallest adjacent
+   gap — and right-align every label to the widest one so bars line up. *)
+let distinct_labels edges =
+  let n = Array.length edges in
+  let min_gap = ref infinity in
+  for i = 0 to n - 2 do
+    let g = Float.abs (edges.(i + 1) -. edges.(i)) in
+    if g > 0. && g < !min_gap then min_gap := g
+  done;
+  let base =
+    if !min_gap = infinity || !min_gap >= 1. then 0
+    else
+      let d = int_of_float (Float.ceil (-.Float.log10 !min_gap)) in
+      if d < 0 then 0 else if d > 9 then 9 else d
+  in
+  let render dec = Array.map (fun e -> Printf.sprintf "%.*f" dec e) edges in
+  let distinct labels =
+    let ok = ref true in
+    for i = 0 to n - 2 do
+      if labels.(i) = labels.(i + 1) then ok := false
+    done;
+    !ok
+  in
+  let rec refine dec =
+    let labels = render dec in
+    if distinct labels || dec >= 9 then labels else refine (dec + 1)
+  in
+  let labels = refine base in
+  let w = Array.fold_left (fun w l -> max w (String.length l)) 0 labels in
+  Array.map (fun l -> String.make (w - String.length l) ' ' ^ l) labels
+
+let ascii_rows ~labels ~counts ~width =
+  if Array.length labels <> Array.length counts then
+    invalid_arg "Buckets.ascii_rows: labels/counts length mismatch";
+  let biggest = Array.fold_left max 1 counts in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i label ->
+      let bar = counts.(i) * width / biggest in
+      Buffer.add_string buf
+        (Printf.sprintf "%s | %s %d\n" label (String.make bar '#') counts.(i)))
+    labels;
+  Buffer.contents buf
+
+let check_p ~who p =
+  if p < 0. || p > 100. then invalid_arg (who ^ ": p out of range")
+
+let interp_rank ~n ~p =
+  check_p ~who:"Buckets.interp_rank" p;
+  p /. 100. *. float_of_int (n - 1)
+
+let count_rank ~total ~p =
+  check_p ~who:"Buckets.count_rank" p;
+  max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int total)))
+
+let cumulative_index counts ~p =
+  check_p ~who:"Buckets.cumulative_index" p;
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0
+  else begin
+    let rank = count_rank ~total ~p in
+    let idx = ref 0 and cum = ref 0 and found = ref false in
+    Array.iteri
+      (fun i c ->
+        if not !found then begin
+          cum := !cum + c;
+          if !cum >= rank then begin
+            idx := i;
+            found := true
+          end
+        end)
+      counts;
+    !idx
+  end

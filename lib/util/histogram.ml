@@ -18,52 +18,16 @@ let count t = t.total
 
 let bucket_counts t = Array.copy t.counts
 
-(* Bucket-edge labels. A fixed "%10.2f" breaks down at narrow ranges: with
-   step < 0.005 adjacent edges round to the same label, and at wide ranges
-   it wastes columns on irrelevant decimals. Instead, pick the smallest
-   number of decimals (capped at 9) that keeps all adjacent edge labels
-   distinct — starting from the significant digits of the bucket step — and
-   right-align every label to the widest one so the bars line up. *)
+(* Edge labelling and bar rendering live in {!Buckets}, shared with the
+   online log-bucketed latency histograms ({!Qs_obs.Latency}). *)
 let edge_labels t =
   let n = Array.length t.counts in
   let step = (t.hi -. t.lo) /. float_of_int n in
-  let edge i = t.lo +. (step *. float_of_int i) in
-  (* Decimals needed to resolve the step to ~3 significant digits. *)
-  let base =
-    if step >= 1. then 0
-    else
-      let d = int_of_float (Float.ceil (-.Float.log10 step)) in
-      if d < 0 then 0 else if d > 9 then 9 else d
-  in
-  let render dec = Array.init n (fun i -> Printf.sprintf "%.*f" dec (edge i)) in
-  let distinct labels =
-    let ok = ref true in
-    for i = 0 to n - 2 do
-      if labels.(i) = labels.(i + 1) then ok := false
-    done;
-    !ok
-  in
-  let rec refine dec =
-    let labels = render dec in
-    if distinct labels || dec >= 9 then labels else refine (dec + 1)
-  in
-  let labels = refine base in
-  let w = Array.fold_left (fun w l -> max w (String.length l)) 0 labels in
-  Array.map (fun l -> String.make (w - String.length l) ' ' ^ l) labels
+  Buckets.distinct_labels
+    (Array.init n (fun i -> t.lo +. (step *. float_of_int i)))
 
 let to_ascii t ~width =
-  let n = Array.length t.counts in
-  let biggest = Array.fold_left max 1 t.counts in
-  let buf = Buffer.create 256 in
-  let labels = edge_labels t in
-  for i = 0 to n - 1 do
-    let bar = t.counts.(i) * width / biggest in
-    Buffer.add_string buf
-      (Printf.sprintf "%s | %s %d\n" labels.(i)
-         (String.make bar '#')
-         t.counts.(i))
-  done;
-  Buffer.contents buf
+  Buckets.ascii_rows ~labels:(edge_labels t) ~counts:t.counts ~width
 
 let spark_levels = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
                       "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";

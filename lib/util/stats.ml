@@ -25,7 +25,7 @@ let percentile xs p =
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let n = Array.length sorted in
-  let rank = p /. 100. *. float_of_int (n - 1) in
+  let rank = Buckets.interp_rank ~n ~p in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
   if lo = hi then sorted.(lo)

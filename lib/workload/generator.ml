@@ -21,6 +21,12 @@ let make spec ~n_processes ~ops_per_process ~seed =
 
 let stream t ~pid = t.streams.(pid)
 
+(* Cyclic access: workers that outlive their pre-generated stream wrap
+   around, keeping the sequence deterministic without bounding the run. *)
+let op t ~pid ~i =
+  let s = t.streams.(pid) in
+  s.(i mod Array.length s)
+
 let length t = Array.length t.streams.(0)
 
 let n_processes t = Array.length t.streams

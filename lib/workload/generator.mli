@@ -10,6 +10,10 @@ val make : Spec.t -> n_processes:int -> ops_per_process:int -> seed:int -> t
 val stream : t -> pid:int -> Spec.op array
 (** Process [pid]'s operations, in execution order. *)
 
+val op : t -> pid:int -> i:int -> Spec.op
+(** The [i]-th operation of process [pid], cycling past the end of the
+    pre-generated stream (workers that outlive it stay deterministic). *)
+
 val length : t -> int
 val n_processes : t -> int
 

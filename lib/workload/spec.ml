@@ -22,6 +22,18 @@ let updates_50 ~key_range = make ~key_range ~update_pct:50
 (** The paper's Figure 3 setting: 10% updates. *)
 let updates_10 ~key_range = make ~key_range ~update_pct:10
 
+(** Operation kinds as a dense index space, for per-kind accounting
+    (e.g. one latency histogram per {process × kind}). *)
+let n_kinds = 3
+
+let kind_index = function Search _ -> 0 | Insert _ -> 1 | Delete _ -> 2
+
+let kind_name = function
+  | 0 -> "search"
+  | 1 -> "insert"
+  | 2 -> "delete"
+  | k -> invalid_arg (Printf.sprintf "Spec.kind_name: %d" k)
+
 let pick prng t =
   let key = Qs_util.Prng.int prng t.key_range in
   let pct = Qs_util.Prng.percent prng in

@@ -17,6 +17,7 @@ let () =
       ("explorer", Test_explorer.suite);
       ("explorer_pool", Test_explorer_pool.suite);
       ("obs", Test_obs.suite);
+      ("latency", Test_latency.suite);
       ("properties", Test_properties.suite);
       ("real", Test_real.suite);
       ("rivals", Test_rivals.suite)

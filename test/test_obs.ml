@@ -386,6 +386,57 @@ let test_chrome_round_trip () =
     events;
   checki "every B closed" 0 (Hashtbl.length opens)
 
+let test_chrome_mid_episode () =
+  (* A ring that wrapped past the B records: the exporter must emit
+     synthetic span starts (at the first retained timestamp, args a=-1)
+     rather than dropping the E — the episode existed, the trace merely
+     starts inside it. *)
+  let tracer = Tracer.create ~n_processes:2 ~capacity:16 () in
+  let r = Tracer.record tracer in
+  r ~pid:0 ~time:1_000 ~ev:RI.Ev_retire ~a:1 ~b:1;
+  r ~pid:0 ~time:1_500 ~ev:RI.Ev_scan_end ~a:3 ~b:7;
+  r ~pid:1 ~time:1_600 ~ev:RI.Ev_fallback_exit ~a:900 ~b:(-1);
+  let j = Json.parse_exn (Export.chrome tracer) in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some a -> Json.to_list a
+    | None -> Alcotest.fail "no traceEvents"
+  in
+  let field e k =
+    match Json.member k e with
+    | Some v -> v
+    | None -> Alcotest.failf "missing field %s" k
+  in
+  let span name ph =
+    List.filter
+      (fun e -> field e "name" = Json.Str name && field e "ph" = Json.Str ph)
+      events
+  in
+  checki "one synthetic scan B" 1 (List.length (span "scan" "B"));
+  checki "scan E kept" 1 (List.length (span "scan" "E"));
+  checki "one synthetic fallback B" 1 (List.length (span "fallback" "B"));
+  checki "fallback E kept" 1 (List.length (span "fallback" "E"));
+  let b = List.hd (span "scan" "B") in
+  checkb "synthetic B at first retained ts" true
+    (field b "ts" = Json.Num 1_000.);
+  (match field b "args" with
+  | Json.Obj [ ("a", Json.Num a) ] -> checkb "synthetic a=-1" true (a = -1.)
+  | _ -> Alcotest.fail "unexpected args on synthetic B");
+  (* And the strict-matching invariant still holds for the whole doc. *)
+  let opens : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      match (field e "name", field e "ph") with
+      | Json.Str n, Json.Str "B" ->
+        Hashtbl.replace opens n (1 + Option.value ~default:0 (Hashtbl.find_opt opens n))
+      | Json.Str n, Json.Str "E" ->
+        let d = Option.value ~default:0 (Hashtbl.find_opt opens n) - 1 in
+        checkb "E never unmatched" true (d >= 0);
+        Hashtbl.replace opens n d
+      | _ -> ())
+    events;
+  Hashtbl.iter (fun n d -> checki (n ^ " all closed") 0 d) opens
+
 let test_csv_shape () =
   let tracer, _ = traced_run ~scheme:Qs_smr.Scheme.Qsbr () in
   let lines = String.split_on_char '\n' (String.trim (Export.csv tracer)) in
@@ -410,5 +461,6 @@ let suite =
     Alcotest.test_case "metrics: membership counters" `Quick test_metrics_membership_counters;
     Alcotest.test_case "traced churn run surfaces membership" `Slow test_traced_churn_run;
     Alcotest.test_case "chrome export round-trips" `Quick test_chrome_round_trip;
+    Alcotest.test_case "chrome tolerates mid-episode trace" `Quick test_chrome_mid_episode;
     Alcotest.test_case "csv export shape" `Quick test_csv_shape
   ]
