@@ -29,7 +29,7 @@
      micro-bench: effects/sec and schedules/sec on a representative case
      mix, solo and through the pool, plus minor-allocation words per
      scheduler step; merges an "explorer" section into PATH
-     (out/BENCH_RESULTS.json, schema 8) when it exists.
+     (out/BENCH_RESULTS.json, schema 9) when it exists.
    - [grow OUT [--target N] [--jobs N] [--budget N] [--base PATH]] —
      coverage-guided corpus growth: breed [--target] known-clean cases from
      a deterministic frontier (plus [--base] corpus, if given), keeping
@@ -487,7 +487,7 @@ let profile args =
           ("step_alloc_words", num step_alloc_words) ]
     in
     let doc = Qs_util.Json.set_member "explorer" section doc in
-    let doc = Qs_util.Json.set_member "schema" (num 8.) doc in
+    let doc = Qs_util.Json.set_member "schema" (num 9.) doc in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (Qs_util.Json.to_string doc));
     Printf.printf "explorer section merged into %s\n%!" path

@@ -1145,27 +1145,295 @@ module Latency_obs = struct
     print_newline ()
 end
 
-(* --- JSON report (schema 8) ----------------------------------------------- *)
+(* --- KV service observatory (--service) ----------------------------------- *)
+
+(* The epoch-protected KV service (DESIGN.md §15) measured end to end:
+
+   - a sim matrix {qsbr, hp, cadence, qsense} × {uniform, zipfian}: four
+     worker processes replay a multi-tenant trace (60/20/10/10
+     get/put/del/scan, bursty open-loop arrivals) against the sharded
+     service with handler churn live, recording per-op-kind latency
+     histograms — p50/p99/p999 in virtual ticks per kind, plus the
+     whole-run p999 spike attribution against the reclamation trace;
+   - the robustness row: QSense at C = 48 with a stalled victim and a
+     hot keyspace, closed loop, so the service dwells in fallback and
+     the p999 bucket IS fallback dwell. CI gates its attribution ≥ 80%;
+   - a real-domain row: wall-clock Mops through the same service with
+     handler churn across domain generations;
+   - the zero-alloc pin: minor words per [Kv.get] on the real runtime —
+     the read-only bucket probe plus scheme quiescence bookkeeping must
+     allocate exactly nothing. *)
+module Service_obs = struct
+  module L = Qs_obs.Latency
+  module M = Qs_obs.Metrics
+  module Ksp = Qs_workload.Kv_spec
+  module Sv = Qs_service.Service_sim
+
+  type kind_row = { kops : int; kp50 : int; kp99 : int; kp999 : int }
+
+  type row = {
+    scheme : Qs_smr.Scheme.kind;
+    dist : Ksp.dist;
+    stall : bool;
+    ops : int;
+    violations : int;
+    churn_events : int;
+    leak_ok : bool;
+    kinds : (string * kind_row) list;
+    p999 : int;
+    attr : M.attribution;
+  }
+
+  let dist_name = function Ksp.Uniform -> "uniform" | Ksp.Zipfian _ -> "zipfian"
+
+  let mix = { Ksp.get_pct = 60; put_pct = 20; del_pct = 10; scan_pct = 10 }
+
+  (* The stall row trades read-heaviness for retire pressure: the victim
+     pins its epoch over a 32-key space while the survivors' deletes push
+     QSense over the switch threshold, as in the latency observatory's
+     calibrated scenario. No scans: range restarts under this much delete
+     churn are their own (legitimate) spike source and would dilute the
+     fallback attribution this row exists to measure. *)
+  let stall_mix = { Ksp.get_pct = 34; put_pct = 33; del_pct = 33; scan_pct = 0 }
+
+  (* The open-loop gap provisions each worker just under the slowest
+     scheme's simulated service rate (~1.6k ticks/request for HP), so
+     steady state is un-queued for every scheme and the tail comes from
+     bursts (gap/4 for 8 requests every 64) and reclamation pauses, not
+     from a permanently growing backlog. *)
+  let make_gen ~dist ~stall ~n =
+    let spec =
+      if stall then Ksp.make ~keys_per_tenant:32 ~mix:stall_mix ()
+      else
+        Ksp.make ~tenants:2 ~dist ~keys_per_tenant:2_048 ~mix ~scan_span:16
+          ~base_gap:2_000
+          ~burst:{ Ksp.every = 64; len = 8; factor = 4 }
+          ()
+    in
+    Qs_workload.Kv_gen.make spec ~n_processes:n ~ops_per_process:4_096 ~seed:23
+
+  let sim_row ~quick ~scheme ~dist ~stall =
+    let n = 4 in
+    let gen = make_gen ~dist ~stall ~n in
+    let rec_ = L.recorder ~n_processes:n ~n_kinds:Ksp.n_kinds () in
+    let tracer = Qs_obs.Tracer.create ~n_processes:n ~capacity:(1 lsl 15) () in
+    let duration =
+      if stall then 600_000 else if quick then 150_000 else 400_000
+    in
+    let setup =
+      { (Sv.default_setup ~scheme ~n_processes:n ~gen) with
+        Sv.duration;
+        seed = 23;
+        n_shards = 4;
+        latency = Some rec_;
+        sink = Some (Qs_obs.Tracer.sink tracer);
+        churn =
+          (if stall then None
+           else Some { Sv.every_ops = 40; downtime = 2_000 });
+        faults =
+          (if stall then
+             [ Qs_sim.Scheduler.Stall_at
+                 { pid = n - 1; at = 20_000; ticks = duration } ]
+           else []);
+        smr_tweak =
+          (if stall then
+             fun c -> { c with Qs_smr.Smr_intf.switch_threshold = 48 }
+           else Fun.id) }
+    in
+    let r = Sv.run setup in
+    let merged = L.merged rec_ in
+    let threshold = L.lower_edge (L.percentile_bucket merged 99.9) in
+    let attr =
+      M.attribute_spikes
+        (Qs_obs.Tracer.to_array tracer)
+        ~outliers:(L.outliers rec_) ~threshold
+    in
+    let kinds =
+      List.init Ksp.n_kinds (fun k ->
+          let h = L.merged_kind rec_ ~kind:k in
+          ( Ksp.kind_name k,
+            { kops = r.Sv.per_kind_ops.(k);
+              kp50 = L.percentile h 50.;
+              kp99 = L.percentile h 99.;
+              kp999 = L.percentile h 99.9 } ))
+    in
+    { scheme;
+      dist;
+      stall;
+      ops = r.Sv.ops_total;
+      violations = r.Sv.violations;
+      churn_events = r.Sv.churn_events;
+      leak_ok =
+        (match r.Sv.leak_check with `Ok | `Skipped -> true | `Leaked _ -> false);
+      kinds;
+      p999 = L.percentile merged 99.9;
+      attr }
+
+  let rows ~quick =
+    let matrix =
+      List.concat_map
+        (fun scheme ->
+          List.map
+            (fun dist ->
+              let r = sim_row ~quick ~scheme ~dist ~stall:false in
+              Printf.printf
+                "  %-9s %-8s: %6d reqs, p999 %7d ticks, %d churns%s\n%!"
+                (Qs_smr.Scheme.to_string scheme)
+                (dist_name r.dist) r.ops r.p999 r.churn_events
+                (if r.leak_ok then "" else " LEAK");
+              r)
+            [ Ksp.Uniform; Ksp.Zipfian 0.9 ])
+        Latency_obs.schemes
+    in
+    let stall =
+      sim_row ~quick ~scheme:Qs_smr.Scheme.Qsense ~dist:Ksp.Uniform
+        ~stall:true
+    in
+    Printf.printf
+      "  stall row: p999 %d ticks, %d spikes, %.0f%% attributed (top %s)\n%!"
+      stall.p999 stall.attr.M.attr_total
+      (M.attributed_pct stall.attr)
+      (Latency_obs.top_cause stall.attr);
+    matrix @ [ stall ]
+
+  (* Minor words per [Kv.get]: the shard route (Fibonacci multiply +
+     shift), the read-only bucket probe and the scheme's amortized
+     quiescence round, measured over a 200k-request window after warmup.
+     Must be exactly 0 — this is the pin CI gates on. *)
+  let get_alloc_words () =
+    let module K = Qs_service.Service_real.K in
+    let base =
+      { (Qs_ds.Set_intf.default_config ~n_processes:1
+           ~scheme:Qs_smr.Scheme.Qsense)
+        with Qs_ds.Set_intf.debug_checks = false }
+    in
+    let svc = K.create ~n_shards:4 base in
+    let c = K.register svc ~pid:0 in
+    for k = 0 to 511 do
+      ignore (K.put c (2 * k))
+    done;
+    for i = 1 to 4_096 do
+      ignore (K.get c (i land 1023))
+    done;
+    let nops = 200_000 in
+    let w0 = Gc.minor_words () in
+    for i = 1 to nops do
+      ignore (K.get c (i land 1023))
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int nops
+
+  type real_row = {
+    r_scheme : Qs_smr.Scheme.kind;
+    r_domains : int;
+    r_ops : int;
+    r_mops : float;
+    r_violations : int;
+    r_failed : bool;
+    r_churn : int;
+  }
+
+  let real_row ~quick =
+    let n = if quick then 2 else 4 in
+    let spec =
+      Ksp.make ~tenants:2 ~dist:(Ksp.Zipfian 0.9) ~keys_per_tenant:2_048
+        ~mix ~scan_span:16 ()
+    in
+    let gen =
+      Qs_workload.Kv_gen.make spec ~n_processes:n ~ops_per_process:8_192
+        ~seed:42
+    in
+    let setup =
+      { (Qs_service.Service_real.default_setup
+           ~scheme:Qs_smr.Scheme.Qsense ~n_domains:n ~gen)
+        with
+        Qs_service.Service_real.duration_ms = (if quick then 50 else 200);
+        churn = Some { Qs_service.Service_real.generations = 2; downtime_ms = 2 } }
+    in
+    let r = Qs_service.Service_real.run setup in
+    { r_scheme = Qs_smr.Scheme.Qsense;
+      r_domains = n;
+      r_ops = r.Qs_service.Service_real.ops_total;
+      r_mops = r.Qs_service.Service_real.throughput_mops;
+      r_violations = r.Qs_service.Service_real.violations;
+      r_failed = r.Qs_service.Service_real.failed;
+      r_churn = r.Qs_service.Service_real.churn_events }
+
+  type report = {
+    svc_rows : row list;  (** matrix rows, stall row last *)
+    real : real_row;
+    get_alloc_words : float;
+  }
+
+  let run ~quick =
+    let svc_rows = rows ~quick in
+    let real = real_row ~quick in
+    let get_alloc_words = get_alloc_words () in
+    { svc_rows; real; get_alloc_words }
+
+  let print_tables rep =
+    let tbl =
+      Qs_util.Table.create
+        [ "scheme"; "dist"; "stall"; "reqs"; "viol"; "churns";
+          "get p50/p999"; "put p999"; "scan p999"; "p999"; "attr %" ]
+    in
+    List.iter
+      (fun r ->
+        let kr name = List.assoc name r.kinds in
+        Qs_util.Table.add_row tbl
+          [ Qs_smr.Scheme.to_string r.scheme;
+            dist_name r.dist;
+            string_of_bool r.stall;
+            string_of_int r.ops;
+            string_of_int r.violations;
+            string_of_int r.churn_events;
+            Printf.sprintf "%d/%d" (kr "get").kp50 (kr "get").kp999;
+            string_of_int (kr "put").kp999;
+            string_of_int (kr "scan").kp999;
+            string_of_int r.p999;
+            Printf.sprintf "%.0f" (M.attributed_pct r.attr) ])
+      rep.svc_rows;
+    Qs_util.Table.print tbl;
+    let ov = Qs_util.Table.create [ "metric"; "value" ] in
+    Qs_util.Table.add_row ov
+      [ "minor words per get (real, qsense)";
+        Printf.sprintf "%.4f" rep.get_alloc_words ];
+    Qs_util.Table.add_row ov
+      [ Printf.sprintf "real %s x%d Mops/s (churned)"
+          (Qs_smr.Scheme.to_string rep.real.r_scheme)
+          rep.real.r_domains;
+        Printf.sprintf "%.2f" rep.real.r_mops ];
+    Qs_util.Table.add_row ov
+      [ "real requests / violations";
+        Printf.sprintf "%d / %d" rep.real.r_ops rep.real.r_violations ];
+    Qs_util.Table.print ov;
+    print_newline ()
+end
+
+(* --- JSON report (schema 9) ----------------------------------------------- *)
 
 (* Consumed by CI (regression guards), by [bench/trend.exe] (committed
    BENCH_HISTORY.jsonl diffing) and by EXPERIMENTS.md readers.
-   Schema 8 = schema 7's sections ("retire_scan", "bags", "membership",
-   "e2e", "rivals", "trace", "explorer", the "churn" flag) plus a
-   "latency" section ([null] unless the bench ran with [--latency]): the
-   recorder's zero-alloc pin, the real-runtime recorder-off/on A/B, and
-   one row per {structure × scheme × procs} sim run — p50/p99/p999/max
-   in virtual ticks plus the p999 spike-attribution columns (total
-   spikes, attributed %, per-cause counts). The last row is the QSense
-   stall scenario; CI gates its attribution ≥ 80%. The "explorer"
-   section is emitted as [null] here; [explore.exe profile --out
-   out/BENCH_RESULTS.json] fills it in (the numbers belong to the
-   explorer binary, which owns the representative case mix). *)
+   Schema 9 = schema 8's sections ("retire_scan", "bags", "membership",
+   "e2e", "rivals", "trace", "latency", "explorer", the "churn" flag)
+   plus a "service" section ([null] unless the bench ran with
+   [--service]): the KV service's get-path zero-alloc pin, a real-domain
+   churned-throughput row, and one sim row per {scheme × key
+   distribution} — requests, violations, churn events, leak check,
+   per-op-kind p50/p99/p999 in virtual ticks, and the whole-run p999
+   spike attribution. The last row is the QSense stall scenario; CI
+   gates its attribution ≥ 80%. The "latency" section is as in schema 8
+   (the [--latency] observatory; its last row's attribution is gated the
+   same way). The "explorer" section is emitted as [null] here;
+   [explore.exe profile --out out/BENCH_RESULTS.json] fills it in (the
+   numbers belong to the explorer binary, which owns the representative
+   case mix). *)
 let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
     ~e2e ~rivals ~(trace : Observatory.overhead)
-    ~(latency : Latency_obs.report option) =
+    ~(latency : Latency_obs.report option)
+    ~(service : Service_obs.report option) =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 8,\n";
+  Printf.fprintf oc "  \"schema\": 9,\n";
   Printf.fprintf oc "  \"explorer\": null,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"churn\": %b,\n" churn;
@@ -1247,7 +1515,7 @@ let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
     trace.Observatory.events_on;
   Printf.fprintf oc "  },\n";
   (match latency with
-  | None -> Printf.fprintf oc "  \"latency\": null\n"
+  | None -> Printf.fprintf oc "  \"latency\": null,\n"
   | Some rep ->
     Printf.fprintf oc "  \"latency\": {\n";
     Printf.fprintf oc "    \"alloc_words_per_record\": %.4f,\n"
@@ -1285,6 +1553,60 @@ let emit_json ~path ~quick ~churn ~retire_scan ~bag_alloc_words ~membership
           (if i = n - 1 then "" else ","))
       rep.Latency_obs.lat_rows;
     Printf.fprintf oc "    ]\n";
+    Printf.fprintf oc "  },\n");
+  (match service with
+  | None -> Printf.fprintf oc "  \"service\": null\n"
+  | Some rep ->
+    Printf.fprintf oc "  \"service\": {\n";
+    Printf.fprintf oc "    \"get_alloc_words_per_op\": %.4f,\n"
+      rep.Service_obs.get_alloc_words;
+    let rr = rep.Service_obs.real in
+    Printf.fprintf oc
+      "    \"real\": {\"scheme\": \"%s\", \"domains\": %d, \"ops\": %d, \
+       \"throughput_mops\": %.4f, \"violations\": %d, \"failed\": %b, \
+       \"churn_events\": %d},\n"
+      (Qs_smr.Scheme.to_string rr.Service_obs.r_scheme)
+      rr.Service_obs.r_domains rr.Service_obs.r_ops rr.Service_obs.r_mops
+      rr.Service_obs.r_violations rr.Service_obs.r_failed
+      rr.Service_obs.r_churn;
+    Printf.fprintf oc "    \"rows\": [\n";
+    let n = List.length rep.Service_obs.svc_rows in
+    List.iteri
+      (fun i (r : Service_obs.row) ->
+        let kinds_json =
+          String.concat ", "
+            (List.map
+               (fun (name, (k : Service_obs.kind_row)) ->
+                 Printf.sprintf
+                   "\"%s\": {\"ops\": %d, \"p50\": %d, \"p99\": %d, \
+                    \"p999\": %d}"
+                   name k.Service_obs.kops k.Service_obs.kp50
+                   k.Service_obs.kp99 k.Service_obs.kp999)
+               r.Service_obs.kinds)
+        in
+        let attr_fields =
+          String.concat ", "
+            (List.map
+               (fun (c, k) ->
+                 Printf.sprintf "\"%s\": %d" (Qs_obs.Metrics.cause_name c) k)
+               r.Service_obs.attr.Qs_obs.Metrics.attr_counts)
+        in
+        Printf.fprintf oc
+          "      {\"scheme\": \"%s\", \"dist\": \"%s\", \"stall\": %b, \
+           \"ops\": %d, \"violations\": %d, \"churn_events\": %d, \
+           \"leak_ok\": %b, \"p999\": %d, \"p999_samples\": %d, \
+           \"attr_pct\": %.2f, \"attr\": {%s}, \"kinds\": {%s}}%s\n"
+          (Qs_smr.Scheme.to_string r.Service_obs.scheme)
+          (Service_obs.dist_name r.Service_obs.dist)
+          r.Service_obs.stall r.Service_obs.ops r.Service_obs.violations
+          r.Service_obs.churn_events r.Service_obs.leak_ok
+          r.Service_obs.p999
+          r.Service_obs.attr.Qs_obs.Metrics.attr_total
+          (Qs_obs.Metrics.attributed_pct r.Service_obs.attr)
+          attr_fields kinds_json
+          (if i = n - 1 then "" else ","))
+      rep.Service_obs.svc_rows;
+    Printf.fprintf oc "    ]\n";
     Printf.fprintf oc "  }\n");
   Printf.fprintf oc "}\n";
   close_out oc;
@@ -1298,6 +1620,7 @@ let () =
   let churn = List.mem "--churn" argv in
   let trace = List.mem "--trace" argv in
   let latency = List.mem "--latency" argv in
+  let service = List.mem "--service" argv in
   R.register_self 0;
   (* roosters give Cadence/QSense their coarse clock and wake-up guarantee *)
   let roosters = Qs_real.Roosters.start ~interval_ns:2_000_000 ~n:1 in
@@ -1370,9 +1693,21 @@ let () =
     end
     else None
   in
+  let service_report =
+    if service then begin
+      Printf.printf
+        "== KV service observatory (--service): sharded store, open-loop \
+         traces ==\n%!";
+      let rep = Service_obs.run ~quick in
+      Service_obs.print_tables rep;
+      Some rep
+    end
+    else None
+  in
   emit_json ~path:(out_path "BENCH_RESULTS.json") ~quick ~churn
     ~retire_scan:results ~bag_alloc_words ~membership ~e2e:e2e_results
-    ~rivals:rival_results ~trace:trace_overhead ~latency:latency_report;
+    ~rivals:rival_results ~trace:trace_overhead ~latency:latency_report
+    ~service:service_report;
   Qs_real.Roosters.stop roosters;
   (* The multi-core figures come from the simulator: *)
   print_endline "Scalability and robustness figures (multi-core) are produced by the";

@@ -147,6 +147,49 @@ let summarize results =
           ("stall_p999", Json.Num stall_p999);
           ("stall_attr_pct", Json.Num stall_attr) ]
   in
+  let service =
+    match Json.member "service" results with
+    | None | Some Json.Null -> Json.Null
+    | Some svc ->
+      let rows = arr svc "rows" in
+      let matrix = List.filter (fun r -> bool_ r "stall" = Some false) rows in
+      let bad =
+        List.length
+          (List.filter
+             (fun r ->
+               num r "violations" <> Some 0. || bool_ r "leak_ok" <> Some true)
+             rows)
+      in
+      let stall_row =
+        List.find_opt (fun r -> bool_ r "stall" = Some true) rows
+      in
+      let stall_p999, stall_attr, stall_fallback =
+        match stall_row with
+        | Some r ->
+          ( require "service stall p999" (num r "p999"),
+            require "service stall attr_pct" (num r "attr_pct"),
+            (match Json.member "attr" r with
+            | Some a -> Option.value ~default:0. (num a "fallback")
+            | None -> 0.) )
+        | None -> (0., 0., 0.)
+      in
+      let real = require "service real row" (Json.member "real" svc) in
+      Json.Obj
+        [ ("get_alloc_words",
+           Json.Num
+             (require "service get alloc" (num svc "get_alloc_words_per_op")));
+          ("matrix_rows", Json.Num (float_of_int (List.length matrix)));
+          ("bad_rows", Json.Num (float_of_int bad));
+          ("stall_p999", Json.Num stall_p999);
+          ("stall_attr_pct", Json.Num stall_attr);
+          ("stall_fallback_spikes", Json.Num stall_fallback);
+          ("real_mops", Json.Num (require "service real mops" (num real "throughput_mops")));
+          ("real_bad",
+           Json.Num
+             (if num real "violations" = Some 0. && bool_ real "failed" = Some false
+              then 0.
+              else 1.)) ]
+  in
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   Json.Obj
     [ ("time",
@@ -171,7 +214,8 @@ let summarize results =
       ("e2e_bad", Json.Num (float_of_int (count_bad e2e)));
       ("rival_rows", Json.Num (float_of_int (List.length rivals)));
       ("rival_bad", Json.Num (float_of_int (count_bad rivals)));
-      ("latency", latency) ]
+      ("latency", latency);
+      ("service", service) ]
 
 (* --- history I/O ----------------------------------------------------------- *)
 
@@ -223,8 +267,8 @@ let check ~results_path ~history_path =
   let results = Json.parse_exn (read_file results_path) in
   let summary = summarize results in
   (* -- structural + pins + safety: always gate, no history needed -- *)
-  if num results "schema" <> Some 8. then
-    fail "schema is %s, expected 8"
+  if num results "schema" <> Some 9. then
+    fail "schema is %s, expected 9"
       (match num results "schema" with
       | Some f -> Printf.sprintf "%.0f" f
       | None -> "missing");
@@ -247,6 +291,24 @@ let check ~results_path ~history_path =
       fail "stall-row attribution %.0f%% < 80%%" attr;
     if Option.value ~default:0. (num lat "stall_p999") <= 0. then
       fail "stall-row p999 is zero (no tail recorded)"
+  | _ -> ());
+  (match Json.member "service" summary with
+  | Some (Json.Obj _ as svc) ->
+    pin "service.get_alloc_words_per_op" (num svc "get_alloc_words");
+    if num svc "matrix_rows" <> Some 8. then
+      fail "service matrix has %s rows, expected 8 ({qsbr,hp,cadence,qsense} x {uniform,zipfian})"
+        (match num svc "matrix_rows" with
+        | Some f -> Printf.sprintf "%.0f" f
+        | None -> "missing");
+    if num svc "bad_rows" <> Some 0. then
+      fail "service rows with violations or leaks";
+    if num svc "real_bad" <> Some 0. then
+      fail "service real-domain row has violations or failed";
+    let attr = Option.value ~default:0. (num svc "stall_attr_pct") in
+    if attr < 80. then
+      fail "service stall-row attribution %.0f%% < 80%%" attr;
+    if Option.value ~default:0. (num svc "stall_fallback_spikes") <= 0. then
+      fail "service stall row has no fallback-attributed spikes"
   | _ -> ());
   (* -- ratio gates vs committed history (wide tolerance) -- *)
   let history =
@@ -285,6 +347,20 @@ let check ~results_path ~history_path =
        | Some c, Some m when m > 0. ->
          if c > m *. 8. then
            fail "stall p999 %.0f ticks vs history median %.0f (> 8x)" c m
+       | _ -> ())
+     | _ -> ());
+     (match Json.member "service" summary with
+     | Some (Json.Obj _ as svc) ->
+       let hist_svc key = history_metric history key (Some "service") in
+       (match (num svc "real_mops", median (hist_svc "real_mops")) with
+       | Some c, Some m when m > 0. ->
+         if c < m /. 4. then
+           fail "service real Mops %.3f vs history median %.3f (< 1/4)" c m
+       | _ -> ());
+       (match (num svc "stall_p999", median (hist_svc "stall_p999")) with
+       | Some c, Some m when m > 0. ->
+         if c > m *. 8. then
+           fail "service stall p999 %.0f ticks vs history median %.0f (> 8x)" c m
        | _ -> ())
      | _ -> ());
      Printf.printf "trend: compared against %d history line(s)\n"

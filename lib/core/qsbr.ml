@@ -152,14 +152,15 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_intf.NODE) = struct
   (* A negative local epoch is the "absent" sentinel written by
      {!unregister}: the slot no longer gates epoch advancement. Same
      effect count per process as before (one load). *)
-  let all_current t eg =
-    let n = Array.length t.locals in
-    let rec go i =
-      i >= n
-      || (let l = R.get t.locals.(i) in
-          (l = eg || l < 0) && go (i + 1))
-    in
-    go 0
+  (* Top-level recursion (not an inner [let rec]): quiescent_state runs on
+     the service get path every quiescence_threshold requests, and an inner
+     closure here would be the only heap allocation on it. *)
+  let rec all_current_from t eg n i =
+    i >= n
+    || (let l = R.get t.locals.(i) in
+        (l = eg || l < 0) && all_current_from t eg n (i + 1))
+
+  let all_current t eg = all_current_from t eg (Array.length t.locals) 0
 
   (* Adoption: splice one orphaned limbo triple into the epoch list we
      just freed. The adopted nodes are freed the next time this process

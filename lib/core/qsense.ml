@@ -356,13 +356,14 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
       Limbo.Ts.drain h.limbo.(e) ~free_node:h.uncond_node
         ~free_bag:h.uncond_bag
 
-  let all_current t eg =
-    let n = Array.length t.locals in
-    let rec go i =
-      i >= n
-      || ((R.get t.evicted.(i) = 1 || R.get t.locals.(i) = eg) && go (i + 1))
-    in
-    go 0
+  (* Top-level recursion, as in {!Qsbr}: an inner [let rec] closure here
+     would allocate on the fast-path quiescence round. *)
+  let rec all_current_from t eg n i =
+    i >= n
+    || ((R.get t.evicted.(i) = 1 || R.get t.locals.(i) = eg)
+       && all_current_from t eg n (i + 1))
+
+  let all_current t eg = all_current_from t eg (Array.length t.locals) 0
 
   let quiescent_state h =
     R.hook Qs_intf.Runtime_intf.Hook_quiesce;
@@ -384,13 +385,12 @@ module Make_gen (P : PUBLICATION) (R : Qs_intf.Runtime_intf.RUNTIME) (N : Smr_in
         end
     end
 
-  let all_active t =
-    let n = Array.length t.presence in
-    let rec go i =
-      i >= n
-      || ((R.get t.evicted.(i) = 1 || R.get t.presence.(i) = 1) && go (i + 1))
-    in
-    go 0
+  let rec all_active_from t n i =
+    i >= n
+    || ((R.get t.evicted.(i) = 1 || R.get t.presence.(i) = 1)
+       && all_active_from t n (i + 1))
+
+  let all_active t = all_active_from t (Array.length t.presence) 0
 
   let reset_presence t =
     Array.iter (fun p -> R.set p 0) t.presence

@@ -13,7 +13,10 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
 
   type node = L.node
 
-  type t = { list : L.t; buckets : node array }
+  (* [shift] is the precomputed Fibonacci-hash shift for power-of-two
+     bucket counts (take the top bits, where the multiplicative hash mixes),
+     or -1 for the [mod] fallback on other sizes. *)
+  type t = { list : L.t; buckets : node array; shift : int }
 
   type ctx = { table : t; lctx : L.ctx }
 
@@ -24,17 +27,28 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   let create_sized ~n_buckets (cfg : Set_intf.config) =
     if n_buckets <= 0 then invalid_arg "Hashtable.create_sized: n_buckets";
     let list = L.create cfg in
-    { list; buckets = Array.init n_buckets (fun _ -> L.new_bucket list) }
+    let shift =
+      match Qs_util.Fib_hash.shift_for n_buckets with
+      | Some s -> s
+      | None -> -1
+    in
+    { list; buckets = Array.init n_buckets (fun _ -> L.new_bucket list); shift }
 
   let create cfg = create_sized ~n_buckets:default_buckets cfg
 
   let register t ~pid = { table = t; lctx = L.register t.list ~pid }
 
-  let bucket_of t key =
-    let h = (key * 2654435761) land max_int in
-    t.buckets.(h mod Array.length t.buckets)
+  let bucket_index t key =
+    let h = Qs_util.Fib_hash.hash key in
+    if t.shift >= 0 then h lsr t.shift else h mod Array.length t.buckets
+
+  let bucket_of t key = t.buckets.(bucket_index t key)
 
   let search ctx key = L.search_in ctx.lctx ~bucket:(bucket_of ctx.table key) key
+
+  let search_ro ctx key =
+    L.search_ro_in ctx.lctx ~bucket:(bucket_of ctx.table key) key
+
   let insert ctx key = L.insert_in ctx.lctx ~bucket:(bucket_of ctx.table key) key
   let delete ctx key = L.delete_in ctx.lctx ~bucket:(bucket_of ctx.table key) key
 
@@ -61,6 +75,8 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
               failwith (Printf.sprintf "hashtable: key %d in wrong bucket %d" key i))
           (L.to_list_in ctx.lctx ~bucket))
       ctx.table.buckets
+
+  let heartbeat ctx = L.heartbeat ctx.lctx
 
   let unregister ctx = L.unregister ctx.lctx
 

@@ -19,14 +19,30 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
 
   val register : t -> pid:int -> ctx
 
+  val bucket_index : t -> int -> int
+  (** The bucket a key routes to — a Fibonacci hash taking the {e high}
+      bits of the multiplicative product (power-of-two bucket counts;
+      [mod] fallback otherwise). Exposed for distribution tests. *)
+
   val search : ctx -> int -> bool
   val insert : ctx -> int -> bool
   val delete : ctx -> int -> bool
+
+  val search_ro : ctx -> int -> bool
+  (** Same answer as [search] but via the read-only, allocation-free
+      bucket probe ({!Linked_list.S.search_ro_in}) — the KV service's
+      get path, pinned at zero heap words per request. *)
 
   val to_list : ctx -> int list
   (** Sorted, for comparability with the other set implementations. *)
 
   val size : ctx -> int
+  val heartbeat : ctx -> unit
+  (** Scheme bookkeeping (quiescence announcement, epoch advance) without
+      performing an operation — composite services call this on idle
+      structures so epoch-based schemes never see a registered-but-silent
+      process. Process context, between operations. *)
+
   val unregister : ctx -> unit
   (** Leave the computation: retire the SMR pid slot, donating its limbo
       lists to the scheme's orphan pool; the slot may be re-registered

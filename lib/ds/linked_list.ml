@@ -167,6 +167,59 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     ctx.smr_h.clear_hps ();
     res
 
+  (* Read-only membership probe: walks the chain by key order without
+     snipping marked nodes (chain keys strictly increase, marked or not,
+     so the first node with key >= [key] settles membership: present iff
+     it carries [key] and its own next link is unmarked). Alternates the
+     two hazard-pointer slots between the node in hand and its successor
+     with the usual validation re-read, restarting from the bucket head
+     on interference.
+
+     Deliberately written as top-level recursion with no result tuple:
+     unlike [search_in] (whose [find] allocates a closure and a triple
+     per call), this path allocates nothing — it is the KV service's
+     pinned-at-zero get path. The cleanup duty read-only probes skip is
+     picked up by the next mutating [find] through the bucket. *)
+  let rec probe_walk ctx bucket key slot node =
+    if node.key > key then begin
+      ctx.smr_h.clear_hps ();
+      false
+    end
+    else if node.key = key then begin
+      let link = R.get node.next in
+      touch ctx node;
+      ctx.smr_h.clear_hps ();
+      match link with
+      | Null -> true
+      | Ptr { marked; _ } -> not marked
+    end
+    else begin
+      let link = R.get node.next in
+      touch ctx node;
+      match link with
+      | Null ->
+        ctx.smr_h.clear_hps ();
+        false
+      | Ptr { dest; marked = _ } ->
+        let slot' = 1 - slot in
+        ctx.smr_h.assign_hp ~slot:slot' dest;
+        (* Validation read: if node.next changed since we read it, dest
+           may already be unlinked (and freed) — restart from the head. *)
+        if R.get node.next != link then probe_restart ctx bucket key
+        else begin
+          touch ctx dest;
+          probe_walk ctx bucket key slot' dest
+        end
+    end
+
+  and probe_restart ctx bucket key =
+    (* the bucket sentinel is never reclaimed: no protection needed *)
+    probe_walk ctx bucket key 1 bucket
+
+  let search_ro_in ctx ~bucket key =
+    ctx.smr_h.manage_state ();
+    probe_restart ctx bucket key
+
   let insert_in ctx ~bucket key =
     ctx.smr_h.manage_state ();
     (* The not-yet-published node lives in [fresh] (cleared the moment the
@@ -303,6 +356,14 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
   let validate ctx = validate_in ctx ~bucket:ctx.set.head
 
   let size ctx = List.length (to_list ctx)
+
+  (* Run the scheme's per-operation bookkeeping (quiescence announcement,
+     epoch advance, scan triggers) without performing an operation.
+     Composite services whose workers touch several structures at very
+     different rates call this on the idle ones so that epoch-based
+     schemes never see a registered-but-silent process (which would block
+     reclamation exactly like a stalled thread). *)
+  let heartbeat ctx = ctx.smr_h.manage_state ()
 
   let unregister ctx = ctx.smr_h.unregister ()
 

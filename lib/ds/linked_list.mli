@@ -44,6 +44,13 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
   (** A fresh head sentinel chained to the shared tail; never reclaimed. *)
 
   val search_in : ctx -> bucket:node -> int -> bool
+
+  val search_ro_in : ctx -> bucket:node -> int -> bool
+  (** Read-only membership probe: same answer as [search_in] but never
+      snips marked nodes and allocates nothing on the OCaml heap
+      (top-level recursion, no result tuple). The KV service's get path
+      uses this so benchmarks can pin it at zero words per request. *)
+
   val insert_in : ctx -> bucket:node -> int -> bool
   val delete_in : ctx -> bucket:node -> int -> bool
   val to_list_in : ctx -> bucket:node -> int list
@@ -53,6 +60,12 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
 
   val to_list : ctx -> int list
   val size : ctx -> int
+
+  val heartbeat : ctx -> unit
+  (** Scheme bookkeeping (quiescence announcement, epoch advance) without
+      performing an operation — composite services call this on idle
+      structures so epoch-based schemes never see a registered-but-silent
+      process. Process context, between operations. *)
 
   val unregister : ctx -> unit
   (** Leave the computation: retire the SMR pid slot, donating its limbo

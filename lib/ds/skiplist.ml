@@ -319,6 +319,53 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
     in
     attempt ()
 
+  (* Count the keys present in [lo, hi] — the KV service's range scan.
+     Positions with a full [find] pass (which leaves the first candidate
+     protected at slot 1), then walks the authoritative level-0 chain,
+     alternating the two bottom hazard-pointer slots between the node in
+     hand and its successor: the successor is published, then the link is
+     re-read to validate it still hangs off the protected node (Condition
+     1), and the whole scan restarts on interference. Marked nodes are
+     traversed but not counted. A scan pins nodes for the whole walk, so
+     it holds hazard pointers far longer than a point operation — exactly
+     the pressure the service workload wants to put on reclamation. *)
+  let range_count ctx ~lo ~hi =
+    if hi < lo then invalid_arg "Skiplist.range_count: hi < lo";
+    ctx.smr_h.manage_state ();
+    let t = ctx.set in
+    let rec scan () =
+      ignore (find ctx lo);
+      (* succs.(0): first node with key >= lo, protected at slot 1 *)
+      let rec walk count slot node =
+        if node == t.tail || node.key > hi then Some count
+        else begin
+          let link = R.get node.next.(0) in
+          (* the read above is the access hazard: re-check the oracle *)
+          touch ctx node;
+          match link with
+          | Null -> Some count
+          | Ptr { dest; marked } ->
+            (* an unmarked link means [node] is still a member *)
+            let count = if marked then count else count + 1 in
+            let slot' = 1 - slot in
+            ctx.smr_h.assign_hp ~slot:slot' dest;
+            (* Validation read: if node.next.(0) changed, dest may already
+               be snipped out (and, without protection, freed) — restart. *)
+            if R.get node.next.(0) != link then None
+            else begin
+              touch ctx dest;
+              walk count slot' dest
+            end
+        end
+      in
+      match walk 0 1 ctx.succs.(0) with
+      | Some count -> count
+      | None -> scan ()
+    in
+    let res = scan () in
+    ctx.smr_h.clear_hps ();
+    res
+
   (* Sequential-context helpers. *)
 
   let to_list ctx =
@@ -372,6 +419,10 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) = struct
                  n.key level))
         nodes
     done
+
+  (* See {!Linked_list.heartbeat}: scheme bookkeeping without an
+     operation, so composite services keep idle instances' epochs moving. *)
+  let heartbeat ctx = ctx.smr_h.manage_state ()
 
   let unregister ctx = ctx.smr_h.unregister ()
 

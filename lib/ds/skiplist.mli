@@ -27,8 +27,21 @@ module Make (R : Qs_intf.Runtime_intf.RUNTIME) : sig
   val insert : ctx -> int -> bool
   val delete : ctx -> int -> bool
 
+  val range_count : ctx -> lo:int -> hi:int -> int
+  (** Number of keys currently in [lo, hi] (inclusive): a hazard-pointer
+      protected walk of the authoritative level-0 chain that restarts on
+      interference. Allocation-free; pins nodes for the whole walk, so it
+      exercises reclamation much harder than point operations. Raises
+      [Invalid_argument] if [hi < lo]. *)
+
   val to_list : ctx -> int list
   val size : ctx -> int
+  val heartbeat : ctx -> unit
+  (** Scheme bookkeeping (quiescence announcement, epoch advance) without
+      performing an operation — composite services call this on idle
+      structures so epoch-based schemes never see a registered-but-silent
+      process. Process context, between operations. *)
+
   val unregister : ctx -> unit
   (** Leave the computation: retire the SMR pid slot, donating its limbo
       lists to the scheme's orphan pool; the slot may be re-registered

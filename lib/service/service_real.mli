@@ -1,0 +1,41 @@
+(** KV-service runner over real OCaml 5 domains: wall-clock Mops, with
+    per-run totals published to {!Qs_obs.Registry.global} under
+    [service_*] metric names. *)
+
+module K : module type of Kv.Make (Qs_real.Real_runtime)
+(** The service instantiated on the real runtime (shared with callers so
+    bench pins and tests drive the same instantiation). *)
+
+type churn = { generations : int; downtime_ms : int }
+
+type setup = {
+  scheme : Qs_smr.Scheme.kind;
+  n_domains : int;
+  gen : Qs_workload.Kv_gen.t;
+  duration_ms : int;
+  seed : int;
+  n_shards : int;
+  capacity : int option;
+  churn : churn option;
+  latency : Qs_obs.Latency.recorder option;
+  smr_tweak : Qs_smr.Smr_intf.config -> Qs_smr.Smr_intf.config;
+}
+
+val default_setup :
+  scheme:Qs_smr.Scheme.kind ->
+  n_domains:int ->
+  gen:Qs_workload.Kv_gen.t ->
+  setup
+
+type result = {
+  ops_total : int;
+  per_kind_ops : int array;
+  throughput_mops : float;
+  violations : int;
+  failed : bool;
+  churn_events : int;
+  final_size : int;
+  report : Qs_ds.Set_intf.report;
+}
+
+val run : setup -> result

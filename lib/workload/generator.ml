@@ -10,7 +10,9 @@ type t = { streams : Spec.op array array }
 
 let make spec ~n_processes ~ops_per_process ~seed =
   if n_processes <= 0 then invalid_arg "Generator.make: n_processes";
-  if ops_per_process < 0 then invalid_arg "Generator.make: ops_per_process";
+  (* 0 would make the cyclic [op] accessor divide by zero ([i mod 0]). *)
+  if ops_per_process <= 0 then
+    invalid_arg "Generator.make: ops_per_process must be positive";
   let master = Qs_util.Prng.create ~seed in
   let streams =
     Array.init n_processes (fun _ ->

@@ -1,0 +1,194 @@
+(* KV-service workload specification: the richer cousin of {!Spec} for the
+   sharded key-value service. Four operation kinds (point get/put/delete
+   plus range scan), Zipfian hot keys, multi-tenant key spaces (tenant id
+   in the high bits, local key below) and open-loop bursty arrivals.
+
+   Zipfian sampling uses the rejection-free approximation of Gray et al.
+   ("Quickly generating billion-record synthetic databases", SIGMOD '94),
+   the same one YCSB ships: all the expensive terms (zeta(n, theta), eta)
+   are precomputed in [make], so a draw is two PRNG words and a [**]. Rank
+   r is mapped to local key r directly — the hot keys are the low local
+   keys of every tenant, which keeps the hot-key mass analytically
+   checkable: P(local < K) = zeta(K, theta) / zeta(n, theta). *)
+
+type op =
+  | Get of int
+  | Put of int
+  | Del of int
+  | Scan of int * int  (** [Scan (lo, hi)]: count keys in [lo, hi] *)
+
+type dist = Uniform | Zipfian of float  (** theta in (0, 1) *)
+
+type mix = { get_pct : int; put_pct : int; del_pct : int; scan_pct : int }
+
+(* Open-loop arrival bursts: every [every] requests, the next [len]
+   requests arrive with their gap divided by [factor]. *)
+type burst = { every : int; len : int; factor : int }
+
+type zipf = { theta : float; alpha : float; zetan : float; eta : float }
+
+type t = {
+  tenants : int;
+  keys_per_tenant : int;
+  tenant_shift : int;  (* local keys live in the low [tenant_shift] bits *)
+  dist : dist;
+  zipf : zipf option;  (* precomputed iff [dist] is [Zipfian] *)
+  mix : mix;
+  scan_span : int;  (* scan covers [lo, lo + scan_span - 1], tenant-clamped *)
+  base_gap : int;  (* open-loop inter-arrival gap (sim ticks / ns) *)
+  burst : burst option;
+}
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let make ?(tenants = 1) ?(dist = Uniform) ?(scan_span = 16) ?(base_gap = 0)
+    ?burst ~keys_per_tenant ~mix () =
+  if tenants <= 0 then invalid_arg "Kv_spec.make: tenants must be positive";
+  if keys_per_tenant < 2 then
+    invalid_arg "Kv_spec.make: keys_per_tenant must be at least 2";
+  if scan_span <= 0 then invalid_arg "Kv_spec.make: scan_span must be positive";
+  if base_gap < 0 then invalid_arg "Kv_spec.make: base_gap must be non-negative";
+  let { get_pct; put_pct; del_pct; scan_pct } = mix in
+  if get_pct < 0 || put_pct < 0 || del_pct < 0 || scan_pct < 0 then
+    invalid_arg "Kv_spec.make: negative mix percentage";
+  if get_pct + put_pct + del_pct + scan_pct <> 100 then
+    invalid_arg "Kv_spec.make: mix percentages must sum to 100";
+  (match burst with
+  | Some { every; len; factor } when every <= 0 || len < 0 || factor <= 0 ->
+    invalid_arg "Kv_spec.make: bad burst"
+  | _ -> ());
+  let zipf =
+    match dist with
+    | Uniform -> None
+    | Zipfian theta ->
+      if theta <= 0. || theta >= 1. then
+        invalid_arg "Kv_spec.make: Zipfian theta must be in (0, 1)";
+      let n = keys_per_tenant in
+      let zetan = zeta n theta in
+      let zeta2 = zeta 2 theta in
+      let alpha = 1. /. (1. -. theta) in
+      let eta =
+        (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+        /. (1. -. (zeta2 /. zetan))
+      in
+      Some { theta; alpha; zetan; eta }
+  in
+  let tenant_shift =
+    let s = ref 1 in
+    while 1 lsl !s < keys_per_tenant do incr s done;
+    !s
+  in
+  { tenants;
+    keys_per_tenant;
+    tenant_shift;
+    dist;
+    zipf;
+    mix;
+    scan_span;
+    base_gap;
+    burst }
+
+(* Tenant-prefixed keys: tenant id in the high bits, local key below.
+   Adjacent local keys of different tenants differ only above
+   [tenant_shift] — exactly the key shape that exposed the hash table's
+   low-bits bucket reduction. *)
+let key_of t ~tenant ~local = (tenant lsl t.tenant_shift) lor local
+
+let tenant_of t key = key lsr t.tenant_shift
+
+let local_of t key = key land ((1 lsl t.tenant_shift) - 1)
+
+let key_space t = t.tenants lsl t.tenant_shift
+
+(* Gray et al. approximation; [zetan]/[eta]/[alpha] precomputed. *)
+let sample_local prng t =
+  match t.zipf with
+  | None -> Qs_util.Prng.int prng t.keys_per_tenant
+  | Some z ->
+    let u = Qs_util.Prng.float prng 1.0 in
+    let uz = u *. z.zetan in
+    if uz < 1. then 0
+    else if uz < 1. +. Float.pow 0.5 z.theta then 1
+    else begin
+      let r =
+        float_of_int t.keys_per_tenant
+        *. Float.pow ((z.eta *. u) -. z.eta +. 1.) z.alpha
+      in
+      let r = int_of_float r in
+      if r >= t.keys_per_tenant then t.keys_per_tenant - 1 else r
+    end
+
+let pick prng t =
+  let tenant = if t.tenants = 1 then 0 else Qs_util.Prng.int prng t.tenants in
+  let local = sample_local prng t in
+  let key = key_of t ~tenant ~local in
+  let pct = Qs_util.Prng.percent prng in
+  let m = t.mix in
+  if pct < m.get_pct then Get key
+  else if pct < m.get_pct + m.put_pct then Put key
+  else if pct < m.get_pct + m.put_pct + m.del_pct then Del key
+  else begin
+    let hi_local = min (local + t.scan_span - 1) (t.keys_per_tenant - 1) in
+    Scan (key, key_of t ~tenant ~local:hi_local)
+  end
+
+(* Open-loop inter-arrival gap before the [i]-th request of a stream. *)
+let gap t ~i =
+  match t.burst with
+  | Some b when i mod b.every < b.len -> t.base_gap / b.factor
+  | _ -> t.base_gap
+
+(* Keys used to pre-fill the service to half of every tenant's key space
+   (every other local key, so hits and misses occur for all op kinds). *)
+let initial_keys t =
+  List.concat
+    (List.init t.tenants (fun tenant ->
+         List.init (t.keys_per_tenant / 2) (fun i ->
+             key_of t ~tenant ~local:(2 * i))))
+
+(* Operation kinds as a dense index space (per-{process × kind} latency
+   histograms). *)
+let n_kinds = 4
+
+let kind_index = function Get _ -> 0 | Put _ -> 1 | Del _ -> 2 | Scan _ -> 3
+
+let kind_name = function
+  | 0 -> "get"
+  | 1 -> "put"
+  | 2 -> "del"
+  | 3 -> "scan"
+  | k -> invalid_arg (Printf.sprintf "Kv_spec.kind_name: %d" k)
+
+(* Mix statistics of one stream: ops per kind, indexed by [kind_index]. *)
+let census ops =
+  let counts = Array.make n_kinds 0 in
+  Array.iter
+    (fun op ->
+      let k = kind_index op in
+      counts.(k) <- counts.(k) + 1)
+    ops;
+  counts
+
+(* Fraction of key touches that land on a tenant's [k] hottest local keys
+   (scans touch their low endpoint). Under [Zipfian theta] this must
+   approach zeta(k, theta) / zeta(n, theta). *)
+let hot_mass t ops ~k =
+  let total = ref 0 and hot = ref 0 in
+  Array.iter
+    (fun op ->
+      let key = match op with Get x | Put x | Del x | Scan (x, _) -> x in
+      incr total;
+      if local_of t key < k then incr hot)
+    ops;
+  if !total = 0 then 0. else float_of_int !hot /. float_of_int !total
+
+(* Predicted hot-key mass for the spec's distribution. *)
+let expected_hot_mass t ~k =
+  match t.zipf with
+  | None -> float_of_int k /. float_of_int t.keys_per_tenant
+  | Some z -> zeta k z.theta /. z.zetan

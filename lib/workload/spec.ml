@@ -7,7 +7,9 @@ type op = Search of int | Insert of int | Delete of int
 
 type t = {
   key_range : int;
-  update_pct : int;  (** 0..100; split evenly between inserts and deletes *)
+  update_pct : int;
+      (** 0..100; split evenly between inserts and deletes (odd values
+          assign the leftover percent by fair coin, see {!pick}) *)
 }
 
 let make ~key_range ~update_pct =
@@ -34,11 +36,22 @@ let kind_name = function
   | 2 -> "delete"
   | k -> invalid_arg (Printf.sprintf "Spec.kind_name: %d" k)
 
+(* An update percentage [u] must split evenly: u/2% inserts, u/2% deletes.
+   With integer thresholds alone an odd [u] is asymmetric — the old code
+   gave [u / 2] percent to inserts and [u - u / 2] to deletes, so
+   [update_pct = 1] produced 0% inserts but 1% deletes. The even part of
+   [u] is split by threshold exactly as before (bit-identical draws for
+   even [u]); the odd leftover percent is assigned by a fair coin, making
+   both masses exactly [u/2]% in expectation while keeping the total update
+   probability exactly [u]%. *)
 let pick prng t =
   let key = Qs_util.Prng.int prng t.key_range in
   let pct = Qs_util.Prng.percent prng in
-  if pct < t.update_pct / 2 then Insert key
-  else if pct < t.update_pct then Delete key
+  let u = t.update_pct in
+  if pct < u / 2 then Insert key
+  else if pct < u - (u land 1) then Delete key
+  else if pct < u then
+    if Qs_util.Prng.bool prng then Insert key else Delete key
   else Search key
 
 (** Keys used to pre-fill the structure to half the key range (every other

@@ -20,5 +20,6 @@ let () =
       ("latency", Test_latency.suite);
       ("properties", Test_properties.suite);
       ("real", Test_real.suite);
+      ("service", Test_service.suite);
       ("rivals", Test_rivals.suite)
     ]

@@ -194,4 +194,52 @@ module Hashtable_tests =
       let range = 128
     end)
 
-let suite = Skiplist_tests.suite @ Bst_tests.suite @ Hashtable_tests.suite
+module HT = Qs_ds.Hashtable.Make (Sim_runtime)
+
+(* Regression: [bucket_of] used to reduce the multiplicative hash with
+   [mod], keeping its LOW bits — the poorly mixed end of the product.
+   Keys that differ only above the low byte (tenant-prefixed key spaces,
+   stride-256 sequences) collided into a handful of buckets: 16 tenants ×
+   64 slots hit only 64 of 256 buckets (16 keys each), and stride-256 keys
+   all landed in a single bucket. The high-bit shift must spread both. *)
+let test_hashtable_bucket_distribution () =
+  let table = HT.create (set_cfg ~n:1 ()) in
+  let n_buckets = HT.default_buckets in
+  let loads = Array.make n_buckets 0 in
+  for tenant = 0 to 15 do
+    for slot = 0 to 63 do
+      let key = (tenant lsl 16) lor slot in
+      let b = HT.bucket_index table key in
+      loads.(b) <- loads.(b) + 1
+    done
+  done;
+  let hit = Array.fold_left (fun a l -> if l > 0 then a + 1 else a) 0 loads in
+  let max_load = Array.fold_left max 0 loads in
+  Alcotest.(check bool) "tenant keys hit most buckets" true (hit >= 200);
+  Alcotest.(check bool) "tenant keys: no heavy bucket" true (max_load <= 12);
+  let loads = Array.make n_buckets 0 in
+  for i = 0 to 511 do
+    let b = HT.bucket_index table (i * 256) in
+    loads.(b) <- loads.(b) + 1
+  done;
+  let max_load = Array.fold_left max 0 loads in
+  Alcotest.(check bool) "stride-256 keys spread" true (max_load <= 8)
+
+(* Non-power-of-two bucket counts take the [mod] fallback; routing must
+   stay in range and agree with [validate]'s placement check. *)
+let test_hashtable_odd_bucket_count () =
+  let table = HT.create_sized ~n_buckets:97 (set_cfg ~n:1 ()) in
+  for key = 0 to 2_000 do
+    let b = HT.bucket_index table key in
+    if b < 0 || b >= 97 then Alcotest.failf "key %d out of range: %d" key b
+  done
+
+let distribution_suite =
+  [ Alcotest.test_case "hashtable bucket distribution" `Quick
+      test_hashtable_bucket_distribution;
+    Alcotest.test_case "hashtable odd bucket count" `Quick
+      test_hashtable_odd_bucket_count ]
+
+let suite =
+  Skiplist_tests.suite @ Bst_tests.suite @ Hashtable_tests.suite
+  @ distribution_suite

@@ -67,6 +67,69 @@ let test_generator_census () =
   Alcotest.(check bool) "updates ~30%" true
     (abs ((100 * (i + d) / 20_000) - 30) <= 2)
 
+(* Regression: ops_per_process = 0 used to pass [make]'s negative-only
+   check, then blow up later with Division_by_zero in the cyclic accessor
+   ([i mod 0]). It must be rejected up front. *)
+let test_generator_zero_ops_rejected () =
+  let spec = Spec.updates_50 ~key_range:64 in
+  Alcotest.check_raises "zero ops rejected"
+    (Invalid_argument "Generator.make: ops_per_process must be positive")
+    (fun () -> ignore (Gen.make spec ~n_processes:2 ~ops_per_process:0 ~seed:1));
+  Alcotest.check_raises "negative ops rejected"
+    (Invalid_argument "Generator.make: ops_per_process must be positive")
+    (fun () -> ignore (Gen.make spec ~n_processes:2 ~ops_per_process:(-1) ~seed:1))
+
+(* Regression: odd update percentages used to split asymmetrically —
+   update_pct = 1 gave 0% inserts but 1% deletes (integer u/2 for the
+   insert threshold, the whole remainder to deletes). The census over a
+   large stream must now show both masses within tolerance of u/2 for
+   every odd u, and in the extreme u = 1 case inserts must occur at all. *)
+let test_spec_odd_pct_split () =
+  List.iter
+    (fun u ->
+      let spec = Spec.make ~key_range:64 ~update_pct:u in
+      let prng = Qs_util.Prng.create ~seed:(100 + u) in
+      let n = 200_000 in
+      let inserts = ref 0 and deletes = ref 0 in
+      for _ = 1 to n do
+        match Spec.pick prng spec with
+        | Spec.Insert _ -> incr inserts
+        | Spec.Delete _ -> incr deletes
+        | Spec.Search _ -> ()
+      done;
+      let expect = float_of_int u /. 2. in
+      let pct x = 100. *. float_of_int x /. float_of_int n in
+      let tol = 0.35 in
+      if Float.abs (pct !inserts -. expect) > tol then
+        Alcotest.failf "u=%d: inserts %.2f%% (want %.2f%%)" u (pct !inserts)
+          expect;
+      if Float.abs (pct !deletes -. expect) > tol then
+        Alcotest.failf "u=%d: deletes %.2f%% (want %.2f%%)" u (pct !deletes)
+          expect;
+      if u >= 1 && !inserts = 0 then
+        Alcotest.failf "u=%d: no inserts at all" u)
+    [ 1; 3; 7; 25; 99 ]
+
+(* Even update percentages must keep the exact pre-fix behaviour: the fix
+   only touches the odd leftover percent, so streams generated with even
+   [update_pct] (all committed corpora and benches) stay bit-identical. *)
+let test_spec_even_pct_unchanged () =
+  let spec = Spec.make ~key_range:64 ~update_pct:40 in
+  let prng = Qs_util.Prng.create ~seed:77 in
+  let reference = Qs_util.Prng.create ~seed:77 in
+  for _ = 1 to 10_000 do
+    let op = Spec.pick prng spec in
+    (* replay the pre-fix decision procedure on a mirrored PRNG *)
+    let key = Qs_util.Prng.int reference 64 in
+    let pct = Qs_util.Prng.percent reference in
+    let expected =
+      if pct < 20 then Spec.Insert key
+      else if pct < 40 then Spec.Delete key
+      else Spec.Search key
+    in
+    if op <> expected then Alcotest.fail "even-pct stream diverged"
+  done
+
 let test_latency_recording () =
   let r =
     Qs_harness.Sim_exp.run
@@ -88,5 +151,11 @@ let suite =
     Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
     Alcotest.test_case "generator per-pid streams" `Quick test_generator_streams_independent;
     Alcotest.test_case "generator census" `Quick test_generator_census;
+    Alcotest.test_case "generator rejects zero ops" `Quick
+      test_generator_zero_ops_rejected;
+    Alcotest.test_case "odd update pct splits evenly" `Quick
+      test_spec_odd_pct_split;
+    Alcotest.test_case "even update pct bit-identical" `Quick
+      test_spec_even_pct_unchanged;
     Alcotest.test_case "latency recording" `Quick test_latency_recording
   ]
